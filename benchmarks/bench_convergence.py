@@ -1,0 +1,77 @@
+"""Convergence study: fit error vs training-sample count, by curve shape.
+
+§V attributes the BP.1 defect to sparse data ("this defect can be fixed
+with more training data").  With the synthetic generators the true roof is
+*known*, so the claim can be measured directly: mean relative error of the
+fitted roofline against its ground-truth curve as the sample count grows,
+for both metric polarities and a non-monotone plateau shape.  The timed
+section is one 2,000-sample fit.
+"""
+
+import random
+
+from conftest import write_artifact
+
+from repro.core.roofline import fit_metric_roofline
+from repro.core.synthetic import (
+    ground_truth_error,
+    negative_metric_curve,
+    plateau_curve,
+    positive_metric_curve,
+    synthetic_samples,
+)
+
+CURVES = {
+    "negative (stall-like)": negative_metric_curve(peak=4.0, knee=6.0),
+    "positive (dsb-like)": positive_metric_curve(peak=4.0, knee=3.0),
+    "plateau (sweet spot)": plateau_curve(peak=4.0, rise_knee=2.0,
+                                          fall_start=40.0),
+}
+COUNTS = (20, 80, 320, 1280)
+
+
+def fit_for(curve, count, seed):
+    samples = synthetic_samples(
+        "m",
+        curve,
+        count=count,
+        efficiency_range=(0.8, 1.0),
+        rng=random.Random(seed),
+    )
+    return fit_metric_roofline(samples)
+
+
+def test_fit_convergence(benchmark):
+    curve = CURVES["negative (stall-like)"]
+
+    benchmark(fit_for, curve, 2_000, 0)
+
+    lines = [
+        "CONVERGENCE — mean relative error vs ground-truth roof",
+        f"{'curve':<24} " + " ".join(f"n={n:>5}" for n in COUNTS),
+        "-" * 58,
+    ]
+    errors_by_curve = {}
+    for name, curve in CURVES.items():
+        errors = []
+        for count in COUNTS:
+            # Average over a few seeds to smooth sampling luck.
+            values = [
+                ground_truth_error(fit_for(curve, count, seed), curve)
+                for seed in range(3)
+            ]
+            errors.append(sum(values) / len(values))
+        errors_by_curve[name] = errors
+        lines.append(
+            f"{name:<24} " + " ".join(f"{e:7.3f}" for e in errors)
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    write_artifact("convergence.txt", text)
+
+    for name, errors in errors_by_curve.items():
+        # More data must help substantially from the sparse to the dense
+        # end, and dense fits must track the truth closely.
+        assert errors[-1] < errors[0], name
+        assert errors[-1] < 0.12, (name, errors)

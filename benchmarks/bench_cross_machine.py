@@ -1,0 +1,78 @@
+"""Cross-machine study: the same suite on a different microarchitecture.
+
+The paper's motivation (§I): microarchitectures are diverse, and
+"knowledge gained while studying one may not transfer to the other".
+This bench trains a second SPIRE ensemble on a 2-wide, counter-starved
+little core running the same workload suite, then compares the two
+models' rooflines metric by metric — quantifying exactly which metrics
+cost the little core more.  The timed section is the per-metric model
+comparison.
+"""
+
+import random
+
+from conftest import write_artifact
+
+from repro.core import SpireModel, compare_models, render_comparison
+from repro.core.sample import SampleSet
+from repro.counters import CollectionConfig, SampleCollector
+from repro.counters.events import default_catalog
+from repro.uarch import CoreModel
+from repro.uarch.config import little_inorder_core
+from repro.workloads import testing_suite as load_testing_suite
+from repro.workloads import training_suite as load_training_suite
+
+
+def build_little_model():
+    machine = little_inorder_core()
+    collector = SampleCollector(
+        machine, config=CollectionConfig(windows_per_period=30)
+    )
+    core = CoreModel(machine)
+    pooled = SampleSet()
+    for index, workload in enumerate(load_training_suite()):
+        specs = workload.specs(300, 20_000)
+        pooled.extend(
+            collector.collect(core, specs, rng=random.Random(7000 + index)).samples
+        )
+    return machine, collector, core, SpireModel.train(pooled)
+
+
+def test_cross_machine_comparison(benchmark, experiment):
+    machine, collector, core, little_model = build_little_model()
+
+    comparisons = benchmark(compare_models, experiment.model, little_model)
+
+    text_lines = [
+        "CROSS-MACHINE — Skylake analog vs 2-wide little core",
+        render_comparison(
+            comparisons, label_a="skylake", label_b="little", count=12
+        ),
+        "",
+    ]
+
+    # Analyze the four test workloads on the little core with its own model.
+    areas = default_catalog().areas()
+    for index, workload in enumerate(load_testing_suite()):
+        run = collector.collect(
+            core, workload.specs(200, 20_000), rng=random.Random(8000 + index)
+        )
+        report = little_model.analyze(
+            run.samples, workload=workload.name, top_k=3, metric_areas=areas
+        )
+        top = report.top(1)[0]
+        text_lines.append(
+            f"{workload.name:<24} little-core IPC {run.measured_ipc:5.2f}  "
+            f"#1: {top.metric} ({report.area_of(top.metric)})"
+        )
+    text = "\n".join(text_lines)
+    print()
+    print(text)
+    write_artifact("cross_machine.txt", text)
+
+    # Shape: the little core bounds lower on average (narrower pipeline),
+    # i.e. the same metric rates cost it more throughput.
+    mean_ratio = sum(c.mean_ratio for c in comparisons) / len(comparisons)
+    assert mean_ratio < 1.0
+    # Both models cover the same metric namespace.
+    assert len(comparisons) == len(experiment.model)

@@ -1,0 +1,71 @@
+"""Figure 2: a classic roofline plot with two applications and ceilings.
+
+Regenerates the paper's background figure: the machine's peak roofs, a
+scalar-execution compute ceiling and a DRAM memory ceiling, plus two apps
+— one memory-bound, one compute-bound, each further limited by a lower
+ceiling.  Writes the plot as SVG and prints the classification rows.  The
+benchmark times an attainable-performance sweep.
+"""
+
+from conftest import OUT_DIR, write_artifact
+
+from repro.baselines import ClassicRoofline, RooflinePoint
+from repro.uarch import skylake_gold_6126
+from repro.viz import SvgPlot
+
+
+def build_model():
+    roofline = ClassicRoofline.from_machine(skylake_gold_6126())
+    apps = [
+        RooflinePoint("App A", intensity=0.4, throughput=3.2e10),
+        RooflinePoint("App B", intensity=24.0, throughput=8.0e9),
+    ]
+    return roofline, apps
+
+
+def render_fig2(roofline, apps) -> str:
+    lines = [
+        "FIGURE 2 — Classic roofline model with 2 apps (reproduction)",
+        f"pi = {roofline.pi:.3g} FLOP/s, beta = {roofline.beta:.3g} B/s, "
+        f"ridge at {roofline.ridge_point:.2f} FLOP/B",
+        f"{'app':<7} {'I':>6} {'P':>9} {'class':<14} binding ceiling",
+        "-" * 60,
+    ]
+    for app in apps:
+        lines.append(
+            f"{app.name:<7} {app.intensity:>6.2f} {app.throughput:>9.3g} "
+            f"{roofline.classify(app):<14} {roofline.binding_ceiling(app)}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig2_regeneration(benchmark):
+    roofline, apps = build_model()
+    intensities = [2.0**k / 32 for k in range(0, 20)]
+
+    benchmark(roofline.series, intensities)
+
+    text = render_fig2(roofline, apps)
+    print()
+    print(text)
+    write_artifact("fig2.txt", text)
+
+    plot = SvgPlot(
+        title="Figure 2 — classic roofline",
+        x_label="operational intensity (FLOP/byte)",
+        y_label="performance (FLOP/s)",
+        log_y=True,
+    )
+    plot.add_line(roofline.series(intensities), label="peak roofs")
+    for ceiling in roofline.ceilings:
+        plot.add_line(roofline.series(intensities, ceiling),
+                      label=f"{ceiling.name} ceiling")
+    plot.add_scatter([(a.intensity, a.throughput) for a in apps], label="apps")
+    plot.save(OUT_DIR / "fig2.svg")
+
+    # Paper shape: App A memory-bound under the DRAM ceiling, App B
+    # compute-bound under the scalar ceiling.
+    assert roofline.classify(apps[0]) == "memory-bound"
+    assert roofline.binding_ceiling(apps[0]) == "dram"
+    assert roofline.classify(apps[1]) == "compute-bound"
+    assert roofline.binding_ceiling(apps[1]) == "scalar"

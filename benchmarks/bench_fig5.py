@@ -1,0 +1,77 @@
+"""Figure 5: the left-region convex-hull fitting algorithm, step by step.
+
+Regenerates the paper's illustration: starting at the origin, repeatedly
+add a segment to the sample with the highest slope until the
+highest-throughput sample is reached.  The benchmark times the left fit on
+a realistic sample cloud (one metric's worth of training data).
+"""
+
+import random
+
+from conftest import write_artifact
+
+from repro.core.left_fit import fit_left_region
+from repro.geometry.piecewise import PiecewiseLinear
+
+
+def figure5_cloud():
+    """A small cloud shaped like the paper's illustration."""
+    return [
+        (1.0, 2.0),   # steepest from the origin
+        (2.0, 2.3),
+        (2.5, 1.2),
+        (3.0, 2.8),
+        (4.0, 3.2),   # apex
+        (3.5, 1.8),
+    ]
+
+
+def large_cloud(rng, count=3000):
+    points = []
+    for _ in range(count):
+        x = rng.uniform(0.5, 50.0)
+        roof = 4.0 * x / (x + 6.0)
+        points.append((x, roof * rng.uniform(0.3, 1.0)))
+    apex = max(points, key=lambda p: (p[1], -p[0]))
+    return [p for p in points if p[0] <= apex[0]], apex
+
+
+def render_fig5(points, chain) -> str:
+    lines = [
+        "FIGURE 5 — Left-region fitting by gift wrapping (reproduction)",
+        "input samples: " + ", ".join(f"({x:g},{y:g})" for x, y in points),
+        "chain (origin -> apex):",
+    ]
+    for (x0, y0), (x1, y1) in zip(chain, chain[1:]):
+        slope = (y1 - y0) / (x1 - x0) if x1 > x0 else float("inf")
+        lines.append(
+            f"  segment ({x0:g},{y0:g}) -> ({x1:g},{y1:g})  slope {slope:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig5_regeneration(benchmark):
+    rng = random.Random(5)
+    big_points, apex = large_cloud(rng)
+
+    benchmark(fit_left_region, big_points, apex)
+
+    points = figure5_cloud()
+    chain = [bp.as_tuple() for bp in fit_left_region(points, apex=(4.0, 3.2))]
+    text = render_fig5(points, chain)
+    print()
+    print(text)
+    write_artifact("fig5.txt", text)
+
+    # Paper shape: the walk starts at the origin, picks the steepest
+    # sample first, and ends at the apex; slopes are non-increasing and
+    # all samples lie on or below the chain.
+    assert chain[0] == (0.0, 0.0)
+    assert chain[1] == (1.0, 2.0)
+    assert chain[-1] == (4.0, 3.2)
+    slopes = [
+        (y1 - y0) / (x1 - x0)
+        for (x0, y0), (x1, y1) in zip(chain, chain[1:])
+    ]
+    assert all(b <= a + 1e-9 for a, b in zip(slopes, slopes[1:]))
+    assert PiecewiseLinear(chain).is_upper_bound_of(points)

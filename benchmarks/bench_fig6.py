@@ -1,0 +1,130 @@
+"""Figure 6: the right-region Pareto-graph fitting algorithm.
+
+Regenerates the paper's illustration: the Pareto front A-E, the weighted
+segment graph, and the shortest Start->End path that encodes the best
+decreasing concave-up fit (with the horizontal-segment exception).  The
+benchmark times the right fit on a realistic 3k-sample cloud.
+"""
+
+import random
+
+from conftest import write_artifact
+
+from repro.core.right_fit import RightFitOptions, fit_right_region
+from repro.geometry.piecewise import PiecewiseLinear
+
+# Five Pareto points labelled A (rightmost) through E (leftmost apex),
+# shaped like the paper's example.
+FIG6_FRONT = {
+    "A": (16.0, 1.0),
+    "B": (12.0, 2.0),
+    "C": (9.0, 4.0),
+    "D": (7.0, 6.0),
+    "E": (2.0, 10.0),
+}
+
+
+def large_cloud(rng, count=3000):
+    points = []
+    for _ in range(count):
+        x = rng.uniform(2.0, 400.0)
+        roof = 10.0 * 2.0 / x
+        points.append((x, min(10.0, roof) * rng.uniform(0.3, 1.0)))
+    return points
+
+
+def render_fig6(result) -> str:
+    label_of = {point: name for name, point in FIG6_FRONT.items()}
+    lines = [
+        "FIGURE 6 — Right-region fitting via shortest path (reproduction)",
+        "Pareto front (right to left): "
+        + " ".join(label_of.get(p, "?") for p in result.front),
+        f"total squared estimation error of best fit: {result.total_error:.2f}",
+        f"horizontal-segment exception used: {result.used_horizontal_exception}",
+        "best-fit breakpoints (left to right):",
+    ]
+    for bp in result.breakpoints:
+        lines.append(f"  ({bp.x:g}, {bp.y:g})")
+    lines.append("shortest path: " + " -> ".join(str(n) for n in result.path))
+    return "\n".join(lines)
+
+
+def test_fig6_regeneration(benchmark):
+    rng = random.Random(6)
+    cloud = large_cloud(rng)
+    apex = (2.0, 10.0)
+
+    benchmark(
+        fit_right_region,
+        cloud,
+        apex,
+        (),
+        RightFitOptions(max_front_points=64),
+    )
+
+    points = list(FIG6_FRONT.values())
+    result = fit_right_region(points, apex=FIG6_FRONT["E"])
+    text = render_fig6(result)
+    print()
+    print(text)
+    write_artifact("fig6.txt", text)
+
+    # Paper shape: all five points are Pareto-optimal, the fit is a valid
+    # upper bound, and its error is no worse than any single-segment
+    # alternative (Dijkstra optimality).
+    assert len(result.front) == 5
+    f = PiecewiseLinear(result.breakpoints)
+    assert f.is_upper_bound_of(points)
+    apex_y = FIG6_FRONT["E"][1]
+    trivial_error = sum(
+        (apex_y - y) ** 2 for name, (x, y) in FIG6_FRONT.items() if name not in "AE"
+    )
+    assert result.total_error <= trivial_error + 1e-9
+
+    # Exhaustive check on the small example: no valid concave-up chain
+    # (with the horizontal exception) has lower error than Dijkstra's.
+    best = exhaustive_best_error(points, FIG6_FRONT["E"])
+    assert result.total_error <= best + 1e-9
+
+
+def exhaustive_best_error(points, apex):
+    """Brute-force the best valid fit over all front subsets."""
+    from itertools import combinations
+
+    from repro.geometry.pareto import pareto_front
+
+    front = pareto_front(points + [apex])
+    m = len(front)
+    best = float("inf")
+    indices = list(range(m))
+    for r in range(1, m + 1):
+        for subset in combinations(indices, r):
+            error = _chain_error(front, subset)
+            if error is not None:
+                best = min(best, error)
+    return best
+
+
+def _chain_error(front, subset):
+    """Error of the fit entering at subset[0] and walking left, or None."""
+    last = len(front) - 1
+    apex_y = front[last][1]
+    # Tail error right of the entry point.
+    error = sum((front[subset[0]][1] - front[k][1]) ** 2 for k in range(subset[0]))
+    previous_slope = 0.0
+    for a, b in zip(subset, subset[1:]):
+        (ax, ay), (bx, by) = front[a], front[b]
+        slope = (by - ay) / (bx - ax)
+        if slope > previous_slope + 1e-12:
+            return None  # concavity violated
+        for k in range(a + 1, b):
+            value = ay + (front[k][0] - ax) * slope
+            gap = value - front[k][1]
+            if gap < -1e-9:
+                return None  # passes below a sample
+            error += gap**2
+        previous_slope = slope
+    # Horizontal exception from the leftmost reached point to the apex.
+    reached = subset[-1]
+    error += sum((apex_y - front[k][1]) ** 2 for k in range(reached + 1, last))
+    return error

@@ -1,0 +1,81 @@
+"""Robustness under shared-resource interference.
+
+The paper sidestepped measurement noise by pinning workloads to a single
+thread on a quiet system (§IV).  This bench asks the follow-up question:
+when a co-runner steals L3 capacity and DRAM bandwidth *while the analyzed
+workload is being sampled*, does SPIRE's analysis stay useful?
+
+Expected shape: the cleanly-trained model still surfaces the right
+bottleneck family; measured IPC drops under contention; and the memory
+metrics' estimates tighten (the workload genuinely became more
+memory-bound).  The timed section is one contended collection pass.
+"""
+
+import random
+
+from conftest import write_artifact
+
+from repro.counters import CollectionConfig, SampleCollector
+from repro.counters.events import default_catalog
+from repro.uarch import (
+    CoreModel,
+    InterferedCoreModel,
+    InterferenceConfig,
+    InterferenceModel,
+)
+from repro.workloads import workload_by_name
+
+
+def test_interference_robustness(benchmark, experiment):
+    machine = experiment.machine
+    collector = SampleCollector(machine, config=CollectionConfig())
+    workload = workload_by_name("parboil-cutcp")
+    specs = workload.specs(300, 20_000)
+
+    def contended_collection():
+        contended_core = InterferedCoreModel(
+            CoreModel(machine),
+            InterferenceModel(
+                InterferenceConfig(l3_steal_fraction=0.5, dram_slowdown=1.6),
+                rng=random.Random(0),
+            ),
+        )
+        return collector.collect(contended_core, specs, rng=random.Random(1))
+
+    contended = benchmark.pedantic(contended_collection, rounds=1, iterations=1)
+    clean = collector.collect(CoreModel(machine), specs, rng=random.Random(1))
+
+    areas = default_catalog().areas()
+    clean_report = experiment.model.analyze(
+        clean.samples, workload="clean", top_k=10, metric_areas=areas
+    )
+    contended_report = experiment.model.analyze(
+        contended.samples, workload="contended", top_k=10, metric_areas=areas
+    )
+
+    clean_top = [e.metric for e in clean_report.top(10)]
+    contended_top = [e.metric for e in contended_report.top(10)]
+    overlap = len(set(clean_top) & set(contended_top)) / 10.0
+
+    lines = [
+        "INTERFERENCE — analysis robustness under a noisy co-runner",
+        f"  measured IPC: clean {clean.measured_ipc:.3f} -> contended "
+        f"{contended.measured_ipc:.3f}",
+        f"  top-10 overlap clean vs contended: {overlap:.0%}",
+        "",
+        f"  {'clean top-5':<44} contended top-5",
+    ]
+    for clean_metric, contended_metric in zip(clean_top[:5], contended_top[:5]):
+        lines.append(f"  {clean_metric:<44} {contended_metric}")
+    text = "\n".join(lines)
+    print()
+    print(text)
+    write_artifact("interference.txt", text)
+
+    # Contention must actually hurt ...
+    assert contended.measured_ipc < clean.measured_ipc
+    # ... the ranking must remain substantially stable ...
+    assert overlap >= 0.6
+    # ... and the clean run's #1 finding (lock loads) must survive in the
+    # contended pool.
+    assert clean_top[0] in contended_top

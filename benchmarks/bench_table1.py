@@ -1,0 +1,35 @@
+"""Table I: the 27 evaluation workloads and their main TMA bottleneck.
+
+Regenerates the paper's workload table — name, configuration, role, and
+the Top-Down category each workload exhibits on the simulated CPU (the
+paper encodes this as row colors).  The benchmark times the Top-Down
+classification of one workload's counter totals.
+"""
+
+from conftest import write_artifact
+
+from repro.reporting import render_table1
+from repro.tma import TopDownAnalyzer
+
+
+def test_table1_regeneration(benchmark, experiment):
+    machine = experiment.machine
+    counts = experiment.testing_runs["tnn"].collection.full_counts
+    analyzer = TopDownAnalyzer(machine)
+
+    benchmark(analyzer.analyze, counts)
+
+    table = render_table1(experiment)
+    print()
+    print(table)
+    write_artifact("table1.txt", table)
+
+    # Shape assertions: every workload exhibits its designed bottleneck and
+    # the test workloads cover the four categories, as in the paper.
+    runs = {**experiment.training_runs, **experiment.testing_runs}
+    for name, run in runs.items():
+        assert run.table1_category == run.workload.expected_bottleneck, name
+    testing_categories = {
+        run.table1_category for run in experiment.testing_runs.values()
+    }
+    assert testing_categories == {"Front-End", "Bad Speculation", "Memory", "Core"}

@@ -1,0 +1,62 @@
+"""The classic roofline model (paper Figure 2) and its limits.
+
+Builds the conventional two-parameter roofline for the simulated machine,
+places two applications on it, and shows the manual ceiling-selection step
+that SPIRE automates: App A is memory-bound, App B compute-bound, and each
+is further limited by a lower ceiling (DRAM bandwidth / scalar execution).
+
+Writes an SVG of the plot next to this script.
+
+Run:  python examples/classic_roofline_demo.py
+"""
+
+from pathlib import Path
+
+from repro.baselines import ClassicRoofline, RooflinePoint
+from repro.uarch import skylake_gold_6126
+from repro.viz import SvgPlot
+
+
+def main() -> None:
+    machine = skylake_gold_6126()
+    roofline = ClassicRoofline.from_machine(machine)
+    print(f"pi   = {roofline.pi:.3g} FLOP/s")
+    print(f"beta = {roofline.beta:.3g} byte/s")
+    print(f"ridge point = {roofline.ridge_point:.2f} FLOP/byte\n")
+
+    apps = [
+        RooflinePoint("App A (stencil, DRAM-resident)", intensity=0.4,
+                      throughput=3.2e10),
+        RooflinePoint("App B (scalar physics kernel)", intensity=24.0,
+                      throughput=8.0e9),
+    ]
+    for app in apps:
+        bound = roofline.attainable(app.intensity)
+        print(f"{app.name}:")
+        print(f"  classification : {roofline.classify(app)}")
+        print(f"  attainable     : {bound:.3g} FLOP/s "
+              f"(achieved {roofline.efficiency(app):.0%})")
+        print(f"  binding ceiling: {roofline.binding_ceiling(app)}\n")
+
+    intensities = [2**k / 16 for k in range(0, 16)]
+    plot = SvgPlot(
+        title="Classic roofline (Fig. 2 analog)",
+        x_label="operational intensity (FLOP/byte)",
+        y_label="performance (FLOP/s)",
+        log_y=True,
+    )
+    plot.add_line(roofline.series(intensities), label="peak roofs")
+    for ceiling in roofline.ceilings:
+        plot.add_line(
+            roofline.series(intensities, ceiling), label=f"{ceiling.name} ceiling"
+        )
+    plot.add_scatter(
+        [(a.intensity, a.throughput) for a in apps], label="applications"
+    )
+    out = Path(__file__).with_suffix(".svg")
+    plot.save(out)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Generate a standalone HTML bottleneck report.
+
+Combines everything one investigation needs — the ranked metric table with
+area color-coding, the Top-Down comparison, bootstrap confidence
+intervals, and inline roofline plots — into a single self-contained HTML
+file you can attach to a bug or share with a hardware team.
+
+Run:  python examples/html_report.py  (writes onnx_report.html)
+"""
+
+import random
+from pathlib import Path
+
+from repro.core import bootstrap_estimates
+from repro.counters.events import default_catalog
+from repro.pipeline import ExperimentConfig, run_experiment
+from repro.viz import save_html_report
+
+
+def main() -> None:
+    print("running the evaluation (reduced scale) ...")
+    result = run_experiment(ExperimentConfig(train_windows=400, test_windows=300))
+
+    name = "onnx"
+    run = result.testing_runs[name]
+    report = result.analyze(name, top_k=10)
+    bootstrap = bootstrap_estimates(
+        result.model, run.collection.samples, resamples=150,
+        rng=random.Random(0),
+    )
+
+    out = Path(__file__).parent / "onnx_report.html"
+    save_html_report(
+        out,
+        report,
+        model=result.model,
+        tma=run.tma,
+        bootstrap=bootstrap,
+    )
+    print(f"wrote {out} ({out.stat().st_size // 1024} KiB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Training SPIRE on purpose-built microbenchmarks (paper §III-A).
+
+    "Ideally, this is done using optimized workloads specifically designed
+    to exercise each metric (e.g., microbenchmarks)."
+
+This example trains one model on the per-metric stress sweeps from
+``repro.workloads.microbench`` and compares its analysis of a test
+workload against the application-trained model from the main evaluation.
+
+Run:  python examples/microbench_training.py
+"""
+
+import random
+
+from repro.core import SpireModel
+from repro.core.sample import SampleSet
+from repro.counters import CollectionConfig, SampleCollector
+from repro.counters.events import default_catalog
+from repro.uarch import CoreModel, skylake_gold_6126
+from repro.workloads import microbenchmark_suite, workload_by_name
+
+
+def main() -> None:
+    machine = skylake_gold_6126()
+    core = CoreModel(machine)
+    collector = SampleCollector(machine, config=CollectionConfig())
+
+    print("collecting microbenchmark sweeps ...")
+    pooled = SampleSet()
+    for index, workload in enumerate(microbenchmark_suite(steps=12)):
+        specs = workload.specs(240, 20_000)
+        run = collector.collect(core, specs, rng=random.Random(100 + index))
+        pooled.extend(run.samples)
+        print(f"  {workload.name:<28} {len(run.samples):>6} samples")
+
+    model = SpireModel.train(pooled)
+    print(f"\ntrained: {model}")
+
+    target = workload_by_name("onnx")
+    print(f"\nanalyzing {target.label} with the microbenchmark-trained model:")
+    run = collector.collect(
+        core, target.specs(240, 20_000), rng=random.Random(7)
+    )
+    report = model.analyze(
+        run.samples,
+        workload=target.name,
+        top_k=8,
+        metric_areas=default_catalog().areas(),
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""What-if projection: which bottleneck fix buys the most speedup?
+
+After SPIRE ranks the likely bottlenecks, the model can answer the next
+question directly: transform the workload's samples as if metric ``x``
+fired ``f`` times less often, re-evaluate the ensemble, and read off the
+projected attainable throughput.  Improvements plateau once another
+metric binds — the optimization-guidance loop the paper's conclusion
+envisions for "processor research and development".
+
+Run:  python examples/whatif_optimization.py
+"""
+
+from repro.core import render_sweep, sensitivity_sweep
+from repro.counters.events import default_catalog
+from repro.pipeline import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    print("training the ensemble (reduced scale) ...")
+    result = run_experiment(ExperimentConfig(train_windows=400, test_windows=300))
+
+    workload = "onnx"
+    samples = result.testing_runs[workload].collection.samples
+    report = result.analyze(workload, top_k=5)
+    print(f"\n{workload}: measured IPC {report.measured_throughput:.2f}, "
+          f"bound {report.estimated_throughput:.2f}")
+    areas = default_catalog().areas()
+    for entry in report.top(5):
+        print(f"  {entry.estimate:7.3f}  {areas.get(entry.metric, '?'):<12} "
+              f"{entry.metric}")
+
+    print("\nwhat-if: reduce each top metric's event rate 2x / 4x:\n")
+    sweep = sensitivity_sweep(result.model, samples, factors=(2.0, 4.0), top_k=5)
+    print(render_sweep(sweep))
+
+    best = max(sweep, key=lambda r: r.projected_bound)
+    print(
+        f"\nbiggest win: {best.metric} x{best.factor:.0f} -> bound "
+        f"{best.projected_bound:.2f} ({best.projected_speedup:.2f}x), "
+        f"then {best.limiting_metric_after} binds"
+    )
+
+
+if __name__ == "__main__":
+    main()

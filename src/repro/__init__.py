@@ -1,0 +1,55 @@
+"""repro — a reproduction of SPIRE (DATE 2025).
+
+SPIRE (Statistical Piecewise Linear Roofline Ensemble) estimates the
+maximum throughput a workload can achieve on a processor from hardware
+performance counter samples, and infers likely microarchitectural
+bottlenecks by ranking the per-metric roofline estimates.
+
+Public entry points
+-------------------
+- :class:`repro.core.Sample`, :class:`repro.core.SampleSet` — input data
+- :class:`repro.core.SpireModel` — train / estimate / analyze
+- :mod:`repro.uarch` — the simulated CPU used as the evaluation substrate
+- :mod:`repro.counters` — PMU events, multiplexed collection, perf parsing
+- :mod:`repro.workloads` — the synthetic 27-workload evaluation suite
+- :mod:`repro.tma` — the Top-Down Microarchitecture Analysis baseline
+"""
+
+from repro.core import (
+    AnalysisReport,
+    EnsembleEstimate,
+    MetricEstimate,
+    MetricRoofline,
+    Sample,
+    SampleSet,
+    SpireModel,
+    TrainOptions,
+)
+from repro.errors import (
+    ConfigError,
+    DataError,
+    EstimationError,
+    FitError,
+    ParseError,
+    SpireError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "ConfigError",
+    "DataError",
+    "EnsembleEstimate",
+    "EstimationError",
+    "FitError",
+    "MetricEstimate",
+    "MetricRoofline",
+    "ParseError",
+    "Sample",
+    "SampleSet",
+    "SpireError",
+    "SpireModel",
+    "TrainOptions",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Comparison baselines: the classic roofline model and ML regressors."""
+
+from repro.baselines.classic_roofline import Ceiling, ClassicRoofline, RooflinePoint
+from repro.baselines.regression import (
+    GradientBoostingImportance,
+    RidgeImportance,
+    build_feature_matrix,
+)
+
+__all__ = [
+    "Ceiling",
+    "ClassicRoofline",
+    "GradientBoostingImportance",
+    "RidgeImportance",
+    "RooflinePoint",
+    "build_feature_matrix",
+]

@@ -1,0 +1,130 @@
+"""The classic roofline model (Williams et al. 2009; paper §II-A, Fig. 2).
+
+``P(I) = min(pi, beta * I)`` with optional additional ceilings for lower
+compute throughputs (e.g. scalar-only execution) and lower memory
+bandwidths (e.g. DRAM instead of cache).  This is both the conceptual
+baseline SPIRE generalizes and the generator for the Figure 2 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.uarch.config import MachineConfig
+
+KIND_COMPUTE = "compute"
+KIND_MEMORY = "memory"
+
+
+@dataclass(frozen=True, slots=True)
+class Ceiling:
+    """One additional ceiling below the model's maximum roofs."""
+
+    name: str
+    kind: str  # "compute" (flat) or "memory" (slope through the origin)
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_COMPUTE, KIND_MEMORY):
+            raise ConfigError(f"ceiling kind must be compute|memory, got {self.kind!r}")
+        if self.value <= 0:
+            raise ConfigError("ceiling value must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """A measured application: operational intensity and throughput."""
+
+    name: str
+    intensity: float
+    throughput: float
+
+
+class ClassicRoofline:
+    """A basic two-parameter roofline with optional extra ceilings."""
+
+    def __init__(self, pi: float, beta: float, ceilings: Sequence[Ceiling] = ()):
+        if pi <= 0 or beta <= 0:
+            raise ConfigError("pi and beta must be positive")
+        self.pi = pi
+        self.beta = beta
+        self.ceilings = tuple(ceilings)
+
+    def attainable(self, intensity: float, ceiling: Ceiling | None = None) -> float:
+        """``min(pi, beta * I)``, optionally under one extra ceiling."""
+        if intensity < 0:
+            raise ConfigError("operational intensity must be non-negative")
+        value = min(self.pi, self.beta * intensity)
+        if ceiling is not None:
+            if ceiling.kind == KIND_COMPUTE:
+                value = min(value, ceiling.value)
+            else:
+                value = min(value, ceiling.value * intensity)
+        return value
+
+    @property
+    def ridge_point(self) -> float:
+        """The intensity where the memory and compute roofs meet."""
+        return self.pi / self.beta
+
+    def classify(self, point: RooflinePoint) -> str:
+        """Label an application compute- or memory-bound (paper Fig. 2)."""
+        return "compute-bound" if point.intensity >= self.ridge_point else "memory-bound"
+
+    def binding_ceiling(self, point: RooflinePoint) -> str:
+        """The name of the lowest roof/ceiling still above the point."""
+        plain = self.attainable(point.intensity)
+        candidates: list[tuple[float, str]] = [(plain, "peak")]
+        for ceiling in self.ceilings:
+            capped = self.attainable(point.intensity, ceiling)
+            if capped < plain:  # only ceilings that actually bite
+                candidates.append((capped, ceiling.name))
+        above = [(v, name) for v, name in candidates if v >= point.throughput]
+        if not above:
+            # The measurement exceeds every roof: the model is inconsistent
+            # with the machine parameters.
+            raise ConfigError(
+                f"{point.name}: throughput {point.throughput} exceeds all roofs"
+            )
+        return min(above)[1]
+
+    def efficiency(self, point: RooflinePoint) -> float:
+        """Fraction of the attainable throughput the application achieved."""
+        bound = self.attainable(point.intensity)
+        return point.throughput / bound if bound > 0 else math.nan
+
+    def series(
+        self,
+        intensities: Sequence[float],
+        ceiling: Ceiling | None = None,
+    ) -> list[tuple[float, float]]:
+        """Sampled roofline curve for plotting."""
+        return [(i, self.attainable(i, ceiling)) for i in intensities]
+
+    @classmethod
+    def from_machine(
+        cls, machine: MachineConfig, flops_per_vector_op: int = 16
+    ) -> "ClassicRoofline":
+        """Derive a FLOP/s-vs-FLOP/byte roofline from a machine config.
+
+        Peak compute assumes two vector FMA pipes; the bandwidth roofs use
+        nominal DDR4-2666 six-channel numbers matching the paper's test
+        system, with an L3 roof above them.  Extra ceilings cover
+        scalar-only execution and DRAM-only traffic (paper Fig. 2).
+        """
+        ghz = machine.frequency_ghz
+        peak_flops = 2 * 2 * flops_per_vector_op * ghz * 1e9  # 2 pipes x FMA
+        scalar_flops = 2 * 2 * ghz * 1e9
+        l3_bandwidth = 64 * ghz * 1e9  # ~a cache line per cycle out of LLC
+        dram_bandwidth = 128e9  # 6-channel DDR4-2666
+        return cls(
+            pi=peak_flops,
+            beta=l3_bandwidth,
+            ceilings=(
+                Ceiling("scalar", KIND_COMPUTE, scalar_flops),
+                Ceiling("dram", KIND_MEMORY, dram_bandwidth),
+            ),
+        )

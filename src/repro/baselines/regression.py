@@ -1,0 +1,176 @@
+"""ML-importance baselines for counter analysis (paper §VI-B).
+
+The related work the paper contrasts with (CounterMiner's SGBRTs, Karami's
+linear regression) predicts performance from counter values and ranks
+counters by model importance.  The paper argues this *loses causal
+information*: a broad stall count predicts IPC extremely well, so the
+regressor leans on it and ignores the upstream cause events.
+
+Both baselines here operate on per-sample metric *rates* (``M_x / T``)
+assembled from an (un-multiplexed) sample set, predict throughput, and
+expose a ranked importance list, so the ablation benchmark can show the
+effect directly against SPIRE's per-metric rooflines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sample import SampleSet
+from repro.errors import DataError
+
+
+def build_feature_matrix(
+    samples: SampleSet,
+) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Pivot a sample set into (features, throughput, metric names).
+
+    Requires a rectangular collection: every metric sampled over the same
+    periods (use ``CollectionConfig(multiplex=False)``).  Rows are periods,
+    columns are metric rates ``M_x / T``; the target is the period's
+    throughput ``W / T``.
+    """
+    grouped = samples.grouped()
+    if not grouped:
+        raise DataError("no samples to build features from")
+    metrics = sorted(grouped)
+    lengths = {metric: len(group) for metric, group in grouped.items()}
+    n_rows = min(lengths.values())
+    if n_rows == 0:
+        raise DataError("a metric has zero samples")
+    if len(set(lengths.values())) != 1:
+        raise DataError(
+            "feature matrix needs a rectangular collection (one sample per "
+            f"metric per period); got counts {sorted(set(lengths.values()))}"
+        )
+    features = np.empty((n_rows, len(metrics)), dtype=float)
+    target = np.empty(n_rows, dtype=float)
+    for column, metric in enumerate(metrics):
+        group = grouped[metric]
+        for row, sample in enumerate(group):
+            features[row, column] = sample.metric_count / sample.time
+        if column == 0:
+            for row, sample in enumerate(group):
+                target[row] = sample.throughput
+    return features, target, metrics
+
+
+def _standardize(features: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0] = 1.0
+    return (features - mean) / std, mean, std
+
+
+@dataclass
+class ImportanceResult:
+    """Ranked counter importances from a fitted baseline."""
+
+    metrics: list[str]
+    importances: np.ndarray
+    r_squared: float
+
+    def ranked(self) -> list[tuple[str, float]]:
+        order = np.argsort(self.importances)[::-1]
+        return [(self.metrics[i], float(self.importances[i])) for i in order]
+
+    def top(self, count: int = 10) -> list[str]:
+        return [name for name, _ in self.ranked()[:count]]
+
+
+class RidgeImportance:
+    """Linear (ridge) regression importance, à la Karami et al. 2013."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise DataError("ridge alpha must be non-negative")
+        self.alpha = alpha
+
+    def fit(self, samples: SampleSet) -> ImportanceResult:
+        features, target, metrics = build_feature_matrix(samples)
+        standardized, _, _ = _standardize(features)
+        n_features = standardized.shape[1]
+        intercept = float(target.mean())
+        centered = target - intercept
+        gram = standardized.T @ standardized + self.alpha * np.eye(n_features)
+        coef = np.linalg.solve(gram, standardized.T @ centered)
+        predictions = standardized @ coef + intercept
+        residual = target - predictions
+        total = target - target.mean()
+        denom = float(total @ total)
+        r_squared = 1.0 - float(residual @ residual) / denom if denom > 0 else 0.0
+        return ImportanceResult(
+            metrics=metrics, importances=np.abs(coef), r_squared=r_squared
+        )
+
+
+class GradientBoostingImportance:
+    """Stump-based gradient boosting, à la CounterMiner's SGBRTs.
+
+    Depth-1 regression trees fitted to residuals; a feature's importance is
+    the total squared-error reduction of the splits that used it.
+    """
+
+    def __init__(
+        self, n_rounds: int = 60, learning_rate: float = 0.2, n_thresholds: int = 16
+    ):
+        if n_rounds < 1:
+            raise DataError("need at least one boosting round")
+        if not 0 < learning_rate <= 1:
+            raise DataError("learning rate must be in (0, 1]")
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.n_thresholds = n_thresholds
+
+    def _best_stump(
+        self, features: np.ndarray, residual: np.ndarray
+    ) -> tuple[int, float, float, float, float]:
+        """Return (feature, threshold, left value, right value, gain)."""
+        best = (-1, 0.0, 0.0, 0.0, 0.0)
+        base_error = float(residual @ residual)
+        for column in range(features.shape[1]):
+            values = features[:, column]
+            candidates = np.quantile(
+                values, np.linspace(0.1, 0.9, self.n_thresholds)
+            )
+            for threshold in np.unique(candidates):
+                left = values <= threshold
+                n_left = int(left.sum())
+                if n_left == 0 or n_left == len(values):
+                    continue
+                left_mean = float(residual[left].mean())
+                right_mean = float(residual[~left].mean())
+                error = float(
+                    ((residual[left] - left_mean) ** 2).sum()
+                    + ((residual[~left] - right_mean) ** 2).sum()
+                )
+                gain = base_error - error
+                if gain > best[4]:
+                    best = (column, float(threshold), left_mean, right_mean, gain)
+        return best
+
+    def fit(self, samples: SampleSet) -> ImportanceResult:
+        features, target, metrics = build_feature_matrix(samples)
+        importances = np.zeros(features.shape[1])
+        prediction = np.full_like(target, float(target.mean()))
+        for _ in range(self.n_rounds):
+            residual = target - prediction
+            column, threshold, left_value, right_value, gain = self._best_stump(
+                features, residual
+            )
+            if column < 0 or gain <= 0:
+                break
+            importances[column] += gain
+            mask = features[:, column] <= threshold
+            prediction = prediction + self.learning_rate * np.where(
+                mask, left_value, right_value
+            )
+        residual = target - prediction
+        total = target - target.mean()
+        denom = float(total @ total)
+        r_squared = 1.0 - float(residual @ residual) / denom if denom > 0 else 0.0
+        return ImportanceResult(
+            metrics=metrics, importances=importances, r_squared=r_squared
+        )

@@ -1,0 +1,369 @@
+"""Command-line interface: ``spire <subcommand>``.
+
+Subcommands mirror the paper's workflow:
+
+- ``simulate``  — run a suite workload on the simulated CPU and dump the
+  multiplexed counter samples to CSV;
+- ``train``     — fit a SPIRE ensemble from sample CSVs;
+- ``analyze``   — rank bottleneck metrics for a workload's samples;
+- ``tma``       — run the Top-Down baseline on a suite workload;
+- ``parse-perf``— convert real ``perf stat -x,`` output into sample CSV;
+- ``plot``      — render a trained metric roofline (SVG or terminal);
+- ``workloads`` — list the evaluation suite;
+- ``report``    — run the paper's full evaluation (optionally archived);
+- ``coverage``  — §III-A training-data diversity check;
+- ``derived``   — standard counter ratios (IPC, MPKI, DSB coverage, ...);
+- ``whatif``    — projected speedups from improving top metrics;
+- ``trace``     — run a kernel on the trace-driven second substrate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import SpireModel
+from repro.counters import parse_perf_stat
+from repro.counters.events import default_catalog
+from repro.errors import SpireError
+from repro.io import (
+    load_model,
+    load_samples_csv,
+    save_model,
+    save_samples_csv,
+)
+from repro.pipeline import ExperimentConfig, quick_workload_run
+from repro.viz import ascii_roofline, render_roofline_svg
+from repro.workloads import all_workloads
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    print(f"{'name':<26} {'role':<9} {'expected bottleneck':<17} configuration")
+    for workload in all_workloads():
+        print(
+            f"{workload.name:<26} {workload.role:<9} "
+            f"{workload.expected_bottleneck:<17} {workload.configuration}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(seed=args.seed, multiplex=not args.no_multiplex)
+    run = quick_workload_run(args.workload, n_windows=args.windows, config=config)
+    save_samples_csv(run.collection.samples, args.out)
+    print(
+        f"{args.workload}: {len(run.collection.samples)} samples over "
+        f"{run.collection.periods} periods -> {args.out}"
+    )
+    print(f"measured IPC {run.measured_ipc:.3f}; TMA says {run.table1_category}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.sample import SampleSet
+
+    pooled = SampleSet()
+    for path in args.data:
+        pooled.extend(load_samples_csv(path))
+    model = SpireModel.train(pooled)
+    save_model(model, args.model)
+    print(
+        f"trained {len(model)} rooflines from {len(pooled)} samples -> {args.model}"
+    )
+    from repro.core import coverage_report
+
+    warnings = coverage_report(
+        pooled, min_samples=args.min_samples, min_decades=args.min_decades
+    ).warnings()
+    if warnings:
+        print(f"\n{len(warnings)} training-coverage warning(s) (paper §III-A):")
+        for warning in warnings[:12]:
+            print(f"  - {warning}")
+        if len(warnings) > 12:
+            print(f"  ... and {len(warnings) - 12} more (see `spire coverage`)")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.core import coverage_report
+
+    samples = load_samples_csv(args.data)
+    report = coverage_report(
+        samples, min_samples=args.min_samples, min_decades=args.min_decades
+    )
+    print(report.render(args.top))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    samples = load_samples_csv(args.data)
+    report = model.analyze(
+        samples,
+        workload=Path(args.data).stem,
+        top_k=args.top,
+        metric_areas=default_catalog().areas(),
+    )
+    print(report.render())
+    pool = report.bottleneck_pool(args.slack)
+    print(f"\nbottleneck pool (within {100 * args.slack:.0f}% of the minimum):")
+    for entry in pool:
+        print(f"  {entry.estimate:8.3f}  {entry.metric}")
+    return 0
+
+
+def _cmd_tma(args: argparse.Namespace) -> int:
+    from repro.counters import render_derived
+    from repro.tma import drilldown
+
+    run = quick_workload_run(args.workload, n_windows=args.windows)
+    result = run.tma
+    print(f"{args.workload}: IPC {result.ipc:.3f}")
+    print(result.render())
+    print(f"\nmain bottleneck: {result.main_bottleneck()}")
+    print("\ndrilldown:")
+    print(drilldown(result).render())
+    print("\nderived metrics:")
+    print(render_derived(run.collection.full_counts))
+    return 0
+
+
+def _cmd_derived(args: argparse.Namespace) -> int:
+    from repro.counters import render_derived
+    from repro.pipeline import quick_workload_run
+
+    run = quick_workload_run(args.workload, n_windows=args.windows)
+    print(f"{args.workload}: derived metrics over {args.windows} windows")
+    print(render_derived(run.collection.full_counts))
+    return 0
+
+
+def _cmd_parse_perf(args: argparse.Namespace) -> int:
+    text = Path(args.input).read_text(encoding="utf-8")
+    samples = parse_perf_stat(
+        text, work_event=args.work_event, time_event=args.time_event
+    )
+    save_samples_csv(samples, args.out)
+    print(
+        f"parsed {len(samples)} samples over {len(samples.metrics())} metrics "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    roofline = model.roofline(args.metric)
+    if args.out:
+        # Serialized models carry no training samples; the SVG then shows
+        # only the fitted function.
+        path = render_roofline_svg(roofline, args.out)
+        print(f"wrote {path}")
+    else:
+        if roofline.training_points:
+            print(ascii_roofline(roofline))
+        else:
+            print(f"{args.metric}: breakpoints")
+            for bp in roofline.function.breakpoints:
+                print(f"  I={bp.x:12.4g}  P={bp.y:8.4g}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.pipeline import run_experiment
+
+    config = ExperimentConfig(
+        train_windows=args.train_windows,
+        test_windows=args.test_windows,
+        seed=args.seed,
+    )
+    print(
+        f"running the full evaluation: 23 training + 4 testing workloads "
+        f"({config.train_windows}/{config.test_windows} windows) ..."
+    )
+    result = run_experiment(config)
+    print(f"trained {len(result.model)} rooflines\n")
+    matches = 0
+    for name, run in result.testing_runs.items():
+        report = result.analyze(name, top_k=args.top)
+        top1_area = report.area_of(report.top(1)[0].metric)
+        tma = run.table1_category
+        match = tma in (top1_area, report.dominant_area(args.top))
+        matches += match
+        print(
+            f"{name:<24} IPC {report.measured_throughput:5.2f}  "
+            f"TMA {tma:<16} SPIRE #1 {top1_area:<16} "
+            f"{'agree' if match else 'differ'}"
+        )
+        for entry in report.top(args.top):
+            print(f"    {entry.estimate:7.3f}  {report.area_of(entry.metric):<16} "
+                  f"{entry.metric}")
+    print(f"\nagreement: {matches}/{len(result.testing_runs)} test workloads")
+    if args.archive:
+        from repro.io.experiment import archive_pipeline_result
+
+        directory = archive_pipeline_result(args.archive, result)
+        print(f"archived model + samples to {directory}")
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.core import render_sweep, sensitivity_sweep
+
+    model = load_model(args.model)
+    samples = load_samples_csv(args.data)
+    factors = tuple(float(f) for f in args.factors.split(","))
+    sweep = sensitivity_sweep(model, samples, factors=factors, top_k=args.top)
+    print(render_sweep(sweep))
+    best = max(sweep, key=lambda r: r.projected_bound)
+    print(
+        f"\nbiggest projected win: {best.metric} x{best.factor:g} -> "
+        f"{best.projected_speedup:.2f}x (then {best.limiting_metric_after} binds)"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import TRACE_EVENT_AREAS, collect_trace_samples
+
+    run = collect_trace_samples(
+        args.kernel,
+        n_uops=args.uops,
+        window_uops=args.window,
+        intensities=tuple(float(i) for i in args.intensities.split(",")),
+        seed=args.seed,
+    )
+    print(
+        f"{args.kernel}: {run.instructions} uops in {run.cycles} cycles "
+        f"(IPC {run.ipc:.3f}); {len(run.samples)} samples"
+    )
+    if args.out:
+        save_samples_csv(run.samples, args.out)
+        print(f"wrote {args.out}")
+    if args.model:
+        model = load_model(args.model)
+        report = model.analyze(
+            run.samples,
+            workload=args.kernel,
+            top_k=args.top,
+            metric_areas=dict(TRACE_EVENT_AREAS),
+        )
+        print()
+        print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spire",
+        description="SPIRE: infer hardware bottlenecks from performance counters",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list the evaluation suite")
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("simulate", help="collect counter samples for a workload")
+    p.add_argument("workload")
+    p.add_argument("--out", default="samples.csv")
+    p.add_argument("--windows", type=int, default=600)
+    p.add_argument("--seed", type=int, default=2025)
+    p.add_argument("--no-multiplex", action="store_true")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("train", help="train an ensemble from sample CSVs")
+    p.add_argument("data", nargs="+")
+    p.add_argument("--model", default="spire-model.json")
+    p.add_argument("--min-samples", type=int, default=50)
+    p.add_argument("--min-decades", type=float, default=1.0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "coverage", help="assess a sample set's training coverage (§III-A)"
+    )
+    p.add_argument("--data", required=True)
+    p.add_argument("--min-samples", type=int, default=50)
+    p.add_argument("--min-decades", type=float, default=1.0)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("analyze", help="rank bottleneck metrics for a workload")
+    p.add_argument("--model", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--slack", type=float, default=0.15)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("tma", help="Top-Down baseline for a suite workload")
+    p.add_argument("workload")
+    p.add_argument("--windows", type=int, default=300)
+    p.set_defaults(func=_cmd_tma)
+
+    p = sub.add_parser(
+        "report", help="run the paper's full evaluation and print agreement"
+    )
+    p.add_argument("--train-windows", type=int, default=600)
+    p.add_argument("--test-windows", type=int, default=300)
+    p.add_argument("--seed", type=int, default=2025)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--archive", default="", help="directory to archive the run")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "derived", help="standard counter ratios (IPC, MPKI, ...) for a workload"
+    )
+    p.add_argument("workload")
+    p.add_argument("--windows", type=int, default=200)
+    p.set_defaults(func=_cmd_derived)
+
+    p = sub.add_parser("parse-perf", help="convert perf stat -x, output to CSV")
+    p.add_argument("input")
+    p.add_argument("--out", default="perf-samples.csv")
+    p.add_argument("--work-event", default="instructions")
+    p.add_argument("--time-event", default="cycles")
+    p.set_defaults(func=_cmd_parse_perf)
+
+    p = sub.add_parser(
+        "whatif", help="project speedups from improving top metrics"
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--factors", default="2,4")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=_cmd_whatif)
+
+    p = sub.add_parser(
+        "trace", help="run a trace-pipeline kernel and collect samples"
+    )
+    p.add_argument("kernel")
+    p.add_argument("--uops", type=int, default=30_000)
+    p.add_argument("--window", type=int, default=2_500)
+    p.add_argument("--intensities", default="0.1,0.3,0.5,0.7,0.9")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="")
+    p.add_argument("--model", default="", help="analyze with a trained model")
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("plot", help="plot a trained metric roofline")
+    p.add_argument("--model", required=True)
+    p.add_argument("--metric", required=True)
+    p.add_argument("--out", default="", help="SVG path; omit for a terminal plot")
+    p.set_defaults(func=_cmd_plot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SpireError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""SPIRE's core model: samples, per-metric rooflines, and the ensemble."""
+
+from repro.core.aggregation import (
+    AGGREGATORS,
+    aggregator_by_name,
+    kth_smallest_aggregator,
+    mean_aggregator,
+    min_aggregator,
+    softmin_aggregator,
+)
+from repro.core.analysis import (
+    AnalysisReport,
+    MetricEstimate,
+    rank_agreement,
+    summarize_agreement,
+)
+from repro.core.compare import (
+    MetricComparison,
+    compare_models,
+    render_comparison,
+)
+from repro.core.coverage import CoverageReport, MetricCoverage, coverage_report
+from repro.core.direction import (
+    MIXED,
+    NEGATIVE_METRIC,
+    POSITIVE_METRIC,
+    detect_direction,
+    spearman,
+)
+from repro.core.ensemble import (
+    EnsembleEstimate,
+    SpireModel,
+    TrainOptions,
+    mean_absolute_bound_violation,
+)
+from repro.core.uncertainty import (
+    BootstrapResult,
+    MetricInterval,
+    bootstrap_estimates,
+)
+from repro.core.whatif import (
+    WhatIfResult,
+    improve_metric,
+    project_improvement,
+    render_sweep,
+    sensitivity_sweep,
+)
+from repro.core.validation import (
+    CrossValidationReport,
+    FoldReport,
+    cross_validate,
+    rank_stability,
+)
+from repro.core.left_fit import fit_left_region
+from repro.core.phases import PhaseEstimate, PhaseProfile, phase_profile
+from repro.core.synthetic import (
+    ground_truth_error,
+    negative_metric_curve,
+    plateau_curve,
+    positive_metric_curve,
+    synthetic_samples,
+)
+from repro.core.right_fit import RightFitOptions, RightFitResult, fit_right_region
+from repro.core.roofline import (
+    MetricRoofline,
+    RooflineFitOptions,
+    fit_metric_roofline,
+)
+from repro.core.sample import Sample, SampleSet, time_weighted_average
+
+__all__ = [
+    "MIXED",
+    "NEGATIVE_METRIC",
+    "POSITIVE_METRIC",
+    "AGGREGATORS",
+    "AnalysisReport",
+    "aggregator_by_name",
+    "kth_smallest_aggregator",
+    "mean_aggregator",
+    "min_aggregator",
+    "softmin_aggregator",
+    "BootstrapResult",
+    "CoverageReport",
+    "CrossValidationReport",
+    "MetricCoverage",
+    "coverage_report",
+    "FoldReport",
+    "MetricInterval",
+    "MetricComparison",
+    "PhaseEstimate",
+    "PhaseProfile",
+    "phase_profile",
+    "ground_truth_error",
+    "negative_metric_curve",
+    "plateau_curve",
+    "positive_metric_curve",
+    "synthetic_samples",
+    "WhatIfResult",
+    "bootstrap_estimates",
+    "compare_models",
+    "improve_metric",
+    "project_improvement",
+    "render_comparison",
+    "render_sweep",
+    "sensitivity_sweep",
+    "cross_validate",
+    "detect_direction",
+    "rank_stability",
+    "spearman",
+    "EnsembleEstimate",
+    "MetricEstimate",
+    "MetricRoofline",
+    "RightFitOptions",
+    "RightFitResult",
+    "RooflineFitOptions",
+    "Sample",
+    "SampleSet",
+    "SpireModel",
+    "TrainOptions",
+    "fit_left_region",
+    "fit_metric_roofline",
+    "fit_right_region",
+    "mean_absolute_bound_violation",
+    "rank_agreement",
+    "summarize_agreement",
+    "time_weighted_average",
+]

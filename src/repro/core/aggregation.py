@@ -1,0 +1,99 @@
+"""Ensemble aggregation strategies.
+
+The paper aggregates per-metric averages with a hard minimum (Fig. 4):
+the most pessimistic roofline wins.  That is the right choice for an
+attainable-throughput *bound*, but studying alternatives quantifies why
+(DESIGN.md ablation 3):
+
+- ``min``      — the paper's rule;
+- ``softmin``  — temperature-weighted log-sum-exp; approaches ``min`` as
+  the temperature drops, and smooths estimation noise among
+  nearly-tied metrics at higher temperatures;
+- ``kth``      — the k-th smallest average: robust to a single broken
+  roofline at the cost of optimism;
+- ``mean``     — the degenerate baseline (most metrics are not the
+  bottleneck, so the mean wildly over-estimates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+from repro.errors import EstimationError
+
+Aggregator = Callable[[Mapping[str, float]], float]
+
+
+def min_aggregator(per_metric: Mapping[str, float]) -> float:
+    """The paper's rule: the lowest per-metric average."""
+    if not per_metric:
+        raise EstimationError("nothing to aggregate")
+    return min(per_metric.values())
+
+
+def mean_aggregator(per_metric: Mapping[str, float]) -> float:
+    """Plain mean of the per-metric averages (for contrast only)."""
+    if not per_metric:
+        raise EstimationError("nothing to aggregate")
+    return sum(per_metric.values()) / len(per_metric)
+
+
+def softmin_aggregator(temperature: float = 0.1) -> Aggregator:
+    """A smooth minimum: ``-T * log(mean(exp(-v / T)))``.
+
+    ``temperature -> 0`` recovers the hard minimum; larger temperatures
+    blend nearly-tied metrics, reducing the variance the paper attributes
+    to measurement noise at the cost of a slightly higher (less tight)
+    bound.
+    """
+    if temperature <= 0:
+        raise EstimationError("softmin temperature must be positive")
+
+    def aggregate(per_metric: Mapping[str, float]) -> float:
+        if not per_metric:
+            raise EstimationError("nothing to aggregate")
+        values = list(per_metric.values())
+        floor = min(values)
+        # Shift for numerical stability; exp arguments are <= 0.
+        total = sum(math.exp(-(v - floor) / temperature) for v in values)
+        return floor - temperature * math.log(total / len(values))
+
+    return aggregate
+
+
+def kth_smallest_aggregator(k: int = 2) -> Aggregator:
+    """The k-th smallest per-metric average (k=1 is the hard minimum).
+
+    Robust to one defective roofline — e.g. a metric trained on too few
+    samples whose bound collapsed — at the cost of ignoring the true
+    bottleneck when it genuinely is the single lowest metric.
+    """
+    if k < 1:
+        raise EstimationError("k must be at least 1")
+
+    def aggregate(per_metric: Mapping[str, float]) -> float:
+        if not per_metric:
+            raise EstimationError("nothing to aggregate")
+        ordered = sorted(per_metric.values())
+        return ordered[min(k, len(ordered)) - 1]
+
+    return aggregate
+
+
+AGGREGATORS: dict[str, Aggregator] = {
+    "min": min_aggregator,
+    "mean": mean_aggregator,
+    "softmin": softmin_aggregator(),
+    "second-smallest": kth_smallest_aggregator(2),
+}
+
+
+def aggregator_by_name(name: str) -> Aggregator:
+    """Look up a stock aggregator."""
+    try:
+        return AGGREGATORS[name]
+    except KeyError:
+        raise EstimationError(
+            f"unknown aggregator {name!r}; options: {sorted(AGGREGATORS)}"
+        ) from None

@@ -1,0 +1,113 @@
+"""Comparing SPIRE models across machines or training regimes.
+
+The paper's motivation includes microarchitectural *diversity*: "knowledge
+gained while studying one [processor] may not transfer to the other".
+Two trained ensembles make that concrete — the same metric's roofline on
+two machines shows where their sensitivities differ.  This module aligns
+two models metric-by-metric and summarizes how their bounds relate over a
+shared intensity grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ensemble import SpireModel
+
+
+@dataclass(frozen=True, slots=True)
+class MetricComparison:
+    """One metric's roofline compared between two models."""
+
+    metric: str
+    mean_ratio: float      # geometric mean of bound_b / bound_a on the grid
+    max_ratio: float
+    min_ratio: float
+    apex_a: float
+    apex_b: float
+
+    @property
+    def b_is_more_sensitive(self) -> bool:
+        """Model B bounds lower on average: the metric costs B more."""
+        return self.mean_ratio < 1.0
+
+
+def _grid(roofline_a, roofline_b, points: int) -> list[float]:
+    xs = [bp.x for bp in roofline_a.function.breakpoints] + [
+        bp.x for bp in roofline_b.function.breakpoints
+    ]
+    xs = sorted({x for x in xs if x > 0 and math.isfinite(x)})
+    if not xs:
+        return [1.0]
+    lo, hi = xs[0], xs[-1]
+    if lo == hi:
+        return [lo]
+    ratio = (hi / lo) ** (1.0 / max(1, points - 1))
+    return [lo * ratio**i for i in range(points)]
+
+
+def compare_models(
+    model_a: "SpireModel",
+    model_b: "SpireModel",
+    grid_points: int = 32,
+) -> list[MetricComparison]:
+    """Per-metric comparison over the metrics both models trained.
+
+    Ratios are ``bound_b / bound_a`` evaluated on a shared log-spaced
+    intensity grid spanning both rooflines' breakpoints; results sort by
+    how much more sensitive model B is (lowest mean ratio first).
+    """
+    shared = sorted(set(model_a.metrics) & set(model_b.metrics))
+    if not shared:
+        raise EstimationError("the models share no metrics")
+
+    comparisons = []
+    for metric in shared:
+        roofline_a = model_a.roofline(metric)
+        roofline_b = model_b.roofline(metric)
+        ratios = []
+        for x in _grid(roofline_a, roofline_b, grid_points):
+            a = roofline_a.estimate(x)
+            b = roofline_b.estimate(x)
+            if a > 0 and b > 0:
+                ratios.append(b / a)
+        if not ratios:
+            continue
+        log_mean = sum(math.log(r) for r in ratios) / len(ratios)
+        comparisons.append(
+            MetricComparison(
+                metric=metric,
+                mean_ratio=math.exp(log_mean),
+                max_ratio=max(ratios),
+                min_ratio=min(ratios),
+                apex_a=roofline_a.apex.y,
+                apex_b=roofline_b.apex.y,
+            )
+        )
+    if not comparisons:
+        raise EstimationError("no comparable rooflines (all-zero bounds)")
+    comparisons.sort(key=lambda c: c.mean_ratio)
+    return comparisons
+
+
+def render_comparison(
+    comparisons: list[MetricComparison], label_a: str = "A", label_b: str = "B",
+    count: int = 15,
+) -> str:
+    lines = [
+        f"roofline bounds of {label_b} relative to {label_a} "
+        f"(mean ratio < 1: {label_b} is more sensitive)",
+        f"{'mean':>6} {'min':>6} {'max':>6}  {'apex ' + label_a:>8} "
+        f"{'apex ' + label_b:>8}  metric",
+    ]
+    for c in comparisons[:count]:
+        lines.append(
+            f"{c.mean_ratio:>6.2f} {c.min_ratio:>6.2f} {c.max_ratio:>6.2f}  "
+            f"{c.apex_a:>8.2f} {c.apex_b:>8.2f}  {c.metric}"
+        )
+    return "\n".join(lines)

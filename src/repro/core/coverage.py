@@ -1,0 +1,142 @@
+"""Training-data coverage diagnostics (paper §III-A).
+
+    "While collecting training data, the goal is to gather samples that
+    maximize performance over a wide range of operational intensities for
+    each metric."
+
+Before trusting a trained ensemble, check whether the training data
+actually had that property.  For each metric this module reports how many
+samples were collected, how many decades of operational intensity they
+span, how close the best sample comes to the machine's plausible peak, and
+flags metrics whose rooflines rest on thin evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.sample import SampleSet
+from repro.errors import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class MetricCoverage:
+    """Coverage statistics for one metric's training samples."""
+
+    metric: str
+    sample_count: int
+    infinite_count: int
+    intensity_decades: float    # log10 span of finite intensities
+    min_intensity: float
+    max_intensity: float
+    peak_throughput: float
+    median_throughput: float
+
+    @property
+    def finite_count(self) -> int:
+        return self.sample_count - self.infinite_count
+
+
+@dataclass
+class CoverageReport:
+    """Coverage across all metrics, with §III-A-style warnings."""
+
+    metrics: list[MetricCoverage]
+    min_samples: int = 50
+    min_decades: float = 1.0
+
+    def for_metric(self, metric: str) -> MetricCoverage:
+        for entry in self.metrics:
+            if entry.metric == metric:
+                return entry
+        raise DataError(f"no coverage entry for metric {metric!r}")
+
+    def warnings(self) -> list[str]:
+        """Human-readable coverage complaints, one per problem."""
+        problems = []
+        for entry in self.metrics:
+            if entry.sample_count < self.min_samples:
+                problems.append(
+                    f"{entry.metric}: only {entry.sample_count} samples "
+                    f"(< {self.min_samples})"
+                )
+            if entry.finite_count == 0:
+                problems.append(
+                    f"{entry.metric}: never fired — the roofline is a "
+                    f"constant guess"
+                )
+            elif entry.intensity_decades < self.min_decades:
+                problems.append(
+                    f"{entry.metric}: intensities span only "
+                    f"{entry.intensity_decades:.2f} decades "
+                    f"(< {self.min_decades:.1f})"
+                )
+        return problems
+
+    @property
+    def is_adequate(self) -> bool:
+        return not self.warnings()
+
+    def render(self, count: int | None = None) -> str:
+        lines = [
+            f"{'samples':>8} {'inf':>5} {'decades':>8} {'peak P':>7}  metric",
+        ]
+        shown = self.metrics if count is None else self.metrics[:count]
+        for entry in shown:
+            lines.append(
+                f"{entry.sample_count:>8} {entry.infinite_count:>5} "
+                f"{entry.intensity_decades:>8.2f} {entry.peak_throughput:>7.2f}  "
+                f"{entry.metric}"
+            )
+        problems = self.warnings()
+        if problems:
+            lines.append(f"{len(problems)} coverage warning(s):")
+            lines.extend(f"  - {p}" for p in problems)
+        else:
+            lines.append("coverage adequate for every metric")
+        return "\n".join(lines)
+
+
+def coverage_report(
+    samples: SampleSet,
+    metrics: Iterable[str] | None = None,
+    min_samples: int = 50,
+    min_decades: float = 1.0,
+) -> CoverageReport:
+    """Assess intensity coverage of a training sample set."""
+    grouped = samples.grouped()
+    if metrics is not None:
+        wanted = set(metrics)
+        grouped = {m: g for m, g in grouped.items() if m in wanted}
+    if not grouped:
+        raise DataError("no metrics to assess coverage for")
+
+    entries = []
+    for metric, group in sorted(grouped.items()):
+        finite = [s.intensity for s in group if s.has_finite_intensity]
+        throughputs = sorted(s.throughput for s in group)
+        positive = [i for i in finite if i > 0]
+        if positive:
+            decades = math.log10(max(positive)) - math.log10(min(positive))
+            lo, hi = min(positive), max(positive)
+        else:
+            decades, lo, hi = 0.0, math.nan, math.nan
+        entries.append(
+            MetricCoverage(
+                metric=metric,
+                sample_count=len(group),
+                infinite_count=len(group) - len(finite),
+                intensity_decades=decades,
+                min_intensity=lo,
+                max_intensity=hi,
+                peak_throughput=throughputs[-1],
+                median_throughput=throughputs[len(throughputs) // 2],
+            )
+        )
+    # Thinnest coverage first so problems surface at the top.
+    entries.sort(key=lambda e: (e.intensity_decades, e.sample_count))
+    return CoverageReport(
+        metrics=entries, min_samples=min_samples, min_decades=min_decades
+    )

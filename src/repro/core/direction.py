@@ -1,0 +1,81 @@
+"""Metric-direction detection (the robustness improvement §V calls for).
+
+The paper's fitting algorithm decides which intensities are "left"
+(metric negatively associated with performance) and "right" (positively
+associated) purely from the highest-throughput sample.  §V observes the
+consequence: for BP.1 the right fitting algorithm "kicked in" past the
+apex and inaccurately pulled the bound down, and notes that "our method
+for detecting positive and negative metrics can be more robust".
+
+This module provides that more-robust detector: a rank (Spearman)
+correlation between operational intensity and throughput across the
+training samples.  A strongly positive trend marks a *negative* metric
+(more work per harmful event → more throughput) whose roofline should
+stay flat past the apex instead of decreasing; a strongly negative trend
+marks a *positive* metric; anything in between falls back to the paper's
+apex-split behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+NEGATIVE_METRIC = "negative"   # throughput increases with I_x (e.g. stalls)
+POSITIVE_METRIC = "positive"   # throughput decreases with I_x (e.g. DSB hits)
+MIXED = "mixed"                # no clear monotone trend
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Average ranks (ties share the mean rank)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (0 when degenerate)."""
+    if len(xs) != len(ys):
+        raise ValueError("length mismatch")
+    n = len(xs)
+    if n < 3:
+        return 0.0
+    rank_x = _ranks(xs)
+    rank_y = _ranks(ys)
+    mean = (n + 1) / 2.0
+    num = sum((rx - mean) * (ry - mean) for rx, ry in zip(rank_x, rank_y))
+    var_x = sum((rx - mean) ** 2 for rx in rank_x)
+    var_y = sum((ry - mean) ** 2 for ry in rank_y)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return num / math.sqrt(var_x * var_y)
+
+
+def detect_direction(
+    points: Sequence[tuple[float, float]],
+    threshold: float = 0.4,
+) -> str:
+    """Classify a metric from its finite ``(I_x, P)`` training samples.
+
+    Returns :data:`NEGATIVE_METRIC`, :data:`POSITIVE_METRIC`, or
+    :data:`MIXED`.  ``threshold`` is the absolute Spearman correlation
+    required to commit to a monotone direction.
+    """
+    finite = [(x, y) for x, y in points if math.isfinite(x)]
+    if len(finite) < 3:
+        return MIXED
+    correlation = spearman([x for x, _ in finite], [y for _, y in finite])
+    if correlation >= threshold:
+        return NEGATIVE_METRIC
+    if correlation <= -threshold:
+        return POSITIVE_METRIC
+    return MIXED

@@ -1,0 +1,277 @@
+"""The SPIRE ensemble model (paper §III-C, Figures 3 and 4).
+
+Training groups samples by performance metric and fits one independent
+roofline per group.  Estimation evaluates each roofline on its metric's
+samples, merges per-sample estimates with a time-weighted average (Eq. 1),
+and reports the minimum per-metric average as the ensemble-wide maximum
+throughput.  Ranking the per-metric averages from lowest upward is SPIRE's
+bottleneck analysis.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.analysis import AnalysisReport, MetricEstimate
+from repro.core.roofline import MetricRoofline, RooflineFitOptions, fit_metric_roofline
+from repro.core.sample import Sample, SampleSet
+from repro.errors import EstimationError, FitError
+
+
+@dataclass(frozen=True, slots=True)
+class TrainOptions:
+    """Ensemble-level training options."""
+
+    roofline: RooflineFitOptions = field(default_factory=RooflineFitOptions)
+    min_samples_per_metric: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_samples_per_metric < 1:
+            raise FitError("min_samples_per_metric must be at least 1")
+
+
+@dataclass
+class EnsembleEstimate:
+    """The outcome of one ensemble estimation pass (Figure 4)."""
+
+    per_metric: dict[str, float]
+    sample_counts: dict[str, int]
+    skipped_metrics: list[str] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Ensemble-wide maximum-throughput estimate: the per-metric minimum."""
+        if not self.per_metric:
+            raise EstimationError("estimate produced no per-metric values")
+        return min(self.per_metric.values())
+
+    @property
+    def limiting_metric(self) -> str:
+        """The metric whose roofline produced the minimum estimate."""
+        if not self.per_metric:
+            raise EstimationError("estimate produced no per-metric values")
+        return min(self.per_metric, key=lambda metric: self.per_metric[metric])
+
+    def aggregate(self, aggregator) -> float:
+        """Apply an alternative aggregation strategy (see
+        :mod:`repro.core.aggregation`) to the per-metric averages."""
+        return aggregator(self.per_metric)
+
+    def ranked(self) -> list[MetricEstimate]:
+        """Per-metric estimates sorted from most to least limiting."""
+        return sorted(
+            (
+                MetricEstimate(
+                    metric=metric,
+                    estimate=value,
+                    sample_count=self.sample_counts.get(metric, 0),
+                )
+                for metric, value in self.per_metric.items()
+            ),
+            key=lambda e: (e.estimate, e.metric),
+        )
+
+
+class SpireModel:
+    """A Statistical Piecewise Linear Roofline Ensemble.
+
+    Parameters
+    ----------
+    rooflines:
+        Mapping of metric name to its trained roofline.
+    work_unit, time_unit:
+        Unit labels carried along for reporting (e.g. ``"instructions"``
+        and ``"cycles"`` make throughput an IPC).
+    """
+
+    def __init__(
+        self,
+        rooflines: Mapping[str, MetricRoofline],
+        work_unit: str = "instructions",
+        time_unit: str = "cycles",
+    ):
+        for metric, roofline in rooflines.items():
+            if roofline.metric != metric:
+                raise FitError(
+                    f"roofline for key {metric!r} reports metric "
+                    f"{roofline.metric!r}"
+                )
+        self._rooflines = dict(rooflines)
+        self.work_unit = work_unit
+        self.time_unit = time_unit
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        samples: SampleSet | Iterable[Sample],
+        options: TrainOptions | None = None,
+        work_unit: str = "instructions",
+        time_unit: str = "cycles",
+    ) -> "SpireModel":
+        """Train an ensemble from a sample set (Figure 3).
+
+        Metrics with fewer than ``options.min_samples_per_metric`` samples
+        are skipped; the trained model records nothing about them.
+        """
+        opts = options or TrainOptions()
+        sample_set = samples if isinstance(samples, SampleSet) else SampleSet(samples)
+        if not sample_set:
+            raise FitError("cannot train a SPIRE model on an empty sample set")
+
+        rooflines: dict[str, MetricRoofline] = {}
+        for metric, group in sample_set.grouped().items():
+            if len(group) < opts.min_samples_per_metric:
+                continue
+            rooflines[metric] = fit_metric_roofline(group, options=opts.roofline)
+        if not rooflines:
+            raise FitError(
+                "no metric reached min_samples_per_metric="
+                f"{opts.min_samples_per_metric}"
+            )
+        return cls(rooflines, work_unit=work_unit, time_unit=time_unit)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> list[str]:
+        """Metric names covered by this ensemble, sorted."""
+        return sorted(self._rooflines)
+
+    def __len__(self) -> int:
+        return len(self._rooflines)
+
+    def __contains__(self, metric: str) -> bool:
+        return metric in self._rooflines
+
+    def __repr__(self) -> str:
+        return (
+            f"SpireModel({len(self)} rooflines, throughput in "
+            f"{self.work_unit}/{self.time_unit})"
+        )
+
+    def roofline(self, metric: str) -> MetricRoofline:
+        """The trained roofline for ``metric``."""
+        try:
+            return self._rooflines[metric]
+        except KeyError:
+            raise EstimationError(f"model has no roofline for metric {metric!r}") from None
+
+    # ------------------------------------------------------------------
+    # Estimation and analysis
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        samples: SampleSet | Iterable[Sample],
+        strict: bool = False,
+    ) -> EnsembleEstimate:
+        """Estimate a workload's maximum throughput (Figure 4).
+
+        Samples of metrics absent from the ensemble are skipped (collected
+        in ``skipped_metrics``) unless ``strict`` is set, in which case
+        they raise :class:`EstimationError`.
+        """
+        sample_set = samples if isinstance(samples, SampleSet) else SampleSet(samples)
+        if not sample_set:
+            raise EstimationError("cannot estimate from an empty sample set")
+
+        per_metric: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        skipped: list[str] = []
+        for metric, group in sample_set.grouped().items():
+            roofline = self._rooflines.get(metric)
+            if roofline is None:
+                if strict:
+                    raise EstimationError(
+                        f"model has no roofline for metric {metric!r}"
+                    )
+                skipped.append(metric)
+                continue
+            per_metric[metric] = roofline.estimate_samples(group)
+            counts[metric] = len(group)
+        if not per_metric:
+            raise EstimationError(
+                "none of the sample metrics are covered by this model"
+            )
+        return EnsembleEstimate(
+            per_metric=per_metric, sample_counts=counts, skipped_metrics=skipped
+        )
+
+    def analyze(
+        self,
+        samples: SampleSet | Iterable[Sample],
+        workload: str = "",
+        top_k: int = 10,
+        metric_areas: Mapping[str, str] | None = None,
+    ) -> AnalysisReport:
+        """Full bottleneck analysis: ranked metrics plus measured throughput.
+
+        ``metric_areas`` optionally maps metric names to microarchitecture
+        areas (e.g. TMA top-level categories) for agreement reporting.
+        """
+        sample_set = samples if isinstance(samples, SampleSet) else SampleSet(samples)
+        estimate = self.estimate(sample_set)
+        measured = sample_set.measured_throughput()
+        return AnalysisReport(
+            workload=workload,
+            measured_throughput=measured,
+            estimated_throughput=estimate.throughput,
+            ranking=estimate.ranked(),
+            top_k=top_k,
+            metric_areas=dict(metric_areas or {}),
+            work_unit=self.work_unit,
+            time_unit=self.time_unit,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "work_unit": self.work_unit,
+            "time_unit": self.time_unit,
+            "rooflines": {m: r.to_dict() for m, r in self._rooflines.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpireModel":
+        rooflines = {
+            metric: MetricRoofline.from_dict(entry)
+            for metric, entry in payload["rooflines"].items()
+        }
+        return cls(
+            rooflines,
+            work_unit=payload.get("work_unit", "instructions"),
+            time_unit=payload.get("time_unit", "cycles"),
+        )
+
+
+def mean_absolute_bound_violation(
+    model: SpireModel, samples: SampleSet
+) -> float:
+    """Average amount by which samples exceed their metric's roofline.
+
+    Zero for training data (the fit is an upper bound by construction);
+    positive values on held-out data quantify how often reality beat the
+    learned bound.  Used by the ablation benchmarks.
+    """
+    violations: list[float] = []
+    for metric, group in samples.grouped().items():
+        if metric not in model:
+            continue
+        roofline = model.roofline(metric)
+        for sample in group:
+            bound = roofline.estimate(sample.intensity)
+            violations.append(max(0.0, sample.throughput - bound))
+    if not violations:
+        raise EstimationError("no overlapping metrics between model and samples")
+    return float(sum(violations) / len(violations))

@@ -1,0 +1,61 @@
+"""Left-region roofline fitting (paper §III-D, Figure 5).
+
+To the left of the highest-throughput training sample (the *apex*), SPIRE
+assumes the metric is negatively associated with performance: the slope
+from the origin to the apex is positive, so more work per metric event
+means more throughput.  The fit is therefore an increasing, concave-down
+chain of line segments from the origin to the apex that lies on or above
+every training sample — the upper convex hull, computed by gift wrapping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import FitError
+from repro.geometry.hull import upper_concave_chain
+from repro.geometry.piecewise import Breakpoint
+
+
+def fit_left_region(
+    points: Sequence[tuple[float, float]],
+    apex: tuple[float, float],
+) -> list[Breakpoint]:
+    """Fit the increasing, concave-down left region of a roofline.
+
+    Parameters
+    ----------
+    points:
+        ``(I_x, P)`` training samples with finite intensity at most the
+        apex intensity.  Points right of the apex are rejected: they belong
+        to the right fitting algorithm.
+    apex:
+        The highest-throughput training sample; the chain ends here.
+
+    Returns
+    -------
+    list of Breakpoint
+        Chain vertices from the origin ``(0, 0)`` to the apex, inclusive.
+    """
+    apex_x, apex_y = float(apex[0]), float(apex[1])
+    if apex_x < 0 or apex_y < 0:
+        raise FitError(f"apex must lie in the first quadrant, got {apex}")
+    for x, y in points:
+        if x > apex_x:
+            raise FitError(
+                f"left-region point ({x}, {y}) lies right of the apex x={apex_x}"
+            )
+        if y > apex_y:
+            raise FitError(
+                f"left-region point ({x}, {y}) exceeds the apex throughput {apex_y}"
+            )
+
+    if apex_x == 0:
+        # Degenerate column of samples at I = 0; the "chain" is the single
+        # vertical step from the origin to the apex.
+        if apex_y == 0:
+            return [Breakpoint(0.0, 0.0)]
+        return [Breakpoint(0.0, 0.0), Breakpoint(0.0, apex_y)]
+
+    chain = upper_concave_chain(points, anchor=(0.0, 0.0), target=(apex_x, apex_y))
+    return [Breakpoint(x, y) for x, y in chain]

@@ -1,0 +1,127 @@
+"""Phase-resolved analysis: does the bottleneck shift over the run?
+
+§III-A warns that an analysis can mislead "if parts of the workload's
+execution are over- or under-represented" in its samples.  Real programs
+move through phases (setup, compute, teardown) with different bottlenecks;
+a single whole-run ranking averages them away.  This module re-runs the
+ensemble estimation over consecutive chunks of the sample stream and
+reports how the limiting metric and the throughput bound evolve —
+surfacing both phase changes and sampling-coverage problems.
+
+Samples are assumed chronological per metric, which is how every collector
+in this package (and ``perf stat`` interval mode) emits them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.sample import SampleSet
+from repro.errors import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ensemble import SpireModel
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseEstimate:
+    """Ensemble estimation over one chunk of the run."""
+
+    index: int
+    throughput_bound: float
+    limiting_metric: str
+    measured_throughput: float
+    sample_count: int
+
+
+@dataclass
+class PhaseProfile:
+    """The run's bound/bottleneck trajectory."""
+
+    phases: list[PhaseEstimate]
+
+    @property
+    def limiting_metrics(self) -> list[str]:
+        return [phase.limiting_metric for phase in self.phases]
+
+    @property
+    def is_stable(self) -> bool:
+        """True when one metric limits every chunk."""
+        return len(set(self.limiting_metrics)) == 1
+
+    def transitions(self) -> list[tuple[int, str, str]]:
+        """(chunk index, previous metric, new metric) for each change."""
+        result = []
+        for previous, current in zip(self.phases, self.phases[1:]):
+            if previous.limiting_metric != current.limiting_metric:
+                result.append(
+                    (current.index, previous.limiting_metric,
+                     current.limiting_metric)
+                )
+        return result
+
+    def bound_range(self) -> tuple[float, float]:
+        bounds = [phase.throughput_bound for phase in self.phases]
+        return (min(bounds), max(bounds))
+
+    def render(self) -> str:
+        lines = [
+            f"{'chunk':>5} {'measured':>9} {'bound':>8}  limiting metric",
+        ]
+        for phase in self.phases:
+            lines.append(
+                f"{phase.index:>5} {phase.measured_throughput:>9.3f} "
+                f"{phase.throughput_bound:>8.3f}  {phase.limiting_metric}"
+            )
+        changes = self.transitions()
+        lines.append(
+            f"{len(changes)} bottleneck transition(s); "
+            f"{'stable' if self.is_stable else 'phased'} run"
+        )
+        return "\n".join(lines)
+
+
+def phase_profile(
+    model: "SpireModel",
+    samples: SampleSet,
+    chunks: int = 8,
+) -> PhaseProfile:
+    """Split the run into ``chunks`` consecutive windows and estimate each.
+
+    Each metric's sample list is divided evenly in collection order, so
+    chunk ``i`` contains the i-th fraction of every metric's timeline.
+    Metrics with fewer samples than chunks are dropped from the chunked
+    estimation (they cannot resolve phases at that granularity).
+    """
+    if chunks < 2:
+        raise EstimationError("need at least 2 chunks for a phase profile")
+    grouped = {
+        metric: group
+        for metric, group in samples.grouped().items()
+        if metric in model and len(group) >= chunks
+    }
+    if not grouped:
+        raise EstimationError(
+            f"no metric has at least {chunks} samples known to the model"
+        )
+
+    phases = []
+    for index in range(chunks):
+        chunk_set = SampleSet()
+        for group in grouped.values():
+            n = len(group)
+            start = index * n // chunks
+            stop = (index + 1) * n // chunks
+            chunk_set.extend(group[start:stop])
+        estimate = model.estimate(chunk_set)
+        phases.append(
+            PhaseEstimate(
+                index=index,
+                throughput_bound=estimate.throughput,
+                limiting_metric=estimate.limiting_metric,
+                measured_throughput=chunk_set.measured_throughput(),
+                sample_count=len(chunk_set),
+            )
+        )
+    return PhaseProfile(phases=phases)

@@ -1,0 +1,134 @@
+"""Synthetic sample clouds for tests, demos, and model studies.
+
+Generates samples whose throughput lies on or below a chosen
+intensity→roof curve — the exact data-generating process the paper's
+qualitative assumptions describe (§III-B).  Canonical curve shapes are
+provided for the two metric polarities plus a saturating plateau, so a
+SPIRE model's behaviour can be studied against a *known* ground-truth
+roof.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.core.sample import Sample, SampleSet
+from repro.errors import DataError
+
+Curve = Callable[[float], float]
+
+
+def negative_metric_curve(peak: float = 4.0, knee: float = 6.0) -> Curve:
+    """A harmful metric's roof: rising, saturating at ``peak``.
+
+    ``P(I) = peak * I / (I + knee)`` — diminishing returns as events
+    become rarer, the paper's first and third assumptions.
+    """
+    if peak <= 0 or knee <= 0:
+        raise DataError("peak and knee must be positive")
+    return lambda intensity: peak * intensity / (intensity + knee)
+
+
+def positive_metric_curve(peak: float = 4.0, knee: float = 3.0) -> Curve:
+    """A helpful metric's roof: falling as its events become rarer.
+
+    ``P(I) = peak * knee / (knee + I)`` — the paper's second assumption.
+    """
+    if peak <= 0 or knee <= 0:
+        raise DataError("peak and knee must be positive")
+    return lambda intensity: peak * knee / (knee + intensity)
+
+
+def plateau_curve(
+    peak: float = 4.0, rise_knee: float = 2.0, fall_start: float = 50.0
+) -> Curve:
+    """Rising then flat then falling: a metric with a sweet spot."""
+    if peak <= 0 or rise_knee <= 0 or fall_start <= rise_knee:
+        raise DataError("need peak > 0 and fall_start > rise_knee > 0")
+
+    def curve(intensity: float) -> float:
+        rising = peak * intensity / (intensity + rise_knee)
+        if intensity <= fall_start:
+            return rising
+        return rising * fall_start / intensity
+
+    return curve
+
+
+def synthetic_samples(
+    metric: str,
+    curve: Curve,
+    count: int = 300,
+    intensity_range: tuple[float, float] = (0.5, 100.0),
+    efficiency_range: tuple[float, float] = (0.3, 1.0),
+    work: float = 10_000.0,
+    log_spaced: bool = True,
+    rng: random.Random | None = None,
+) -> SampleSet:
+    """Samples scattered on/below ``curve`` across an intensity range.
+
+    Intensities are drawn log-uniformly by default (operational
+    intensities span orders of magnitude in practice); each sample's
+    throughput is the roof value scaled by a random efficiency — the
+    sub-roof scatter real workloads produce.
+    """
+    if count < 1:
+        raise DataError("need at least one sample")
+    lo, hi = intensity_range
+    if not 0 < lo < hi:
+        raise DataError("intensity range must satisfy 0 < lo < hi")
+    eff_lo, eff_hi = efficiency_range
+    if not 0 < eff_lo <= eff_hi <= 1.0:
+        raise DataError("efficiency range must satisfy 0 < lo <= hi <= 1")
+    rng = rng or random.Random(0)
+
+    samples = SampleSet()
+    for _ in range(count):
+        if log_spaced:
+            intensity = math.exp(rng.uniform(math.log(lo), math.log(hi)))
+        else:
+            intensity = rng.uniform(lo, hi)
+        roof = curve(intensity)
+        if roof <= 0:
+            raise DataError(
+                f"curve returned non-positive roof {roof} at I={intensity}"
+            )
+        throughput = roof * rng.uniform(eff_lo, eff_hi)
+        samples.add(
+            Sample(
+                metric=metric,
+                time=work / throughput,
+                work=work,
+                metric_count=work / intensity,
+            )
+        )
+    return samples
+
+
+def ground_truth_error(
+    roofline,
+    curve: Curve,
+    intensity_range: tuple[float, float] = (0.5, 100.0),
+    points: int = 64,
+) -> float:
+    """Mean relative error between a fitted roofline and its true roof.
+
+    Evaluated on a log grid; useful for convergence studies ("how many
+    samples until the fit tracks the real ceiling?").
+    """
+    lo, hi = intensity_range
+    if not 0 < lo < hi:
+        raise DataError("intensity range must satisfy 0 < lo < hi")
+    if points < 2:
+        raise DataError("need at least two grid points")
+    ratio = (hi / lo) ** (1.0 / (points - 1))
+    total = 0.0
+    for index in range(points):
+        intensity = lo * ratio**index
+        truth = curve(intensity)
+        if truth <= 0:
+            raise DataError(f"true roof is non-positive at I={intensity}")
+        total += abs(roofline.estimate(intensity) - truth) / truth
+    return total / points

@@ -1,0 +1,157 @@
+"""Bootstrap uncertainty for the bottleneck pool (paper §III-C).
+
+The paper recommends treating a *pool* of low-estimate metrics as
+potential bottlenecks because "factors such as measurement noise and
+imperfect modeling may cause some uncertainty in these values".  This
+module quantifies that uncertainty directly: it bootstrap-resamples a
+workload's samples, recomputes every per-metric time-weighted average,
+and reports confidence intervals plus how often each metric ranked first.
+A principled pool falls out: every metric whose lower confidence bound
+overlaps the minimum's upper bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.sample import SampleSet, time_weighted_average
+from repro.errors import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.ensemble import SpireModel
+
+
+@dataclass(frozen=True, slots=True)
+class MetricInterval:
+    """Bootstrap summary for one metric's estimate."""
+
+    metric: str
+    estimate: float       # point estimate on the full sample set
+    lower: float          # lower confidence bound
+    upper: float          # upper confidence bound
+    first_rank_share: float  # fraction of resamples where it was the minimum
+
+
+@dataclass
+class BootstrapResult:
+    """All per-metric intervals from one bootstrap run."""
+
+    intervals: list[MetricInterval]
+    resamples: int
+    confidence: float
+
+    def for_metric(self, metric: str) -> MetricInterval:
+        for interval in self.intervals:
+            if interval.metric == metric:
+                return interval
+        raise EstimationError(f"no bootstrap interval for metric {metric!r}")
+
+    def ranked(self) -> list[MetricInterval]:
+        """Intervals sorted by point estimate, most limiting first."""
+        return sorted(self.intervals, key=lambda i: (i.estimate, i.metric))
+
+    def pool(self) -> list[MetricInterval]:
+        """Metrics statistically indistinguishable from the minimum.
+
+        A metric belongs to the pool when its lower bound does not exceed
+        the minimum metric's upper bound — i.e. the bootstrap cannot rule
+        out that it is the true bottleneck.
+        """
+        ranked = self.ranked()
+        ceiling = ranked[0].upper
+        return [i for i in ranked if i.lower <= ceiling]
+
+    def render(self, count: int = 10) -> str:
+        lines = [
+            f"bootstrap ({self.resamples} resamples, "
+            f"{self.confidence:.0%} intervals)",
+            f"{'estimate':>9} {'interval':>19} {'P(min)':>7}  metric",
+        ]
+        for interval in self.ranked()[:count]:
+            lines.append(
+                f"{interval.estimate:>9.3f} "
+                f"[{interval.lower:>8.3f}, {interval.upper:>7.3f}] "
+                f"{interval.first_rank_share:>7.2f}  {interval.metric}"
+            )
+        return "\n".join(lines)
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        raise EstimationError("no values to take a quantile of")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def bootstrap_estimates(
+    model: "SpireModel",
+    samples: SampleSet,
+    resamples: int = 200,
+    confidence: float = 0.95,
+    rng: random.Random | None = None,
+) -> BootstrapResult:
+    """Bootstrap the per-metric time-weighted averages of an analysis.
+
+    Each metric's samples are resampled with replacement independently
+    (the grouping of Figure 4 is preserved), the Eq. 1 average recomputed,
+    and intervals taken from the empirical quantiles.
+    """
+    if resamples < 2:
+        raise EstimationError("need at least 2 bootstrap resamples")
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError("confidence must be in (0, 1)")
+    rng = rng or random.Random(0)
+
+    grouped = {
+        metric: group
+        for metric, group in samples.grouped().items()
+        if metric in model
+    }
+    if not grouped:
+        raise EstimationError("no overlapping metrics between model and samples")
+
+    # Precompute per-sample estimates once; resampling only reweights them.
+    per_metric_estimates: dict[str, list[tuple[float, float]]] = {}
+    point: dict[str, float] = {}
+    for metric, group in grouped.items():
+        roofline = model.roofline(metric)
+        pairs = [(roofline.estimate(s.intensity), s.time) for s in group]
+        per_metric_estimates[metric] = pairs
+        point[metric] = time_weighted_average(
+            [e for e, _ in pairs], [t for _, t in pairs]
+        )
+
+    draws: dict[str, list[float]] = {metric: [] for metric in grouped}
+    first_counts: dict[str, int] = {metric: 0 for metric in grouped}
+    for _ in range(resamples):
+        round_values: dict[str, float] = {}
+        for metric, pairs in per_metric_estimates.items():
+            chosen = [pairs[rng.randrange(len(pairs))] for _ in pairs]
+            round_values[metric] = time_weighted_average(
+                [e for e, _ in chosen], [t for _, t in chosen]
+            )
+            draws[metric].append(round_values[metric])
+        winner = min(round_values, key=lambda m: round_values[m])
+        first_counts[winner] += 1
+
+    alpha = (1.0 - confidence) / 2.0
+    intervals = []
+    for metric in grouped:
+        values = sorted(draws[metric])
+        intervals.append(
+            MetricInterval(
+                metric=metric,
+                estimate=point[metric],
+                lower=_quantile(values, alpha),
+                upper=_quantile(values, 1.0 - alpha),
+                first_rank_share=first_counts[metric] / resamples,
+            )
+        )
+    return BootstrapResult(
+        intervals=intervals, resamples=resamples, confidence=confidence
+    )

@@ -1,0 +1,155 @@
+"""Model validation utilities: cross-validation and rank stability.
+
+The paper evaluates SPIRE qualitatively against VTune; a downstream user
+also needs quantitative health checks for a trained ensemble:
+
+- :func:`cross_validate` — k-fold bound-violation statistics: how often,
+  and by how much, held-out samples exceed the learned upper bounds;
+- :func:`rank_stability` — how stable the top-k bottleneck ranking is
+  under resampling of the analyzed workload (a cheap proxy for the
+  measurement-noise concern of §III-C).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.ensemble import SpireModel, TrainOptions
+from repro.core.sample import SampleSet
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True, slots=True)
+class FoldReport:
+    """Bound-violation statistics for one held-out fold."""
+
+    fold: int
+    held_out_samples: int
+    violation_fraction: float     # share of held-out samples above the bound
+    mean_violation: float         # average exceedance (0 for covered samples)
+    max_violation: float
+
+
+@dataclass
+class CrossValidationReport:
+    """Aggregate of all folds."""
+
+    folds: list[FoldReport]
+
+    @property
+    def mean_violation_fraction(self) -> float:
+        return sum(f.violation_fraction for f in self.folds) / len(self.folds)
+
+    @property
+    def mean_violation(self) -> float:
+        return sum(f.mean_violation for f in self.folds) / len(self.folds)
+
+    @property
+    def max_violation(self) -> float:
+        return max(f.max_violation for f in self.folds)
+
+    def render(self) -> str:
+        lines = [
+            f"{'fold':>4} {'samples':>8} {'violated':>9} {'mean exc.':>10} "
+            f"{'max exc.':>9}",
+        ]
+        for fold in self.folds:
+            lines.append(
+                f"{fold.fold:>4} {fold.held_out_samples:>8} "
+                f"{fold.violation_fraction:>9.2%} {fold.mean_violation:>10.4f} "
+                f"{fold.max_violation:>9.4f}"
+            )
+        lines.append(
+            f"overall: {self.mean_violation_fraction:.2%} violated, "
+            f"mean exceedance {self.mean_violation:.4f}, "
+            f"max {self.max_violation:.4f}"
+        )
+        return "\n".join(lines)
+
+
+def cross_validate(
+    samples: SampleSet,
+    k: int = 5,
+    options: TrainOptions | None = None,
+    rng: random.Random | None = None,
+) -> CrossValidationReport:
+    """K-fold cross-validation of the upper-bound property.
+
+    Samples are shuffled and split into ``k`` folds; for each fold a model
+    is trained on the rest and the held-out samples are checked against
+    their metrics' rooflines.  Because rooflines are upper envelopes,
+    *some* held-out violation is expected — the report quantifies how
+    much, which is the quantity the paper's "more training data" remedy
+    (Figure 7 discussion) reduces.
+    """
+    if k < 2:
+        raise EstimationError("cross-validation needs at least 2 folds")
+    all_samples = list(samples)
+    if len(all_samples) < k:
+        raise EstimationError(f"cannot split {len(all_samples)} samples into {k} folds")
+    rng = rng or random.Random(0)
+    shuffled = all_samples[:]
+    rng.shuffle(shuffled)
+
+    folds = []
+    for index in range(k):
+        held_out = shuffled[index::k]
+        training = [s for i, s in enumerate(shuffled) if i % k != index]
+        model = SpireModel.train(SampleSet(training), options=options)
+        violations = []
+        checked = 0
+        for sample in held_out:
+            if sample.metric not in model:
+                continue
+            checked += 1
+            bound = model.roofline(sample.metric).estimate(sample.intensity)
+            violations.append(max(0.0, sample.throughput - bound))
+        if checked == 0:
+            raise EstimationError(f"fold {index} has no checkable samples")
+        violated = sum(1 for v in violations if v > 0)
+        folds.append(
+            FoldReport(
+                fold=index,
+                held_out_samples=checked,
+                violation_fraction=violated / checked,
+                mean_violation=sum(violations) / checked,
+                max_violation=max(violations),
+            )
+        )
+    return CrossValidationReport(folds=folds)
+
+
+def rank_stability(
+    model: SpireModel,
+    samples: SampleSet,
+    top_k: int = 10,
+    resamples: int = 50,
+    rng: random.Random | None = None,
+) -> float:
+    """Average overlap of the top-k metric set under workload resampling.
+
+    Returns a value in [0, 1]: 1 means the same ``top_k`` metrics surface
+    in every bootstrap resample of the workload's samples; low values mean
+    the ranking (and therefore the bottleneck pool) is noise-sensitive.
+    """
+    if resamples < 1:
+        raise EstimationError("need at least one resample")
+    rng = rng or random.Random(0)
+    baseline = {
+        e.metric for e in model.estimate(samples).ranked()[:top_k]
+    }
+    if not baseline:
+        raise EstimationError("baseline ranking is empty")
+
+    overlaps = []
+    grouped = samples.grouped()
+    for _ in range(resamples):
+        resampled = SampleSet()
+        for group in grouped.values():
+            for _ in group:
+                resampled.add(group[rng.randrange(len(group))])
+        ranked = model.estimate(resampled).ranked()[:top_k]
+        chosen = {e.metric for e in ranked}
+        overlaps.append(len(chosen & baseline) / len(baseline))
+    return sum(overlaps) / len(overlaps)

@@ -1,0 +1,135 @@
+"""What-if projection: how much would fixing a bottleneck buy?
+
+SPIRE's analysis names likely bottleneck metrics; the natural next
+question is *how much faster the workload could get* if one of them were
+improved.  Under the model this is directly answerable: improving metric
+``x`` by a factor ``f`` means ``f`` times fewer events for the same work,
+i.e. every sample's operational intensity ``I_x = W / M_x`` grows by
+``f``.  Re-evaluating the ensemble on the transformed samples yields the
+projected attainable throughput — the min over metrics, so improvements
+beyond the *next* binding metric stop paying off, exactly how real
+optimization plateaus behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.sample import Sample, SampleSet
+from repro.errors import EstimationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ensemble import SpireModel
+
+
+@dataclass(frozen=True, slots=True)
+class WhatIfResult:
+    """Projection for improving one metric by one factor."""
+
+    metric: str
+    factor: float
+    baseline_bound: float
+    projected_bound: float
+    limiting_metric_after: str
+
+    @property
+    def projected_speedup(self) -> float:
+        if self.baseline_bound <= 0:
+            raise EstimationError("baseline bound is not positive")
+        return self.projected_bound / self.baseline_bound
+
+    @property
+    def plateaued(self) -> bool:
+        """True when another metric now binds: further improvement of this
+        metric buys (almost) nothing."""
+        return self.limiting_metric_after != self.metric
+
+
+def improve_metric(
+    samples: SampleSet, metric: str, factor: float
+) -> SampleSet:
+    """Samples with ``metric``'s event count divided by ``factor``."""
+    if factor <= 0:
+        raise EstimationError(f"improvement factor must be positive, got {factor}")
+    if metric not in samples.metrics():
+        raise EstimationError(f"samples contain no metric {metric!r}")
+    improved = SampleSet()
+    for sample in samples:
+        if sample.metric == metric:
+            improved.add(
+                Sample(
+                    metric=sample.metric,
+                    time=sample.time,
+                    work=sample.work,
+                    metric_count=sample.metric_count / factor,
+                )
+            )
+        else:
+            improved.add(sample)
+    return improved
+
+
+def project_improvement(
+    model: "SpireModel",
+    samples: SampleSet,
+    metric: str,
+    factor: float = 2.0,
+) -> WhatIfResult:
+    """Project the attainable-throughput change from improving ``metric``.
+
+    ``factor > 1`` means fewer events per unit of work — the natural
+    improvement for *negative* metrics (stalls, misses, mispredicts).  For
+    a *positive* metric (e.g. uop-cache hits), "improvement" is more
+    events, i.e. ``factor < 1``.
+    """
+    baseline = model.estimate(samples)
+    improved = model.estimate(improve_metric(samples, metric, factor))
+    return WhatIfResult(
+        metric=metric,
+        factor=factor,
+        baseline_bound=baseline.throughput,
+        projected_bound=improved.throughput,
+        limiting_metric_after=improved.limiting_metric,
+    )
+
+
+def sensitivity_sweep(
+    model: "SpireModel",
+    samples: SampleSet,
+    factors: Sequence[float] = (1.5, 2.0, 4.0),
+    top_k: int = 10,
+) -> list[WhatIfResult]:
+    """What-if projections for the current top-``top_k`` metrics.
+
+    Results are ordered by projected bound (descending) within each
+    factor, so the first entries answer "which single improvement buys the
+    most".
+    """
+    if not factors:
+        raise EstimationError("need at least one improvement factor")
+    baseline = model.estimate(samples)
+    candidates = [entry.metric for entry in baseline.ranked()[:top_k]]
+    results = []
+    for factor in factors:
+        per_factor = [
+            project_improvement(model, samples, metric, factor)
+            for metric in candidates
+        ]
+        per_factor.sort(key=lambda r: -r.projected_bound)
+        results.extend(per_factor)
+    return results
+
+
+def render_sweep(results: Sequence[WhatIfResult]) -> str:
+    """A table of sweep projections."""
+    lines = [
+        f"{'factor':>6} {'speedup':>8} {'bound':>7} {'plateau':>8}  metric",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.factor:>6.1f} {result.projected_speedup:>8.2f} "
+            f"{result.projected_bound:>7.3f} "
+            f"{'yes' if result.plateaued else 'no':>8}  {result.metric}"
+        )
+    return "\n".join(lines)

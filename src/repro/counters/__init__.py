@@ -1,0 +1,56 @@
+"""Performance-counter infrastructure: events, PMU, collection, parsing."""
+
+from repro.counters.collector import (
+    CollectionConfig,
+    CollectionResult,
+    SampleCollector,
+)
+from repro.counters.events import (
+    AREA_BAD_SPECULATION,
+    AREA_CORE,
+    AREA_FRONT_END,
+    AREA_MEMORY,
+    AREA_OTHER,
+    AREA_RETIRING,
+    EventCatalog,
+    EventDef,
+    default_catalog,
+)
+from repro.counters.derived import DERIVED_METRICS, DerivedMetric, derive_all, render_derived
+from repro.counters.perf_parser import PerfStatParser, parse_perf_json, parse_perf_stat
+from repro.counters.pmu import PMU
+from repro.counters.scheduling import (
+    AdaptiveScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    assign_counters,
+    pack_events,
+)
+
+__all__ = [
+    "AREA_BAD_SPECULATION",
+    "AREA_CORE",
+    "AREA_FRONT_END",
+    "AREA_MEMORY",
+    "AREA_OTHER",
+    "AREA_RETIRING",
+    "CollectionConfig",
+    "CollectionResult",
+    "EventCatalog",
+    "EventDef",
+    "AdaptiveScheduler",
+    "DERIVED_METRICS",
+    "DerivedMetric",
+    "derive_all",
+    "render_derived",
+    "PMU",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "assign_counters",
+    "pack_events",
+    "PerfStatParser",
+    "SampleCollector",
+    "default_catalog",
+    "parse_perf_json",
+    "parse_perf_stat",
+]

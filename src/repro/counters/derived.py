@@ -1,0 +1,158 @@
+"""Derived metrics: the standard ratios analysts compute from raw counts.
+
+Raw event totals are rarely quoted directly; performance work speaks in
+ratios — IPC, MPKI, miss ratios, DSB coverage, misprediction rate.  This
+module computes the standard set from a run's full counter totals (the
+``full_counts`` a :class:`~repro.counters.collector.CollectionResult`
+carries), with explicit division-by-zero semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import DataError
+
+Expression = Callable[[Mapping[str, float]], float]
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return math.nan
+    return numerator / denominator
+
+
+def _need(counts: Mapping[str, float], *names: str) -> list[float]:
+    missing = [n for n in names if n not in counts]
+    if missing:
+        raise DataError(f"derived metric needs missing events {missing}")
+    return [counts[n] for n in names]
+
+
+@dataclass(frozen=True, slots=True)
+class DerivedMetric:
+    """One named ratio with its evaluation function."""
+
+    name: str
+    description: str
+    expression: Expression
+
+    def compute(self, counts: Mapping[str, float]) -> float:
+        return self.expression(counts)
+
+
+def _ipc(c: Mapping[str, float]) -> float:
+    i, cy = _need(c, "inst_retired.any", "cpu_clk_unhalted.thread")
+    return _ratio(i, cy)
+
+
+def _upi(c: Mapping[str, float]) -> float:
+    u, i = _need(c, "uops_retired.retire_slots", "inst_retired.any")
+    return _ratio(u, i)
+
+
+def _branch_mpki(c: Mapping[str, float]) -> float:
+    m, i = _need(c, "br_misp_retired.all_branches", "inst_retired.any")
+    return _ratio(m * 1000.0, i)
+
+
+def _branch_misp_rate(c: Mapping[str, float]) -> float:
+    m, b = _need(c, "br_misp_retired.all_branches", "br_inst_retired.all_branches")
+    return _ratio(m, b)
+
+
+def _l1_mpki(c: Mapping[str, float]) -> float:
+    m, i = _need(c, "mem_load_retired.l1_miss", "inst_retired.any")
+    return _ratio(m * 1000.0, i)
+
+
+def _l3_mpki(c: Mapping[str, float]) -> float:
+    m, i = _need(c, "longest_lat_cache.miss", "inst_retired.any")
+    return _ratio(m * 1000.0, i)
+
+
+def _l1_miss_ratio(c: Mapping[str, float]) -> float:
+    m, loads = _need(c, "mem_load_retired.l1_miss", "mem_inst_retired.all_loads")
+    return _ratio(m, loads)
+
+
+def _l3_miss_ratio(c: Mapping[str, float]) -> float:
+    m, refs = _need(c, "longest_lat_cache.miss", "longest_lat_cache.reference")
+    return _ratio(m, refs)
+
+
+def _dsb_coverage(c: Mapping[str, float]) -> float:
+    dsb, mite, ms = _need(c, "idq.dsb_uops", "idq.mite_uops", "idq.ms_uops")
+    return _ratio(dsb, dsb + mite + ms)
+
+
+def _ms_uop_share(c: Mapping[str, float]) -> float:
+    ms, issued = _need(c, "idq.ms_uops", "uops_issued.any")
+    return _ratio(ms, issued)
+
+
+def _stall_cycle_fraction(c: Mapping[str, float]) -> float:
+    stalls, cycles = _need(c, "cycle_activity.stalls_total", "cpu_clk_unhalted.thread")
+    return _ratio(stalls, cycles)
+
+
+def _memory_stall_share(c: Mapping[str, float]) -> float:
+    mem, total = _need(
+        c, "cycle_activity.stalls_mem_any", "cycle_activity.stalls_total"
+    )
+    return _ratio(mem, total)
+
+
+DERIVED_METRICS: tuple[DerivedMetric, ...] = (
+    DerivedMetric("ipc", "retired instructions per cycle", _ipc),
+    DerivedMetric("uops_per_instruction", "retired uops per instruction", _upi),
+    DerivedMetric("branch_mpki", "branch mispredictions per kilo-instruction",
+                  _branch_mpki),
+    DerivedMetric("branch_mispredict_rate", "mispredictions per branch",
+                  _branch_misp_rate),
+    DerivedMetric("l1_mpki", "L1D load misses per kilo-instruction", _l1_mpki),
+    DerivedMetric("l3_mpki", "LLC misses per kilo-instruction", _l3_mpki),
+    DerivedMetric("l1_miss_ratio", "L1D misses per load", _l1_miss_ratio),
+    DerivedMetric("l3_miss_ratio", "LLC misses per LLC reference", _l3_miss_ratio),
+    DerivedMetric("dsb_coverage", "share of uops delivered by the DSB",
+                  _dsb_coverage),
+    DerivedMetric("ms_uop_share", "share of issued uops from the MS",
+                  _ms_uop_share),
+    DerivedMetric("stall_cycle_fraction", "cycles with no dispatch",
+                  _stall_cycle_fraction),
+    DerivedMetric("memory_stall_share", "memory share of stall cycles",
+                  _memory_stall_share),
+)
+
+
+def derive_all(counts: Mapping[str, float]) -> dict[str, float]:
+    """Every standard ratio computable from these counts.
+
+    Metrics whose inputs are missing are skipped (a restricted catalog
+    may not expose every event); ratios with zero denominators are NaN.
+    """
+    result: dict[str, float] = {}
+    for metric in DERIVED_METRICS:
+        try:
+            result[metric.name] = metric.compute(counts)
+        except DataError:
+            continue
+    if not result:
+        raise DataError("no derived metric is computable from these counts")
+    return result
+
+
+def render_derived(counts: Mapping[str, float]) -> str:
+    """A two-column table of the derived ratios."""
+    values = derive_all(counts)
+    width = max(len(name) for name in values)
+    lines = []
+    for metric in DERIVED_METRICS:
+        if metric.name not in values:
+            continue
+        value = values[metric.name]
+        shown = "   nan" if math.isnan(value) else f"{value:9.4f}"
+        lines.append(f"{metric.name:<{width}}  {shown}  {metric.description}")
+    return "\n".join(lines)

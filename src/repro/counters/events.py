@@ -1,0 +1,572 @@
+"""The PMU event catalog.
+
+Every event is a formula over a window's raw activity
+(:class:`repro.uarch.activity.WindowActivity`) plus the machine config.
+The catalog covers all the metrics named in the paper's Tables II/III —
+same names, same abbreviations, same microarchitecture-area grouping —
+plus the bookkeeping events Top-Down analysis needs (``uops_issued.any``,
+``uops_retired.retire_slots``, ...) and a few extras for realism.
+
+Formulas follow how the real Skylake events count, up to fixed
+proportionality factors where the simulator does not model the exact
+micro-behaviour (e.g. how front-end bubble severities distribute).  SPIRE
+never depends on those factors being exact — only on the events co-varying
+with their underlying causes, which they do by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import ConfigError
+from repro.uarch.activity import WindowActivity
+from repro.uarch.config import MachineConfig
+
+AREA_FRONT_END = "Front-End"
+AREA_BAD_SPECULATION = "Bad Speculation"
+AREA_MEMORY = "Memory"
+AREA_CORE = "Core"
+AREA_RETIRING = "Retiring"
+AREA_OTHER = "Other"
+
+Formula = Callable[[WindowActivity, MachineConfig], float]
+
+
+@dataclass(frozen=True, slots=True)
+class EventDef:
+    """One measurable PMU event."""
+
+    name: str
+    area: str
+    formula: Formula
+    abbr: str | None = None
+    description: str = ""
+    fixed: bool = False  # fixed counters are always measured
+    # Programmable-counter slots this event may occupy (None = any).
+    # Mirrors real PMU constraints, e.g. Skylake's cycle_activity.* events
+    # being restricted to specific general-purpose counters.
+    counter_mask: tuple[int, ...] | None = None
+
+    def compute(self, activity: WindowActivity, machine: MachineConfig) -> float:
+        value = self.formula(activity, machine)
+        if value < 0:
+            raise ConfigError(f"event {self.name} computed a negative count {value}")
+        return value
+
+
+class EventCatalog:
+    """A named collection of event definitions."""
+
+    def __init__(self, events: list[EventDef]):
+        self._events: dict[str, EventDef] = {}
+        for event in events:
+            if event.name in self._events:
+                raise ConfigError(f"duplicate event name {event.name!r}")
+            self._events[event.name] = event
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[EventDef]:
+        return iter(self._events.values())
+
+    def get(self, name: str) -> EventDef:
+        try:
+            return self._events[name]
+        except KeyError:
+            raise ConfigError(f"unknown event {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._events)
+
+    @property
+    def programmable_names(self) -> list[str]:
+        return [e.name for e in self._events.values() if not e.fixed]
+
+    @property
+    def fixed_names(self) -> list[str]:
+        return [e.name for e in self._events.values() if e.fixed]
+
+    def areas(self) -> dict[str, str]:
+        """Mapping of event name to microarchitecture area (Table III)."""
+        return {e.name: e.area for e in self._events.values()}
+
+    def abbreviations(self) -> dict[str, str]:
+        """Mapping of event name to Table III abbreviation, where defined."""
+        return {e.name: e.abbr for e in self._events.values() if e.abbr}
+
+    def compute_all(
+        self, activity: WindowActivity, machine: MachineConfig
+    ) -> dict[str, float]:
+        return {e.name: e.compute(activity, machine) for e in self._events.values()}
+
+    def restricted(self, names: list[str]) -> "EventCatalog":
+        """A sub-catalog (fixed events are always retained)."""
+        keep = set(names)
+        return EventCatalog(
+            [e for e in self._events.values() if e.fixed or e.name in keep]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Formula helpers.  Factors model how the simulator's aggregate activity
+# splits into the finer-grained quantities real events observe.
+# ---------------------------------------------------------------------------
+
+
+def _events_list() -> list[EventDef]:
+    e: list[EventDef] = []
+
+    def add(
+        name: str,
+        area: str,
+        formula: Formula,
+        abbr: str | None = None,
+        description: str = "",
+        fixed: bool = False,
+        counter_mask: tuple[int, ...] | None = None,
+    ) -> None:
+        if counter_mask is None and name.startswith("cycle_activity."):
+            # Skylake restricts several CYCLE_ACTIVITY umasks to GP counter
+            # 2; model that class of constraint for the whole family.
+            counter_mask = (2,)
+        if counter_mask is None and name.startswith("exe_activity."):
+            counter_mask = (0, 1)
+        e.append(
+            EventDef(name, area, formula, abbr, description, fixed, counter_mask)
+        )
+
+    # --- Fixed counters (work, time) -----------------------------------
+    add(
+        "inst_retired.any",
+        AREA_RETIRING,
+        lambda a, m: a.instructions,
+        description="Retired instructions (the model's work counter W).",
+        fixed=True,
+    )
+    add(
+        "cpu_clk_unhalted.thread",
+        AREA_OTHER,
+        lambda a, m: a.cycles,
+        description="Unhalted core cycles (the model's time counter T).",
+        fixed=True,
+    )
+    add(
+        "cpu_clk_unhalted.ref_tsc",
+        AREA_OTHER,
+        lambda a, m: a.cycles,
+        description="Reference cycles; equals core cycles at base frequency.",
+        fixed=True,
+    )
+
+    # --- Front end: fetch latency bubbles (FE.*) ------------------------
+    add(
+        "frontend_retired.latency_ge_2_bubbles_ge_1",
+        AREA_FRONT_END,
+        lambda a, m: a.fe_bubble_events,
+        abbr="FE.1",
+        description="Retired instructions after a >=2-cycle fetch bubble.",
+    )
+    add(
+        "frontend_retired.latency_ge_2_bubbles_ge_2",
+        AREA_FRONT_END,
+        lambda a, m: a.fe_bubble_events * 0.60,
+        abbr="FE.2",
+    )
+    add(
+        "frontend_retired.latency_ge_2_bubbles_ge_3",
+        AREA_FRONT_END,
+        lambda a, m: a.fe_bubble_events * 0.35,
+        abbr="FE.3",
+    )
+    add(
+        "icache_64b.iftag_stall",
+        AREA_FRONT_END,
+        lambda a, m: a.c_fe_latency * 0.50,
+        description="Cycles stalled on instruction-cache tag lookups.",
+    )
+    add(
+        "itlb_misses.walk_active",
+        AREA_FRONT_END,
+        lambda a, m: a.c_fe_latency * 0.20,
+        description="Cycles an iTLB page walk was active.",
+    )
+
+    # --- Front end: decoded stream buffer (DB.*) ------------------------
+    add(
+        "idq.dsb_cycles",
+        AREA_FRONT_END,
+        lambda a, m: a.dsb_active_cycles,
+        abbr="DB.1",
+        description="Cycles uops were delivered from the DSB.",
+    )
+    add(
+        "idq.dsb_uops",
+        AREA_FRONT_END,
+        lambda a, m: a.dsb_uops,
+        abbr="DB.2",
+        description="Uops delivered from the DSB (includes wrong-path uops).",
+    )
+    add(
+        "frontend_retired.dsb_miss",
+        AREA_FRONT_END,
+        lambda a, m: a.dsb_switch_events,
+        abbr="DB.3",
+        description="Retired instructions that suffered a DSB miss.",
+    )
+    add(
+        "idq.all_dsb_cycles_any_uops",
+        AREA_FRONT_END,
+        lambda a, m: a.dsb_active_cycles * 1.05,
+        abbr="DB.4",
+    )
+    add(
+        "idq.mite_uops",
+        AREA_FRONT_END,
+        lambda a, m: a.mite_uops,
+        description="Uops delivered from the legacy decode pipeline.",
+    )
+    add(
+        "idq.mite_cycles",
+        AREA_FRONT_END,
+        lambda a, m: a.mite_active_cycles,
+    )
+
+    # --- Front end: microcode sequencer (MS.*) --------------------------
+    add(
+        "idq.ms_switches",
+        AREA_FRONT_END,
+        lambda a, m: a.ms_switches,
+        abbr="MS.1",
+        description="Switches into the microcode sequencer.",
+    )
+    add(
+        "idq.ms_dsb_cycles",
+        AREA_FRONT_END,
+        lambda a, m: a.ms_active_cycles * 0.70,
+        abbr="MS.2",
+        description="Cycles the MS was busy after being entered from the DSB.",
+    )
+    add(
+        "idq.ms_uops",
+        AREA_FRONT_END,
+        lambda a, m: a.ms_uops,
+        description="Uops delivered by the microcode sequencer.",
+    )
+
+    # --- Front end: uop delivery shortfall (DQ.*) -----------------------
+    add(
+        "idq_uops_not_delivered.core",
+        AREA_FRONT_END,
+        lambda a, m: a.c_fe * m.pipeline_width,
+        abbr="DQ.C",
+        description="Allocation slots not filled while the back end was ready.",
+    )
+    add(
+        "idq_uops_not_delivered.cycles_le_1_uop_deliv.core",
+        AREA_FRONT_END,
+        lambda a, m: a.c_fe * 0.50,
+        abbr="DQ.1",
+    )
+    add(
+        "idq_uops_not_delivered.cycles_le_2_uop_deliv.core",
+        AREA_FRONT_END,
+        lambda a, m: a.c_fe * 0.70,
+        abbr="DQ.2",
+    )
+    add(
+        "idq_uops_not_delivered.cycles_le_3_uop_deliv.core",
+        AREA_FRONT_END,
+        lambda a, m: a.c_fe * 0.90,
+        abbr="DQ.3",
+    )
+    add(
+        "idq_uops_not_delivered.cycles_fe_was_ok",
+        AREA_CORE,
+        lambda a, m: a.backend_stall_cycles,
+        abbr="DQ.K",
+        description="Cycles the front end delivered but the back end stalled.",
+    )
+
+    # --- Bad speculation (BP.*) -----------------------------------------
+    add(
+        "br_misp_retired.all_branches",
+        AREA_BAD_SPECULATION,
+        lambda a, m: a.mispredicted_branches,
+        abbr="BP.1",
+        description="Retired mispredicted branches.",
+    )
+    add(
+        "int_misc.recovery_cycles",
+        AREA_BAD_SPECULATION,
+        lambda a, m: a.recovery_cycles,
+        abbr="BP.2",
+        description="Cycles the allocator was stalled recovering from clears.",
+    )
+    add(
+        "int_misc.recovery_cycles_any",
+        AREA_BAD_SPECULATION,
+        lambda a, m: a.recovery_cycles * 1.05,
+        abbr="BP.3",
+    )
+    add(
+        "br_inst_retired.all_branches",
+        AREA_OTHER,
+        lambda a, m: a.branches,
+        description="Retired branch instructions.",
+    )
+    add(
+        "machine_clears.count",
+        AREA_BAD_SPECULATION,
+        lambda a, m: a.mispredicted_branches * 0.01,
+        description="Machine clears (memory ordering, SMC); rare in the model.",
+    )
+
+    # --- Memory (M, L1.*, L3, LK) ----------------------------------------
+    add(
+        "cycle_activity.cycles_mem_any",
+        AREA_MEMORY,
+        lambda a, m: a.c_mem + 0.20 * a.c_base,
+        abbr="M",
+        description="Cycles with at least one in-flight memory load.",
+    )
+    add(
+        "cycle_activity.cycles_l1d_miss",
+        AREA_MEMORY,
+        lambda a, m: a.c_mem_cache * 1.10,
+        abbr="L1.1",
+        description="Cycles with an outstanding L1D miss.",
+    )
+    add(
+        "cycle_activity.stalls_l1d_miss",
+        AREA_MEMORY,
+        lambda a, m: a.c_mem_cache * 0.85,
+        abbr="L1.2",
+        description="Execution-stall cycles with an outstanding L1D miss.",
+    )
+    add(
+        "l1d_pend_miss.pending_cycles",
+        AREA_MEMORY,
+        lambda a, m: a.miss_latency_cycles,
+        abbr="L1.3",
+        description="Cycle-integral of outstanding L1D miss occupancy.",
+    )
+    add(
+        "longest_lat_cache.miss",
+        AREA_MEMORY,
+        lambda a, m: a.dram_served,
+        abbr="L3",
+        description="Last-level cache misses (DRAM accesses).",
+    )
+    add(
+        "longest_lat_cache.reference",
+        AREA_MEMORY,
+        lambda a, m: a.l3_served + a.dram_served,
+    )
+    add(
+        "mem_inst_retired.lock_loads",
+        AREA_MEMORY,
+        lambda a, m: a.lock_loads,
+        abbr="LK",
+        description="Retired locked load instructions.",
+    )
+    add(
+        "mem_load_retired.l1_hit",
+        AREA_MEMORY,
+        lambda a, m: a.l1_hits,
+    )
+    add(
+        "mem_load_retired.l1_miss",
+        AREA_MEMORY,
+        lambda a, m: a.l1_misses,
+    )
+    add(
+        "mem_load_retired.l2_hit",
+        AREA_MEMORY,
+        lambda a, m: a.l2_served,
+    )
+    add(
+        "mem_load_retired.l3_hit",
+        AREA_MEMORY,
+        lambda a, m: a.l3_served,
+    )
+    add(
+        "mem_load_retired.l3_miss",
+        AREA_MEMORY,
+        lambda a, m: a.dram_served,
+    )
+    add(
+        "cycle_activity.stalls_mem_any",
+        AREA_MEMORY,
+        lambda a, m: a.c_mem * 0.90,
+        description="Execution-stall cycles attributable to memory.",
+    )
+    add(
+        "dtlb_load_misses.miss_causes_a_walk",
+        AREA_MEMORY,
+        lambda a, m: a.dtlb_walks,
+        description="Data-TLB misses that triggered a page walk.",
+    )
+    add(
+        "dtlb_load_misses.walk_active",
+        AREA_MEMORY,
+        lambda a, m: a.dtlb_walk_cycles,
+        description="Cycles a dTLB page walk was in progress.",
+    )
+    add(
+        "l2_rqsts.all_pf",
+        AREA_MEMORY,
+        lambda a, m: a.prefetches_issued,
+        description="L2 requests issued by the hardware prefetchers.",
+    )
+
+    # --- Core: stall structure (CS.*) ------------------------------------
+    add(
+        "cycle_activity.stalls_total",
+        AREA_CORE,
+        lambda a, m: a.c_mem + a.c_core + 0.50 * a.c_fe,
+        abbr="CS.1",
+        description="Cycles in which no uop was dispatched.",
+    )
+    add(
+        "uops_retired.stall_cycles",
+        AREA_CORE,
+        lambda a, m: a.c_mem + a.c_core + 0.60 * a.c_fe + 0.50 * a.c_bad,
+        abbr="CS.2",
+        description="Cycles in which no uop retired.",
+    )
+    add(
+        "uops_issued.stall_cycles",
+        AREA_CORE,
+        lambda a, m: a.c_mem + a.c_core + 0.80 * a.c_fe + 0.30 * a.c_bad,
+        abbr="CS.3",
+        description="Cycles in which no uop was issued.",
+    )
+    add(
+        "uops_executed.stall_cycles",
+        AREA_CORE,
+        lambda a, m: a.c_mem + a.c_core_div + 0.30 * a.c_fe,
+        abbr="CS.4",
+        description="Cycles in which no uop executed.",
+    )
+    add(
+        "resource_stalls.any",
+        AREA_CORE,
+        lambda a, m: 0.90 * a.c_mem + 0.80 * a.c_core,
+        abbr="CS.5",
+        description="Allocation stalls due to back-end resource exhaustion.",
+    )
+    add(
+        "exe_activity.exe_bound_0_ports",
+        AREA_CORE,
+        lambda a, m: 0.70 * a.c_mem + a.c_core_div + 0.30 * a.c_core_ports,
+        abbr="CS.6",
+        description="Cycles with ready uops but zero ports utilized.",
+    )
+
+    # --- Core: port utilization (C1.*) ------------------------------------
+    add(
+        "uops_executed.core_cycles_ge_1",
+        AREA_CORE,
+        lambda a, m: a.exec_active_cycles,
+        abbr="C1.1",
+        description="Cycles with at least one uop executing.",
+    )
+    add(
+        "uops_executed.cycles_ge_1_uop_exec",
+        AREA_CORE,
+        lambda a, m: a.exec_active_cycles * 0.98,
+        abbr="C1.2",
+    )
+    add(
+        "exe_activity.1_ports_util",
+        AREA_CORE,
+        lambda a, m: a.exec_cycles_1_port,
+        abbr="C1.3",
+        description="Cycles with exactly one port utilized.",
+    )
+    add(
+        "exe_activity.2_ports_util",
+        AREA_CORE,
+        lambda a, m: a.exec_cycles_2_ports,
+    )
+    add(
+        "arith.divider_active",
+        AREA_CORE,
+        lambda a, m: a.divider_active_cycles,
+        description="Cycles the non-pipelined divider was busy.",
+    )
+    add(
+        "uops_issued.vector_width_mismatch",
+        AREA_CORE,
+        lambda a, m: a.vw_mismatch_events,
+        abbr="VW",
+        description="Uops issued across a SIMD width transition (256<->512).",
+    )
+
+    # --- Uop flow bookkeeping (needed by Top-Down) -----------------------
+    add(
+        "uops_issued.any",
+        AREA_OTHER,
+        lambda a, m: a.uops_issued,
+    )
+    add(
+        "uops_retired.retire_slots",
+        AREA_RETIRING,
+        lambda a, m: a.uops_retired,
+    )
+    add(
+        "uops_executed.thread",
+        AREA_OTHER,
+        lambda a, m: a.uops_executed,
+    )
+
+    # --- Retired FP/SIMD arithmetic --------------------------------------
+    add(
+        "fp_arith_inst_retired.128b_packed",
+        AREA_RETIRING,
+        lambda a, m: a.vector_uops_128,
+    )
+    add(
+        "fp_arith_inst_retired.256b_packed",
+        AREA_RETIRING,
+        lambda a, m: a.vector_uops_256,
+    )
+    add(
+        "fp_arith_inst_retired.512b_packed",
+        AREA_RETIRING,
+        lambda a, m: a.vector_uops_512,
+    )
+    add(
+        "mem_inst_retired.all_loads",
+        AREA_MEMORY,
+        lambda a, m: a.loads,
+    )
+    add(
+        "mem_inst_retired.all_stores",
+        AREA_MEMORY,
+        lambda a, m: a.stores,
+    )
+
+    return e
+
+
+_DEFAULT: EventCatalog | None = None
+
+
+def default_catalog() -> EventCatalog:
+    """The default Skylake-style event catalog (singleton)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = EventCatalog(_events_list())
+    return _DEFAULT
+
+
+def table3_abbreviations() -> Mapping[str, str]:
+    """Table III: abbreviation -> expanded metric name."""
+    return {abbr: name for name, abbr in default_catalog().abbreviations().items()}

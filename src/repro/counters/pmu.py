@@ -1,0 +1,92 @@
+"""The performance monitoring unit: a limited set of counter registers.
+
+Real PMUs expose hundreds of measurable events but only a handful of
+programmable counters (often fewer than 10 per core — paper §II-B), plus a
+few fixed counters hard-wired to instructions and cycles.  This class
+enforces that constraint; measuring more events than counters requires the
+multiplexing scheduler in :mod:`repro.counters.collector`.
+"""
+
+from __future__ import annotations
+
+from repro.counters.events import EventCatalog, default_catalog
+from repro.errors import ConfigError
+from repro.uarch.activity import WindowActivity
+from repro.uarch.config import MachineConfig
+
+
+class PMU:
+    """A per-core PMU with fixed and programmable counters."""
+
+    def __init__(self, machine: MachineConfig, catalog: EventCatalog | None = None):
+        self.machine = machine
+        self.catalog = catalog or default_catalog()
+        fixed = self.catalog.fixed_names
+        if len(fixed) > machine.num_fixed_counters:
+            raise ConfigError(
+                f"catalog has {len(fixed)} fixed events but the machine only "
+                f"has {machine.num_fixed_counters} fixed counters"
+            )
+        self._programmed: list[str] = []
+        self._totals: dict[str, float] = {name: 0.0 for name in fixed}
+
+    @property
+    def programmed_events(self) -> list[str]:
+        return list(self._programmed)
+
+    @property
+    def capacity(self) -> int:
+        return self.machine.num_programmable_counters
+
+    def program(self, event_names: list[str]) -> None:
+        """Program the counter registers with a new event group.
+
+        Raises :class:`ConfigError` when the group exceeds the machine's
+        programmable counters, names an unknown event, or tries to program
+        a fixed event (those are always counted).
+        """
+        if len(event_names) > self.capacity:
+            raise ConfigError(
+                f"cannot program {len(event_names)} events on "
+                f"{self.capacity} programmable counters"
+            )
+        if len(set(event_names)) != len(event_names):
+            raise ConfigError("duplicate events in one counter group")
+        for name in event_names:
+            if self.catalog.get(name).fixed:
+                raise ConfigError(
+                    f"event {name!r} is fixed and cannot be programmed"
+                )
+        from repro.counters.scheduling import assign_counters, effective_masks
+
+        masks = effective_masks(event_names, self.capacity, self.catalog)
+        if assign_counters(list(event_names), self.capacity, masks) is None:
+            raise ConfigError(
+                "no feasible counter-slot assignment for this group "
+                f"({event_names}); check the events' counter masks"
+            )
+        self._programmed = list(event_names)
+        for name in event_names:
+            self._totals.setdefault(name, 0.0)
+
+    def observe(self, activity: WindowActivity) -> dict[str, float]:
+        """Count one window with the current configuration.
+
+        Returns this window's counts for the fixed counters and the
+        currently programmed events, and accumulates running totals.
+        """
+        counts: dict[str, float] = {}
+        for name in self.catalog.fixed_names:
+            counts[name] = self.catalog.get(name).compute(activity, self.machine)
+        for name in self._programmed:
+            counts[name] = self.catalog.get(name).compute(activity, self.machine)
+        for name, value in counts.items():
+            self._totals[name] = self._totals.get(name, 0.0) + value
+        return counts
+
+    def read_totals(self) -> dict[str, float]:
+        """Accumulated counts since construction (or the last reset)."""
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals = {name: 0.0 for name in self.catalog.fixed_names}

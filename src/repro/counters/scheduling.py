@@ -1,0 +1,215 @@
+"""Multiplexing schedulers and constraint-aware event packing.
+
+Two realities of counter sampling the basic collector glosses over:
+
+1. **Which group runs when.**  ``perf`` rotates groups round-robin, but
+   that is a choice: random rotation decorrelates groups from periodic
+   program phases, and an adaptive scheduler can give noisy metrics more
+   slices.  §III-A's warning — over/under-represented execution skews the
+   analysis — is precisely a scheduling concern.
+2. **Which events can share a group.**  Real PMUs restrict some events to
+   specific counter slots (e.g. several Intel ``cycle_activity.*`` events
+   only count on general-purpose counter 2).  A group is feasible only if
+   its events can be assigned distinct legal slots — a bipartite matching
+   problem the packer solves greedily with backtracking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+from repro.counters.events import EventCatalog
+from repro.errors import ConfigError
+
+
+# ---------------------------------------------------------------------------
+# Slot assignment (bipartite matching) and constraint-aware packing
+# ---------------------------------------------------------------------------
+
+
+def assign_counters(
+    events: Sequence[str],
+    capacity: int,
+    masks: dict[str, tuple[int, ...] | None],
+) -> dict[str, int] | None:
+    """Assign each event a distinct counter slot honouring its mask.
+
+    ``masks[name]`` lists the slots the event may use (``None`` = any).
+    Returns the assignment, or ``None`` when no feasible assignment
+    exists.  Classic augmenting-path matching; the graphs are tiny.
+    """
+    if len(events) > capacity:
+        return None
+    slot_of: dict[str, int] = {}
+    event_in_slot: dict[int, str] = {}
+
+    def options(name: str) -> Sequence[int]:
+        mask = masks.get(name)
+        return range(capacity) if mask is None else mask
+
+    def try_place(name: str, visited: set[int]) -> bool:
+        for slot in options(name):
+            if slot < 0 or slot >= capacity or slot in visited:
+                continue
+            visited.add(slot)
+            holder = event_in_slot.get(slot)
+            if holder is None or try_place(holder, visited):
+                event_in_slot[slot] = name
+                slot_of[name] = slot
+                return True
+        return False
+
+    for name in events:
+        if not try_place(name, set()):
+            return None
+    return slot_of
+
+
+def effective_masks(
+    names: Sequence[str],
+    capacity: int,
+    catalog: EventCatalog,
+) -> dict[str, tuple[int, ...] | None]:
+    """Per-event slot masks adapted to this PMU's counter capacity.
+
+    Constraint tables describe a specific PMU's slot numbering.  On a
+    machine with fewer programmable counters, slots above the capacity
+    don't exist; an event whose entire mask is out of range falls back to
+    "any slot" (a different PMU assigns its own constraints).
+    """
+    masks: dict[str, tuple[int, ...] | None] = {}
+    for name in names:
+        mask = catalog.get(name).counter_mask
+        if mask is not None and not any(slot < capacity for slot in mask):
+            mask = None
+        masks[name] = mask
+    return masks
+
+
+def pack_events(
+    names: Sequence[str],
+    capacity: int,
+    catalog: EventCatalog,
+) -> list[list[str]]:
+    """Pack events into feasible groups of at most ``capacity``.
+
+    First-fit with feasibility checks: each event joins the first group
+    that still has a legal slot assignment with it included.  Raises when
+    an event cannot be scheduled at all (its mask is empty or out of
+    range).
+    """
+    if capacity < 1:
+        raise ConfigError("capacity must be at least 1")
+    masks = effective_masks(names, capacity, catalog)
+    groups: list[list[str]] = []
+    for name in names:
+        if assign_counters([name], capacity, masks) is None:
+            raise ConfigError(
+                f"event {name!r} cannot be scheduled on any of {capacity} counters"
+            )
+        placed = False
+        for group in groups:
+            if len(group) >= capacity:
+                continue
+            if assign_counters(group + [name], capacity, masks) is not None:
+                group.append(name)
+                placed = True
+                break
+        if not placed:
+            groups.append([name])
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+
+
+class MultiplexScheduler(Protocol):
+    """Chooses which event group observes the next window."""
+
+    def next_group(self, window_index: int, n_groups: int) -> int:
+        """Group index for window ``window_index``."""
+        ...  # pragma: no cover - protocol
+
+    def observe(self, group_index: int, time: float, work: float) -> None:
+        """Feedback after the window (adaptive schedulers use it)."""
+        ...  # pragma: no cover - protocol
+
+
+class RoundRobinScheduler:
+    """perf's default: groups rotate in fixed order."""
+
+    def next_group(self, window_index: int, n_groups: int) -> int:
+        return window_index % n_groups
+
+    def observe(self, group_index: int, time: float, work: float) -> None:
+        return None
+
+
+class RandomScheduler:
+    """Uniformly random group per slice; decorrelates from program phases."""
+
+    def __init__(self, rng: random.Random | None = None):
+        self.rng = rng or random.Random(0)
+
+    def next_group(self, window_index: int, n_groups: int) -> int:
+        return self.rng.randrange(n_groups)
+
+    def observe(self, group_index: int, time: float, work: float) -> None:
+        return None
+
+
+class AdaptiveScheduler:
+    """Gives more slices to groups whose throughput observations vary most.
+
+    Maintains a running mean/variance of ``work/time`` per group; each
+    decision samples proportionally to ``epsilon + stddev``.  Groups whose
+    metrics sit in volatile execution phases get revisited more often —
+    a direct mitigation of §III-A's representation concern.
+    """
+
+    def __init__(self, rng: random.Random | None = None, epsilon: float = 0.05):
+        if epsilon <= 0:
+            raise ConfigError("epsilon must be positive")
+        self.rng = rng or random.Random(0)
+        self.epsilon = epsilon
+        self._count: dict[int, int] = {}
+        self._mean: dict[int, float] = {}
+        self._m2: dict[int, float] = {}
+
+    def _stddev(self, group: int) -> float:
+        count = self._count.get(group, 0)
+        if count < 2:
+            return 0.0
+        return (self._m2[group] / (count - 1)) ** 0.5
+
+    def next_group(self, window_index: int, n_groups: int) -> int:
+        # Visit every group once before adapting.
+        for group in range(n_groups):
+            if self._count.get(group, 0) == 0:
+                return group
+        weights = [self.epsilon + self._stddev(g) for g in range(n_groups)]
+        total = sum(weights)
+        pick = self.rng.uniform(0.0, total)
+        running = 0.0
+        for group, weight in enumerate(weights):
+            running += weight
+            if pick <= running:
+                return group
+        return n_groups - 1  # pragma: no cover - float guard
+
+    def observe(self, group_index: int, time: float, work: float) -> None:
+        if time <= 0:
+            return
+        value = work / time
+        count = self._count.get(group_index, 0) + 1
+        self._count[group_index] = count
+        mean = self._mean.get(group_index, 0.0)
+        delta = value - mean
+        mean += delta / count
+        self._mean[group_index] = mean
+        self._m2[group_index] = self._m2.get(group_index, 0.0) + delta * (
+            value - mean
+        )

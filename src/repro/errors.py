@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class SpireError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DataError(SpireError):
+    """Raised when input samples or datasets are malformed."""
+
+
+class FitError(SpireError):
+    """Raised when a roofline cannot be fit to the provided samples."""
+
+
+class EstimationError(SpireError):
+    """Raised when a model cannot produce an estimate for the given input."""
+
+
+class ConfigError(SpireError):
+    """Raised when a machine or collection configuration is inconsistent."""
+
+
+class ParseError(DataError):
+    """Raised when external tool output (e.g. ``perf stat``) cannot be parsed."""

@@ -1,0 +1,20 @@
+"""Geometric primitives used by SPIRE's roofline fitting algorithms.
+
+This package is deliberately dependency-light: everything here operates on
+plain sequences of ``(x, y)`` pairs or small dataclasses so that the fitting
+code in :mod:`repro.core` stays easy to test in isolation.
+"""
+
+from repro.geometry.hull import upper_concave_chain
+from repro.geometry.pareto import pareto_front
+from repro.geometry.piecewise import Breakpoint, PiecewiseLinear
+from repro.geometry.shortest_path import Graph, dijkstra
+
+__all__ = [
+    "Breakpoint",
+    "PiecewiseLinear",
+    "Graph",
+    "dijkstra",
+    "pareto_front",
+    "upper_concave_chain",
+]

@@ -1,0 +1,172 @@
+"""Piecewise linear functions with step-discontinuity support.
+
+SPIRE rooflines are piecewise linear upper bounds on throughput.  The right
+fitting algorithm (paper Section III-D) permits one horizontal segment that
+joins the rest of the fit through a vertical drop, so the representation
+must tolerate two breakpoints sharing an x coordinate.  Evaluation at such a
+shared coordinate returns the *lower* of the two values: the function is an
+upper bound, so the tighter value is always the correct one.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Breakpoint:
+    """A single vertex of a piecewise linear function."""
+
+    x: float
+    y: float
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+class PiecewiseLinear:
+    """A piecewise linear function defined by a sequence of breakpoints.
+
+    Breakpoints must be sorted by non-decreasing ``x``.  Between consecutive
+    breakpoints the function interpolates linearly.  Outside the breakpoint
+    range the function extends with the boundary value (constant
+    extrapolation), which matches roofline semantics: beyond the last
+    observed operational intensity the attainable-throughput bound stays
+    flat.
+
+    Two breakpoints may share an ``x`` coordinate, encoding a step
+    discontinuity; evaluation at exactly that ``x`` returns the smaller
+    ``y``.
+    """
+
+    def __init__(self, breakpoints: Iterable[Breakpoint | tuple[float, float]]):
+        points = [
+            bp if isinstance(bp, Breakpoint) else Breakpoint(float(bp[0]), float(bp[1]))
+            for bp in breakpoints
+        ]
+        if not points:
+            raise ValueError("a piecewise linear function needs at least one breakpoint")
+        for left, right in zip(points, points[1:]):
+            if right.x < left.x:
+                raise ValueError(
+                    f"breakpoints must be sorted by x: {left.x} followed by {right.x}"
+                )
+        self._points = points
+        self._xs = [p.x for p in points]
+
+    @property
+    def breakpoints(self) -> Sequence[Breakpoint]:
+        return tuple(self._points)
+
+    @property
+    def x_min(self) -> float:
+        return self._points[0].x
+
+    @property
+    def x_max(self) -> float:
+        return self._points[-1].x
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Breakpoint]:
+        return iter(self._points)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({p.x:g}, {p.y:g})" for p in self._points)
+        return f"PiecewiseLinear([{inner}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PiecewiseLinear):
+            return NotImplemented
+        return self._points == other._points
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the function at ``x``."""
+        if math.isnan(x):
+            raise ValueError("cannot evaluate a piecewise function at NaN")
+        points = self._points
+        if x <= points[0].x:
+            return points[0].y
+        if x >= points[-1].x:
+            return points[-1].y
+        lo = bisect_left(self._xs, x)
+        hi = bisect_right(self._xs, x)
+        if lo != hi:
+            # x coincides with one or more breakpoints: return the tightest
+            # (smallest) value among them.
+            return min(p.y for p in points[lo:hi])
+        left = points[lo - 1]
+        right = points[lo]
+        if right.x == left.x:  # pragma: no cover - excluded by bisect logic
+            return min(left.y, right.y)
+        frac = (x - left.x) / (right.x - left.x)
+        return left.y + frac * (right.y - left.y)
+
+    def evaluate_many(self, xs: Iterable[float]) -> list[float]:
+        """Evaluate the function at each value in ``xs``."""
+        return [self(x) for x in xs]
+
+    def segments(self) -> list[tuple[Breakpoint, Breakpoint]]:
+        """Return the (possibly degenerate) segments between breakpoints."""
+        return list(zip(self._points, self._points[1:]))
+
+    def slopes(self) -> list[float]:
+        """Slopes of the non-degenerate segments, left to right.
+
+        Vertical steps (shared ``x``) are skipped because their slope is
+        undefined.
+        """
+        result = []
+        for left, right in self.segments():
+            if right.x > left.x:
+                result.append((right.y - left.y) / (right.x - left.x))
+        return result
+
+    def is_upper_bound_of(
+        self, points: Iterable[tuple[float, float]], tolerance: float = 1e-9
+    ) -> bool:
+        """Check that the function lies on or above every given point.
+
+        The tolerance is relative to each point's magnitude to stay robust
+        across the many orders of magnitude that operational intensities
+        span.
+        """
+        for x, y in points:
+            bound = self(x)
+            if bound < y - tolerance * max(1.0, abs(y)):
+                return False
+        return True
+
+    def translated(self, dx: float, dy: float) -> "PiecewiseLinear":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return PiecewiseLinear(Breakpoint(p.x + dx, p.y + dy) for p in self._points)
+
+    def scaled(self, sx: float, sy: float) -> "PiecewiseLinear":
+        """Return a copy with axes scaled by ``(sx, sy)``; ``sx`` must be > 0."""
+        if sx <= 0:
+            raise ValueError("x scale must be positive to preserve breakpoint order")
+        return PiecewiseLinear(Breakpoint(p.x * sx, p.y * sy) for p in self._points)
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dictionary."""
+        return {"breakpoints": [[p.x, p.y] for p in self._points]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PiecewiseLinear":
+        """Inverse of :meth:`to_dict`."""
+        return cls(tuple(bp) for bp in payload["breakpoints"])
+
+
+def merge_min(functions: Sequence[PiecewiseLinear], xs: Iterable[float]) -> list[float]:
+    """Pointwise minimum of several piecewise functions sampled at ``xs``.
+
+    Used for plotting an ensemble-wide envelope; the functions themselves
+    are kept separate inside the model.
+    """
+    if not functions:
+        raise ValueError("merge_min needs at least one function")
+    return [min(f(x) for f in functions) for x in xs]

@@ -1,0 +1,106 @@
+"""A small weighted digraph with Dijkstra shortest path.
+
+The right fitting algorithm encodes candidate segment sequences as a graph
+whose edge weights are squared estimation errors (paper Figure 6) and then
+extracts the best fit as the cheapest ``Start -> End`` path with Dijkstra's
+algorithm [Dijkstra 1959].  The graphs involved are small (vertices are
+pairs of Pareto samples), so a simple binary-heap implementation is both
+sufficient and easy to audit.  ``networkx`` is used only in the test suite
+as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+
+class Graph:
+    """A directed graph with non-negative edge weights."""
+
+    def __init__(self) -> None:
+        self._adjacency: dict[Hashable, dict[Hashable, float]] = {}
+
+    def add_node(self, node: Hashable) -> None:
+        self._adjacency.setdefault(node, {})
+
+    def add_edge(self, source: Hashable, target: Hashable, weight: float) -> None:
+        """Insert an edge, keeping the lighter weight on duplicates."""
+        if weight < 0:
+            raise ValueError(f"Dijkstra requires non-negative weights, got {weight}")
+        self.add_node(source)
+        self.add_node(target)
+        edges = self._adjacency[source]
+        if target not in edges or weight < edges[target]:
+            edges[target] = weight
+
+    @property
+    def node_count(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._adjacency.values())
+
+    def nodes(self) -> Iterable[Hashable]:
+        return self._adjacency.keys()
+
+    def edges(self) -> Iterable[tuple[Hashable, Hashable, float]]:
+        for source, targets in self._adjacency.items():
+            for target, weight in targets.items():
+                yield source, target, weight
+
+    def neighbors(self, node: Hashable) -> dict[Hashable, float]:
+        return dict(self._adjacency.get(node, {}))
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._adjacency
+
+
+def dijkstra(
+    graph: Graph, source: Hashable, target: Hashable
+) -> tuple[float, list[Hashable]]:
+    """Shortest path from ``source`` to ``target``.
+
+    Returns ``(total_weight, path)`` where ``path`` includes both
+    endpoints.  Raises :class:`ValueError` if ``target`` is unreachable or
+    either endpoint is missing from the graph.
+    """
+    if source not in graph:
+        raise ValueError(f"source {source!r} is not in the graph")
+    if target not in graph:
+        raise ValueError(f"target {target!r} is not in the graph")
+
+    distances: dict[Hashable, float] = {source: 0.0}
+    predecessors: dict[Hashable, Hashable] = {}
+    visited: set[Hashable] = set()
+    # Heap entries carry an insertion counter so unhashable comparisons
+    # between node payloads never occur.
+    counter = 0
+    heap: list[tuple[float, int, Hashable]] = [(0.0, counter, source)]
+
+    while heap:
+        distance, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target:
+            break
+        for neighbor, weight in graph.neighbors(node).items():
+            if neighbor in visited:
+                continue
+            candidate = distance + weight
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+
+    if target not in visited:
+        raise ValueError(f"no path from {source!r} to {target!r}")
+
+    path = [target]
+    while path[-1] != source:
+        path.append(predecessors[path[-1]])
+    path.reverse()
+    return distances[target], path

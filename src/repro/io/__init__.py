@@ -1,0 +1,29 @@
+"""Persistence: sample datasets (CSV/JSON) and trained models (JSON)."""
+
+from repro.io.experiment import (
+    ExperimentArchive,
+    archive_pipeline_result,
+    load_experiment,
+    save_experiment,
+)
+from repro.io.dataset import (
+    load_model,
+    load_samples_csv,
+    load_samples_json,
+    save_model,
+    save_samples_csv,
+    save_samples_json,
+)
+
+__all__ = [
+    "ExperimentArchive",
+    "archive_pipeline_result",
+    "load_experiment",
+    "save_experiment",
+    "load_model",
+    "load_samples_csv",
+    "load_samples_json",
+    "save_model",
+    "save_samples_csv",
+    "save_samples_json",
+]

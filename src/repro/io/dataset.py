@@ -1,0 +1,105 @@
+"""Save/load sample sets and trained SPIRE models.
+
+CSV is the interchange format for samples (one row per sample, stable
+column order); JSON carries both samples and serialized models.  All
+loaders validate through the same constructors as in-memory construction,
+so a corrupted file fails loudly with :class:`repro.errors.DataError`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.core.ensemble import SpireModel
+from repro.core.sample import Sample, SampleSet
+from repro.errors import DataError
+
+_CSV_FIELDS = ("metric", "time", "work", "metric_count")
+
+
+def save_samples_csv(samples: SampleSet, path: str | Path) -> Path:
+    """Write a sample set as CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for sample in samples:
+            writer.writerow(sample.to_dict())
+    return path
+
+
+def load_samples_csv(path: str | Path) -> SampleSet:
+    """Read a sample set written by :func:`save_samples_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"sample file {path} does not exist")
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise DataError(f"{path}: missing CSV columns {sorted(missing)}")
+        samples = SampleSet()
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                samples.add(
+                    Sample(
+                        metric=row["metric"],
+                        time=float(row["time"]),
+                        work=float(row["work"]),
+                        metric_count=float(row["metric_count"]),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise DataError(f"{path}:{row_number}: {exc}") from exc
+    if not samples:
+        raise DataError(f"{path}: no samples")
+    return samples
+
+
+def save_samples_json(samples: SampleSet, path: str | Path) -> Path:
+    """Write a sample set as a JSON record list."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"samples": samples.to_records()}, indent=1), encoding="utf-8"
+    )
+    return path
+
+
+def load_samples_json(path: str | Path) -> SampleSet:
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"sample file {path} does not exist")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path}: invalid JSON ({exc})") from exc
+    if "samples" not in payload:
+        raise DataError(f"{path}: missing 'samples' key")
+    return SampleSet.from_records(payload["samples"])
+
+
+def save_model(model: SpireModel, path: str | Path) -> Path:
+    """Serialize a trained ensemble to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(model.to_dict(), indent=1), encoding="utf-8")
+    return path
+
+
+def load_model(path: str | Path) -> SpireModel:
+    """Load an ensemble serialized by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"model file {path} does not exist")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path}: invalid JSON ({exc})") from exc
+    try:
+        return SpireModel.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"{path}: malformed model payload ({exc})") from exc

@@ -1,0 +1,141 @@
+"""Persisting whole experiments: model + per-workload samples + metadata.
+
+A full evaluation run produces more than a model: every workload's sample
+collection, its measured IPC, and its Top-Down classification.  Saving all
+of it lets later sessions regenerate tables, run new analyses, or diff two
+runs without re-simulating.  The layout is a plain directory:
+
+    <dir>/
+      manifest.json        run metadata + per-workload index
+      model.json           the trained ensemble
+      samples/<name>.csv   one CSV per workload
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.ensemble import SpireModel
+from repro.core.sample import SampleSet
+from repro.errors import DataError
+from repro.io.dataset import (
+    load_model,
+    load_samples_csv,
+    save_model,
+    save_samples_csv,
+)
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass
+class ExperimentArchive:
+    """An on-disk experiment: the model plus every workload's samples."""
+
+    model: SpireModel
+    workload_samples: dict[str, SampleSet]
+    metadata: dict = field(default_factory=dict)
+    workload_info: dict[str, dict] = field(default_factory=dict)
+
+    def workloads(self) -> list[str]:
+        return sorted(self.workload_samples)
+
+    def samples_for(self, workload: str) -> SampleSet:
+        try:
+            return self.workload_samples[workload]
+        except KeyError:
+            raise DataError(
+                f"archive has no samples for workload {workload!r}"
+            ) from None
+
+
+def _safe_name(workload: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in workload)
+
+
+def save_experiment(
+    directory: str | Path,
+    model: SpireModel,
+    workload_samples: dict[str, SampleSet],
+    metadata: dict | None = None,
+    workload_info: dict[str, dict] | None = None,
+) -> Path:
+    """Write an experiment archive; returns the directory."""
+    directory = Path(directory)
+    (directory / "samples").mkdir(parents=True, exist_ok=True)
+    save_model(model, directory / "model.json")
+
+    index = {}
+    for workload, samples in workload_samples.items():
+        filename = f"{_safe_name(workload)}.csv"
+        save_samples_csv(samples, directory / "samples" / filename)
+        entry = {"file": filename, "samples": len(samples)}
+        if workload_info and workload in workload_info:
+            entry.update(workload_info[workload])
+        index[workload] = entry
+
+    manifest = {
+        "format": "spire-experiment/1",
+        "metadata": metadata or {},
+        "workloads": index,
+    }
+    (directory / _MANIFEST).write_text(
+        json.dumps(manifest, indent=1), encoding="utf-8"
+    )
+    return directory
+
+
+def load_experiment(directory: str | Path) -> ExperimentArchive:
+    """Read an archive written by :func:`save_experiment`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise DataError(f"{directory} has no {_MANIFEST}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{manifest_path}: invalid JSON ({exc})") from exc
+    if manifest.get("format") != "spire-experiment/1":
+        raise DataError(
+            f"{manifest_path}: unknown archive format "
+            f"{manifest.get('format')!r}"
+        )
+
+    model = load_model(directory / "model.json")
+    workload_samples: dict[str, SampleSet] = {}
+    workload_info: dict[str, dict] = {}
+    for workload, entry in manifest.get("workloads", {}).items():
+        path = directory / "samples" / entry["file"]
+        workload_samples[workload] = load_samples_csv(path)
+        workload_info[workload] = {
+            key: value for key, value in entry.items() if key != "file"
+        }
+    return ExperimentArchive(
+        model=model,
+        workload_samples=workload_samples,
+        metadata=manifest.get("metadata", {}),
+        workload_info=workload_info,
+    )
+
+
+def archive_pipeline_result(directory: str | Path, result) -> Path:
+    """Archive a :class:`repro.pipeline.ExperimentResult`."""
+    workload_samples = {}
+    workload_info = {}
+    for name, run in {**result.training_runs, **result.testing_runs}.items():
+        workload_samples[name] = run.collection.samples
+        workload_info[name] = {
+            "role": run.workload.role,
+            "measured_ipc": run.measured_ipc,
+            "tma_category": run.table1_category,
+        }
+    metadata = {"machine": result.machine.name}
+    return save_experiment(
+        directory,
+        result.model,
+        workload_samples,
+        metadata=metadata,
+        workload_info=workload_info,
+    )

@@ -1,0 +1,15 @@
+"""Top-Down Microarchitecture Analysis — the VTune-baseline substitute."""
+
+from repro.tma.drilldown import Drilldown, DrilldownStep, drilldown
+from repro.tma.hierarchy import TMA_TREE, TMANode
+from repro.tma.topdown import TMAResult, TopDownAnalyzer
+
+__all__ = [
+    "Drilldown",
+    "DrilldownStep",
+    "TMANode",
+    "TMAResult",
+    "TMA_TREE",
+    "TopDownAnalyzer",
+    "drilldown",
+]

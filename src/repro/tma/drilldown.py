@@ -1,0 +1,116 @@
+"""Top-Down drilldown: walk the hierarchy from symptom to cause.
+
+Top-Down's defining workflow (§II-B) is hierarchical: start at the four
+level-1 categories, descend into the dominant child at each level, and
+stop at an actionable leaf.  This module automates the walk and renders
+it, giving the TMA baseline the same "follow-up analysis" convenience
+SPIRE's ranked pool provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError
+from repro.tma.hierarchy import TMA_TREE, TMANode
+from repro.tma.topdown import TMAResult
+
+# Advice attached to each actionable leaf/category, in the spirit of the
+# guidance vendor tools print next to their categories.
+_ADVICE = {
+    "fetch_latency": "reduce code footprint / icache+iTLB pressure; check MS flows",
+    "fetch_bandwidth": "improve uop-cache (DSB) coverage; avoid legacy-decode-heavy code",
+    "branch_mispredicts": "restructure unpredictable branches; consider branchless forms",
+    "machine_clears": "check memory-ordering conflicts and self-modifying code",
+    "l2_bound": "improve L1 locality (blocking, layout)",
+    "l3_bound": "improve L2/L3 locality; reduce working set",
+    "dram_bound": "reduce DRAM traffic; add prefetching or raise MLP",
+    "lock_latency": "reduce atomic/lock contention or lock granularity",
+    "divider": "replace divides (reciprocals, strength reduction)",
+    "ports_utilization": "expose more ILP; break dependence chains",
+    "vector_width": "avoid mixing 256/512-bit SIMD in hot loops",
+    "microcode_sequencer": "avoid microcoded instructions in hot paths",
+    "base": "healthy retirement — optimize algorithmic work",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class DrilldownStep:
+    """One level of the walk: the dominant category and its share."""
+
+    name: str
+    fraction: float
+    depth: int
+
+
+@dataclass
+class Drilldown:
+    """The dominant-child path through the Top-Down tree."""
+
+    steps: list[DrilldownStep]
+
+    @property
+    def leaf(self) -> DrilldownStep:
+        return self.steps[-1]
+
+    @property
+    def path(self) -> list[str]:
+        return [step.name for step in self.steps]
+
+    @property
+    def advice(self) -> str:
+        return _ADVICE.get(self.leaf.name, "inspect this category's events")
+
+    def render(self) -> str:
+        lines = []
+        for step in self.steps:
+            indent = "  " * step.depth
+            lines.append(f"{indent}{step.fraction:6.1%}  {step.name}")
+        lines.append(f"-> {self.advice}")
+        return "\n".join(lines)
+
+
+def drilldown(
+    result: TMAResult,
+    include_retiring: bool = False,
+    minimum_fraction: float = 0.02,
+) -> Drilldown:
+    """Walk the hierarchy, taking the largest child at each level.
+
+    ``include_retiring`` allows the walk to start at Retiring when it
+    dominates (useful for healthy workloads); otherwise the walk starts at
+    the largest *bottleneck* category.  The walk stops when no child
+    clears ``minimum_fraction``.
+    """
+    if not 0.0 <= minimum_fraction < 1.0:
+        raise DataError("minimum_fraction must be in [0, 1)")
+
+    def children_of(node: TMANode) -> list[TMANode]:
+        return list(node.children)
+
+    candidates = [
+        child
+        for child in children_of(TMA_TREE)
+        if include_retiring or child.name != "retiring"
+    ]
+    current = max(candidates, key=lambda n: result.fractions.get(n.name, 0.0))
+    steps = [
+        DrilldownStep(
+            name=current.name,
+            fraction=result.fractions.get(current.name, 0.0),
+            depth=0,
+        )
+    ]
+    depth = 1
+    while True:
+        children = children_of(current)
+        if not children:
+            break
+        best = max(children, key=lambda n: result.fractions.get(n.name, 0.0))
+        fraction = result.fractions.get(best.name, 0.0)
+        if fraction < minimum_fraction:
+            break
+        steps.append(DrilldownStep(name=best.name, fraction=fraction, depth=depth))
+        current = best
+        depth += 1
+    return Drilldown(steps=steps)

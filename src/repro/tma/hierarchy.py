@@ -1,0 +1,103 @@
+"""The Top-Down category hierarchy (Yasin 2014; paper §IV).
+
+Level 1 splits every pipeline slot into Retiring / Front-End Bound /
+Bad Speculation / Back-End Bound.  Level 2 subdivides each, most notably
+Back-End Bound into Memory Bound and Core Bound — the split the paper's
+Table I colors use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TMANode:
+    """One category in the Top-Down tree."""
+
+    name: str
+    description: str = ""
+    children: tuple["TMANode", ...] = field(default_factory=tuple)
+
+    def find(self, name: str) -> "TMANode | None":
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def walk(self) -> list["TMANode"]:
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.walk())
+        return nodes
+
+    def paths(self, prefix: tuple[str, ...] = ()) -> list[tuple[str, ...]]:
+        path = prefix + (self.name,)
+        result = [path]
+        for child in self.children:
+            result.extend(child.paths(path))
+        return result
+
+
+TMA_TREE = TMANode(
+    "total",
+    "All pipeline slots",
+    (
+        TMANode(
+            "retiring",
+            "Slots that retired useful uops",
+            (
+                TMANode("base", "Ordinary retirement"),
+                TMANode("microcode_sequencer", "Uops from MS flows"),
+            ),
+        ),
+        TMANode(
+            "front_end_bound",
+            "Slots lost because the front end under-delivered",
+            (
+                TMANode("fetch_latency", "Icache/iTLB misses, MS/DSB switches"),
+                TMANode("fetch_bandwidth", "Decode/DSB bandwidth shortfall"),
+            ),
+        ),
+        TMANode(
+            "bad_speculation",
+            "Slots wasted on wrong-path work and recovery",
+            (
+                TMANode("branch_mispredicts", "Mispredicted branches"),
+                TMANode("machine_clears", "Memory ordering / SMC clears"),
+            ),
+        ),
+        TMANode(
+            "back_end_bound",
+            "Slots stalled behind back-end resources",
+            (
+                TMANode(
+                    "memory_bound",
+                    "Stalled on the memory subsystem",
+                    (
+                        TMANode("l2_bound", "Served by L2"),
+                        TMANode("l3_bound", "Served by L3"),
+                        TMANode("dram_bound", "Served by DRAM"),
+                        TMANode("lock_latency", "Serialized locked accesses"),
+                    ),
+                ),
+                TMANode(
+                    "core_bound",
+                    "Stalled on execution resources",
+                    (
+                        TMANode("divider", "Non-pipelined divider occupancy"),
+                        TMANode("ports_utilization", "Poor port/ILP utilization"),
+                        TMANode("vector_width", "SIMD width transitions"),
+                    ),
+                ),
+            ),
+        ),
+    ),
+)
+
+# The four Table I colors: Level-1 categories with Back-End Bound replaced
+# by its Level-2 split, which is how the paper reports "main bottleneck".
+TABLE1_CATEGORIES = ("Front-End", "Bad Speculation", "Memory", "Core")

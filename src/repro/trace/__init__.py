@@ -1,0 +1,37 @@
+"""A trace-driven out-of-order pipeline simulator — the second substrate.
+
+The paper's central claim is architecture independence: SPIRE "can be
+immediately applied to any processor microarchitecture" because it learns
+from ``(T, W, M_x)`` samples alone.  The statistical interval model in
+:mod:`repro.uarch` is one substrate; this package is a *structurally
+different* one — an actual cycle-by-cycle simulator that executes micro-op
+traces through a gshare branch predictor, set-associative LRU caches, and
+an out-of-order issue window — so the reproduction can demonstrate the
+same SPIRE pipeline working, unmodified, on a second machine whose
+counters arise from genuinely simulated events rather than statistical
+rates.
+"""
+
+from repro.trace.branch import GsharePredictor
+from repro.trace.cache import CacheHierarchy, SetAssociativeCache
+from repro.trace.kernels import KERNELS, kernel_by_name, make_kernel_trace
+from repro.trace.pipeline import PipelineConfig, PipelineCounters, TracePipeline
+from repro.trace.program import TraceProgram
+from repro.trace.sampling import TRACE_EVENT_AREAS, collect_trace_samples
+from repro.trace.uops import MicroOp
+
+__all__ = [
+    "KERNELS",
+    "CacheHierarchy",
+    "GsharePredictor",
+    "MicroOp",
+    "PipelineConfig",
+    "PipelineCounters",
+    "SetAssociativeCache",
+    "TRACE_EVENT_AREAS",
+    "TracePipeline",
+    "TraceProgram",
+    "collect_trace_samples",
+    "kernel_by_name",
+    "make_kernel_trace",
+]

@@ -1,0 +1,64 @@
+"""A gshare branch predictor.
+
+Classic two-level prediction: the program counter is XOR-folded with a
+global history register to index a table of 2-bit saturating counters.
+Predictable patterns (loop back-edges, repeating sequences) train quickly;
+data-dependent random branches converge to ~50 % accuracy — precisely the
+behavioural spread the ``branchy`` kernels exploit to move the
+``trace.branch_mispredicts`` metric across its intensity range.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class GsharePredictor:
+    """Gshare with 2-bit saturating counters."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 8):
+        if not 1 <= table_bits <= 24:
+            raise ConfigError("table_bits must be in [1, 24]")
+        if not 0 <= history_bits <= table_bits:
+            raise ConfigError("history_bits must be in [0, table_bits]")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        # 2-bit counters initialized weakly taken.
+        self._table = bytearray([2] * (1 << table_bits))
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ (self._history & self._history_mask)) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train on the outcome, and report correctness."""
+        index = self._index(pc)
+        prediction = self._table[index] >= 2
+        if taken and self._table[index] < 3:
+            self._table[index] += 1
+        elif not taken and self._table[index] > 0:
+            self._table[index] -= 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        self.predictions += 1
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

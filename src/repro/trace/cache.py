@@ -1,0 +1,121 @@
+"""Set-associative caches with LRU replacement, composed into a hierarchy.
+
+Unlike the statistical memory model in :mod:`repro.uarch.memory`, these
+caches see actual byte addresses: sequential streams hit after the first
+line touch, large random footprints conflict-miss, and pointer chases miss
+at whatever level their working set exceeds.  The hierarchy reports which
+level served each access plus its load-to-use latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class SetAssociativeCache:
+    """One cache level: ``size`` bytes, ``line`` -byte lines, LRU sets."""
+
+    def __init__(self, name: str, size: int, line: int = 64, ways: int = 8):
+        if size <= 0 or line <= 0 or ways <= 0:
+            raise ConfigError("cache geometry must be positive")
+        if size % (line * ways) != 0:
+            raise ConfigError(
+                f"{name}: size {size} not divisible by line*ways {line * ways}"
+            )
+        self.name = name
+        self.size = size
+        self.line = line
+        self.ways = ways
+        self.n_sets = size // (line * ways)
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[OrderedDict, int]:
+        line_address = address // self.line
+        return self._sets[line_address % self.n_sets], line_address
+
+    def access(self, address: int) -> bool:
+        """Access ``address``; returns True on hit.  Misses fill the line."""
+        cache_set, tag = self._locate(address)
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        cache_set[tag] = None
+        if len(cache_set) > self.ways:
+            cache_set.popitem(last=False)  # evict LRU
+        return False
+
+    def contains(self, address: int) -> bool:
+        cache_set, tag = self._locate(address)
+        return tag in cache_set
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    level: str      # "l1" | "l2" | "l3" | "dram"
+    latency: int    # load-to-use cycles
+
+
+class CacheHierarchy:
+    """Three inclusive levels backed by DRAM.
+
+    Latencies default to the same Skylake-class numbers the statistical
+    machine uses, so IPCs from the two substrates are comparable.
+    """
+
+    def __init__(
+        self,
+        l1_size: int = 32 * 1024,
+        l2_size: int = 1024 * 1024,
+        l3_size: int = 8 * 1024 * 1024,
+        line: int = 64,
+        l1_latency: int = 4,
+        l2_latency: int = 14,
+        l3_latency: int = 50,
+        dram_latency: int = 210,
+    ):
+        self.l1 = SetAssociativeCache("l1", l1_size, line, ways=8)
+        self.l2 = SetAssociativeCache("l2", l2_size, line, ways=16)
+        self.l3 = SetAssociativeCache("l3", l3_size, line, ways=16)
+        self.latencies = {
+            "l1": l1_latency,
+            "l2": l2_latency,
+            "l3": l3_latency,
+            "dram": dram_latency,
+        }
+        self.dram_accesses = 0
+
+    def access(self, address: int) -> AccessResult:
+        """Look up an address, filling lines on the way down."""
+        if self.l1.access(address):
+            return AccessResult("l1", self.latencies["l1"])
+        if self.l2.access(address):
+            return AccessResult("l2", self.latencies["l2"])
+        if self.l3.access(address):
+            return AccessResult("l3", self.latencies["l3"])
+        self.dram_accesses += 1
+        return AccessResult("dram", self.latencies["dram"])
+
+    def reset_stats(self) -> None:
+        for level in (self.l1, self.l2, self.l3):
+            level.reset_stats()
+        self.dram_accesses = 0

@@ -1,0 +1,177 @@
+"""Synthetic micro-op trace kernels.
+
+Each kernel generates the dynamic micro-op stream of a small program with
+one dominant behaviour, parameterized by an ``intensity`` knob in [0, 1]
+that scales how hard the behaviour is exercised.  Together they play the
+role the workload suite plays for the statistical substrate: spreading
+SPIRE's training samples across each trace metric's intensity axis.
+
+Kernels
+-------
+``stream``        sequential loads over a large array (bandwidth friendly)
+``pointer_chase`` dependent loads over a shuffled ring (latency bound)
+``branchy``       data-dependent branches with tunable predictability
+``compute``       independent FP chains (high ILP)
+``divider``       long dependent integer-divide chains
+``mixed``         a round-robin blend of the above
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.errors import ConfigError
+from repro.trace.uops import MicroOp
+
+_LINE = 64
+
+
+def stream(
+    n: int, intensity: float, rng: random.Random
+) -> Iterator[MicroOp]:
+    """Sequential loads mixed with ALU work; intensity = load density."""
+    load_share = 0.1 + 0.5 * intensity
+    address = 0
+    footprint = 64 * 1024 * 1024
+    reg = 1
+    for i in range(n):
+        if rng.random() < load_share:
+            address = (address + _LINE // 2) % footprint
+            yield MicroOp(
+                "load", dest=reg % 30 + 1, address=address, pc=(i % 128) * 4
+            )
+        else:
+            yield MicroOp(
+                "alu", dest=reg % 30 + 1, sources=(max(1, (reg - 1) % 30 + 1),),
+                pc=(i % 128) * 4,
+            )
+        reg += 1
+
+
+def pointer_chase(
+    n: int, intensity: float, rng: random.Random
+) -> Iterator[MicroOp]:
+    """Dependent loads over a shuffled ring; intensity = footprint size."""
+    # Footprint from L1-resident (2 KiB) at intensity 0 toward multi-MiB
+    # at intensity 1.  Small-to-mid intensities revisit the ring several
+    # times (hits at the level that holds it); high intensities exceed the
+    # trace's revisit budget, so accesses become cold DRAM misses — the
+    # same latency-bound endpoint a real huge chase reaches.
+    footprint = int(2 * 1024 * (2.0 ** (11.0 * intensity)))
+    n_nodes = max(4, footprint // _LINE)
+    node = rng.randrange(n_nodes)
+    stride = 977  # co-prime walk approximates a shuffled ring cheaply
+    for i in range(n):
+        if i % 4 == 0:
+            node = (node + stride) % n_nodes
+            # dest register 1 feeds the next load: a dependent chain.
+            yield MicroOp("load", dest=1, sources=(1,), address=node * _LINE,
+                          pc=(i % 128) * 4)
+        else:
+            yield MicroOp("alu", dest=2 + i % 8, sources=(1,), pc=(i % 128) * 4)
+
+
+def branchy(
+    n: int, intensity: float, rng: random.Random
+) -> Iterator[MicroOp]:
+    """Frequent branches; intensity = unpredictability (0 = perfect loop)."""
+    for i in range(n):
+        if i % 3 == 0:
+            if rng.random() < intensity:
+                taken = rng.random() < 0.5  # data-dependent: untrainable
+            else:
+                taken = (i // 3) % 8 != 7  # loop-shaped: trains quickly
+            yield MicroOp("branch", sources=(1,), taken=taken, pc=(i % 64) * 4)
+        else:
+            yield MicroOp("alu", dest=1 + i % 16, sources=(1 + (i + 1) % 16,),
+                          pc=(i % 64) * 4)
+
+
+def compute(
+    n: int, intensity: float, rng: random.Random
+) -> Iterator[MicroOp]:
+    """FP arithmetic; intensity = dependence (0 = wide ILP, 1 = one chain)."""
+    chains = max(1, int(16 * (1.0 - intensity)) + 1)
+    for i in range(n):
+        chain = i % chains
+        yield MicroOp("fp", dest=1 + chain, sources=(1 + chain,), pc=(i % 128) * 4)
+
+
+def divider(
+    n: int, intensity: float, rng: random.Random
+) -> Iterator[MicroOp]:
+    """Integer work salted with divides; intensity = divide density."""
+    divide_share = 0.002 + 0.08 * intensity
+    for i in range(n):
+        if rng.random() < divide_share:
+            yield MicroOp("div", dest=1, sources=(1,), pc=(i % 128) * 4)
+        else:
+            yield MicroOp("alu", dest=2 + i % 12, sources=(2 + (i + 1) % 12,),
+                          pc=(i % 128) * 4)
+
+
+def codebloat(
+    n: int, intensity: float, rng: random.Random
+) -> Iterator[MicroOp]:
+    """ALU work spread over a large code footprint; intensity = footprint.
+
+    PCs walk a region from L1I-resident (8 KiB) to far beyond it, so high
+    intensities thrash the instruction cache — the trace substrate's
+    front-end-bound kernel.
+    """
+    footprint = int(8 * 1024 * (2.0 ** (7.0 * intensity)))
+    pc = 0
+    for i in range(n):
+        pc = (pc + 68) % footprint  # stride past a line per instruction
+        yield MicroOp("alu", dest=1 + i % 16, sources=(1 + (i + 1) % 16,), pc=pc)
+
+
+def mixed(
+    n: int, intensity: float, rng: random.Random
+) -> Iterator[MicroOp]:
+    """A blend cycling through the other kernels in slices."""
+    generators: list[Callable] = [
+        stream, pointer_chase, branchy, compute, divider, codebloat,
+    ]
+    slice_length = max(1, n // (len(generators) * 2))
+    produced = 0
+    index = 0
+    while produced < n:
+        kernel = generators[index % len(generators)]
+        count = min(slice_length, n - produced)
+        yield from kernel(count, intensity, rng)
+        produced += count
+        index += 1
+
+
+KERNELS: dict[str, Callable] = {
+    "codebloat": codebloat,
+    "stream": stream,
+    "pointer_chase": pointer_chase,
+    "branchy": branchy,
+    "compute": compute,
+    "divider": divider,
+    "mixed": mixed,
+}
+
+
+def kernel_by_name(name: str) -> Callable:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown trace kernel {name!r}; options: {sorted(KERNELS)}"
+        ) from None
+
+
+def make_kernel_trace(
+    name: str, n: int, intensity: float, seed: int = 0
+) -> list[MicroOp]:
+    """Materialize ``n`` micro-ops of the named kernel."""
+    if not 0.0 <= intensity <= 1.0:
+        raise ConfigError(f"kernel intensity must be in [0, 1], got {intensity}")
+    if n < 1:
+        raise ConfigError("trace needs at least one micro-op")
+    rng = random.Random(seed)
+    return list(kernel_by_name(name)(n, intensity, rng))

@@ -1,0 +1,286 @@
+"""A cycle-accounting out-of-order pipeline over micro-op traces.
+
+The model executes a dynamic micro-op stream through:
+
+- in-order **fetch/dispatch** at ``width`` uops per cycle, with redirect
+  bubbles after every branch the gshare predictor gets wrong;
+- a bounded **reorder buffer**: a uop cannot dispatch until the entry of
+  the uop ``rob_size`` positions earlier has retired;
+- **register dependences** with implicit renaming (only true RAW
+  dependences stall; the scheduler is otherwise fully out of order);
+- per-kind **functional-unit throughput** limits plus a non-pipelined
+  divider;
+- a real **cache hierarchy** for loads (:mod:`repro.trace.cache`);
+- in-order **retirement** at ``width`` uops per cycle.
+
+Everything it counts — mispredicts, per-level misses, ROB stalls, operand
+waits, redirect bubbles, divider occupancy — feeds SPIRE samples through
+:mod:`repro.trace.sampling`.  The point is not Skylake fidelity but that
+these counters arise from *simulated events* (table lookups, LRU state,
+dependence chains), i.e. a substrate with entirely different internals
+from :mod:`repro.uarch`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigError
+from repro.trace.branch import GsharePredictor
+from repro.trace.cache import CacheHierarchy
+from repro.trace.uops import MicroOp
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Geometry of the trace pipeline."""
+
+    width: int = 4
+    rob_size: int = 128
+    redirect_penalty: int = 12
+    icache_size: int = 32 * 1024
+    icache_miss_penalty: int = 8
+    # Per-kind issue throughput (uops per cycle).
+    throughput: dict = field(
+        default_factory=lambda: {
+            "alu": 4,
+            "mul": 1,
+            "fp": 2,
+            "load": 2,
+            "store": 1,
+            "branch": 1,
+            "div": 1,
+        }
+    )
+    divider_occupancy: int = 20  # non-pipelined cycles per divide
+    predictor_table_bits: int = 12
+    predictor_history_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.rob_size < self.width:
+            raise ConfigError("need width >= 1 and rob_size >= width")
+        if self.redirect_penalty < 0:
+            raise ConfigError("redirect penalty cannot be negative")
+        for kind, rate in self.throughput.items():
+            if rate < 1:
+                raise ConfigError(f"throughput for {kind!r} must be >= 1")
+
+
+@dataclass
+class PipelineCounters:
+    """Raw totals the pipeline accumulates (the substrate's PMU)."""
+
+    instructions: int = 0
+    cycles: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    loads: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    l3_misses: int = 0
+    divides: int = 0
+    divider_busy_cycles: int = 0
+    redirect_stall_cycles: int = 0
+    rob_stall_cycles: int = 0
+    icache_misses: int = 0
+    icache_stall_cycles: int = 0
+    operand_wait_cycles: int = 0
+    fu_contention_cycles: int = 0
+    memory_wait_cycles: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "trace.instructions": float(self.instructions),
+            "trace.cycles": float(self.cycles),
+            "trace.branches": float(self.branches),
+            "trace.branch_mispredicts": float(self.branch_mispredicts),
+            "trace.loads": float(self.loads),
+            "trace.l1_misses": float(self.l1_misses),
+            "trace.l2_misses": float(self.l2_misses),
+            "trace.l3_misses": float(self.l3_misses),
+            "trace.divides": float(self.divides),
+            "trace.divider_busy_cycles": float(self.divider_busy_cycles),
+            "trace.redirect_stall_cycles": float(self.redirect_stall_cycles),
+            "trace.rob_stall_cycles": float(self.rob_stall_cycles),
+            "trace.icache_misses": float(self.icache_misses),
+            "trace.icache_stall_cycles": float(self.icache_stall_cycles),
+            "trace.operand_wait_cycles": float(self.operand_wait_cycles),
+            "trace.fu_contention_cycles": float(self.fu_contention_cycles),
+            "trace.memory_wait_cycles": float(self.memory_wait_cycles),
+        }
+
+    def delta_from(self, earlier: "PipelineCounters") -> dict[str, float]:
+        now = self.as_dict()
+        before = earlier.as_dict()
+        return {name: now[name] - before[name] for name in now}
+
+    def copy(self) -> "PipelineCounters":
+        return PipelineCounters(**vars(self))
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class TracePipeline:
+    """Executes micro-op traces, keeping state across calls."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        hierarchy: CacheHierarchy | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        self.caches = hierarchy or CacheHierarchy()
+        self.predictor = GsharePredictor(
+            self.config.predictor_table_bits, self.config.predictor_history_bits
+        )
+        from repro.trace.cache import SetAssociativeCache
+
+        self.icache = SetAssociativeCache(
+            "icache", self.config.icache_size, line=64, ways=8
+        )
+        self.counters = PipelineCounters()
+        # Scheduling state, all in absolute cycle numbers.
+        self._register_ready: dict[int, int] = {}
+        self._fetch_ready = 0          # next cycle fetch can deliver
+        self._fetched_this_cycle = 0
+        self._fu_usage: dict[tuple[str, int], int] = {}
+        self._divider_free = 0
+        self._rob: deque[int] = deque()          # retire cycles, oldest first
+        self._retire_times: deque[int] = deque()  # last `width` retire cycles
+        self._last_retire = 0
+
+    # ------------------------------------------------------------------
+
+    def _fetch_cycle(self) -> int:
+        """Cycle at which the next uop leaves fetch (width per cycle)."""
+        if self._fetched_this_cycle >= self.config.width:
+            self._fetch_ready += 1
+            self._fetched_this_cycle = 0
+        cycle = self._fetch_ready
+        self._fetched_this_cycle += 1
+        return cycle
+
+    def _fu_start(self, kind: str, earliest: int) -> int:
+        """First cycle at or after ``earliest`` with a free unit slot."""
+        if kind == "div":
+            start = max(earliest, self._divider_free)
+            self._divider_free = start + self.config.divider_occupancy
+            self.counters.divider_busy_cycles += self.config.divider_occupancy
+            return start
+        limit = self.config.throughput[kind]
+        cycle = earliest
+        while self._fu_usage.get((kind, cycle), 0) >= limit:
+            cycle += 1
+        self._fu_usage[(kind, cycle)] = self._fu_usage.get((kind, cycle), 0) + 1
+        return cycle
+
+    def _rob_admit(self, fetch_cycle: int) -> int:
+        """Dispatch cycle respecting ROB capacity; counts ROB stalls.
+
+        A full ROB back-pressures the front end: fetch cannot run ahead of
+        dispatch, so the fetch clock advances with the stall (keeping
+        ``rob_stall_cycles`` a genuine cycle count, not a per-uop sum).
+        """
+        if len(self._rob) < self.config.rob_size:
+            return fetch_cycle
+        free_at = self._rob.popleft()
+        dispatch = max(fetch_cycle, free_at)
+        if dispatch > fetch_cycle:
+            self.counters.rob_stall_cycles += dispatch - fetch_cycle
+            self._fetch_ready = dispatch
+            self._fetched_this_cycle = 1
+        return dispatch
+
+    def _retire(self, finish: int) -> int:
+        """In-order retirement at ``width`` per cycle."""
+        retire = max(finish + 1, self._last_retire)
+        if len(self._retire_times) >= self.config.width:
+            oldest = self._retire_times.popleft()
+            retire = max(retire, oldest + 1)
+        self._retire_times.append(retire)
+        self._last_retire = retire
+        self._rob.append(retire)
+        while len(self._rob) > self.config.rob_size:
+            self._rob.popleft()
+        return retire
+
+    # ------------------------------------------------------------------
+
+    def execute(self, trace: Iterable[MicroOp]) -> PipelineCounters:
+        """Run a trace fragment; state persists for subsequent calls."""
+        cfg = self.config
+        counters = self.counters
+        for uop in trace:
+            # Instruction fetch goes through the instruction cache; a miss
+            # stalls the front end for the refill penalty.
+            if not self.icache.access(uop.pc):
+                counters.icache_misses += 1
+                counters.icache_stall_cycles += cfg.icache_miss_penalty
+                self._fetch_ready += cfg.icache_miss_penalty
+                self._fetched_this_cycle = 0
+            fetch = self._fetch_cycle()
+            dispatch = self._rob_admit(fetch)
+
+            ready = dispatch
+            for source in uop.sources:
+                ready = max(ready, self._register_ready.get(source, 0))
+            counters.operand_wait_cycles += ready - dispatch
+
+            start = self._fu_start(uop.kind, ready)
+            counters.fu_contention_cycles += start - ready
+
+            latency = uop.latency
+            if uop.kind == "load":
+                result = self.caches.access(uop.address)
+                latency = result.latency
+                counters.loads += 1
+                if result.level != "l1":
+                    counters.l1_misses += 1
+                if result.level in ("l3", "dram"):
+                    counters.l2_misses += 1
+                if result.level == "dram":
+                    counters.l3_misses += 1
+                counters.memory_wait_cycles += latency
+            elif uop.kind == "div":
+                counters.divides += 1
+                latency = cfg.divider_occupancy
+
+            finish = start + latency
+            if uop.dest is not None:
+                self._register_ready[uop.dest] = finish
+
+            if uop.kind == "branch":
+                counters.branches += 1
+                correct = self.predictor.update(uop.pc, uop.taken)
+                if not correct:
+                    counters.branch_mispredicts += 1
+                    # Fetch restarts after the branch resolves.
+                    redirect = finish + cfg.redirect_penalty
+                    if redirect > self._fetch_ready:
+                        counters.redirect_stall_cycles += (
+                            redirect - self._fetch_ready
+                        )
+                        self._fetch_ready = redirect
+                        self._fetched_this_cycle = 0
+
+            retire = self._retire(finish)
+            counters.instructions += 1
+            counters.cycles = max(counters.cycles, retire)
+
+            # Garbage-collect stale FU bookkeeping to bound memory.
+            if counters.instructions % 4096 == 0:
+                horizon = dispatch - 64
+                self._fu_usage = {
+                    key: value
+                    for key, value in self._fu_usage.items()
+                    if key[1] >= horizon
+                }
+        return counters
+
+    def snapshot(self) -> PipelineCounters:
+        """A copy of the running totals."""
+        return self.counters.copy()

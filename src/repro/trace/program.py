@@ -1,0 +1,207 @@
+"""A fluent builder for custom micro-op traces.
+
+The stock kernels cover single-behaviour sweeps; real investigations want
+custom programs ("a loop that loads, divides every 8th iteration, and
+branches on the result").  :class:`TraceProgram` provides that without
+writing a generator: compose operations, mark loop bodies, and emit a
+trace of any length.
+
+Example
+-------
+>>> program = (TraceProgram(seed=7)
+...            .load("x", stride=64)
+...            .op("alu", dest="acc", sources=("acc", "x"))
+...            .every(8, lambda p: p.op("div", dest="acc", sources=("acc",)))
+...            .branch(pattern="loop", period=16))
+>>> trace = program.emit(10_000)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.trace.uops import KINDS, MicroOp
+
+
+class TraceProgram:
+    """Builds micro-op traces from a declarative loop body."""
+
+    def __init__(self, seed: int = 0, footprint: int = 1 << 20, code_bytes: int = 4096):
+        if footprint < 64:
+            raise ConfigError("data footprint must be at least one line")
+        if code_bytes < 4:
+            raise ConfigError("code footprint must hold an instruction")
+        self._steps: list[Callable[[int, random.Random], list[MicroOp]]] = []
+        self._registers: dict[str, int] = {}
+        self._addresses: dict[str, int] = {}
+        self.seed = seed
+        self.footprint = footprint
+        self.code_bytes = code_bytes
+
+    # ------------------------------------------------------------------
+    # Name management
+    # ------------------------------------------------------------------
+
+    def _register(self, name: str) -> int:
+        if name not in self._registers:
+            self._registers[name] = len(self._registers) + 1
+        return self._registers[name]
+
+    def _pc(self, iteration: int, slot: int) -> int:
+        return ((iteration * 16 + slot) * 4) % self.code_bytes
+
+    # ------------------------------------------------------------------
+    # Builders (each returns self for chaining)
+    # ------------------------------------------------------------------
+
+    def op(
+        self, kind: str, dest: str | None = None, sources: tuple[str, ...] = ()
+    ) -> "TraceProgram":
+        """An arithmetic micro-op (``alu``/``mul``/``div``/``fp``)."""
+        if kind not in KINDS or kind in ("load", "store", "branch"):
+            raise ConfigError(f"op() kind must be arithmetic, got {kind!r}")
+        dest_reg = self._register(dest) if dest else None
+        source_regs = tuple(self._register(s) for s in sources)
+        slot = len(self._steps)
+
+        def build(iteration: int, rng: random.Random) -> list[MicroOp]:
+            return [
+                MicroOp(
+                    kind,
+                    dest=dest_reg,
+                    sources=source_regs,
+                    pc=self._pc(iteration, slot),
+                )
+            ]
+
+        self._steps.append(build)
+        return self
+
+    def load(
+        self,
+        dest: str,
+        stride: int = 64,
+        stream: str = "default",
+        dependent_on: str | None = None,
+    ) -> "TraceProgram":
+        """A load walking its stream's addresses by ``stride`` bytes.
+
+        With ``dependent_on`` set, the load's address depends on another
+        register — a pointer chase — serializing it behind that producer.
+        """
+        if stride == 0:
+            raise ConfigError("load stride must be non-zero")
+        dest_reg = self._register(dest)
+        sources = (self._register(dependent_on),) if dependent_on else ()
+        slot = len(self._steps)
+        self._addresses.setdefault(stream, 0)
+
+        def build(iteration: int, rng: random.Random) -> list[MicroOp]:
+            self._addresses[stream] = (
+                self._addresses[stream] + stride
+            ) % self.footprint
+            return [
+                MicroOp(
+                    "load",
+                    dest=dest_reg,
+                    sources=sources,
+                    address=self._addresses[stream],
+                    pc=self._pc(iteration, slot),
+                )
+            ]
+
+        self._steps.append(build)
+        return self
+
+    def store(self, source: str, stride: int = 64, stream: str = "stores") -> "TraceProgram":
+        """A store walking its own stream."""
+        if stride == 0:
+            raise ConfigError("store stride must be non-zero")
+        source_reg = self._register(source)
+        slot = len(self._steps)
+        self._addresses.setdefault(stream, 0)
+
+        def build(iteration: int, rng: random.Random) -> list[MicroOp]:
+            self._addresses[stream] = (
+                self._addresses[stream] + stride
+            ) % self.footprint
+            return [
+                MicroOp(
+                    "store",
+                    sources=(source_reg,),
+                    address=self._addresses[stream],
+                    pc=self._pc(iteration, slot),
+                )
+            ]
+
+        self._steps.append(build)
+        return self
+
+    def branch(
+        self, pattern: str = "loop", period: int = 16, taken_probability: float = 0.5
+    ) -> "TraceProgram":
+        """A branch with a ``"loop"`` (predictable) or ``"random"`` pattern."""
+        if pattern not in ("loop", "random"):
+            raise ConfigError("branch pattern must be 'loop' or 'random'")
+        if pattern == "loop" and period < 2:
+            raise ConfigError("loop period must be at least 2")
+        if not 0.0 <= taken_probability <= 1.0:
+            raise ConfigError("taken_probability must be in [0, 1]")
+        slot = len(self._steps)
+
+        def build(iteration: int, rng: random.Random) -> list[MicroOp]:
+            if pattern == "loop":
+                taken = iteration % period != period - 1
+            else:
+                taken = rng.random() < taken_probability
+            return [MicroOp("branch", taken=taken, pc=self._pc(0, slot))]
+
+        self._steps.append(build)
+        return self
+
+    def every(
+        self, n: int, extend: Callable[["TraceProgram"], "TraceProgram"]
+    ) -> "TraceProgram":
+        """Run ``extend``'s ops only every ``n``-th iteration."""
+        if n < 1:
+            raise ConfigError("every() interval must be at least 1")
+        nested = TraceProgram(
+            seed=self.seed, footprint=self.footprint, code_bytes=self.code_bytes
+        )
+        nested._registers = self._registers  # share the register namespace
+        nested._addresses = self._addresses
+        extend(nested)
+        nested_steps = nested._steps
+
+        def build(iteration: int, rng: random.Random) -> list[MicroOp]:
+            if iteration % n:
+                return []
+            ops: list[MicroOp] = []
+            for step in nested_steps:
+                ops.extend(step(iteration, rng))
+            return ops
+
+        self._steps.append(build)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def emit(self, n_uops: int) -> list[MicroOp]:
+        """Materialize at least ``n_uops`` micro-ops by looping the body."""
+        if not self._steps:
+            raise ConfigError("the program body is empty")
+        if n_uops < 1:
+            raise ConfigError("need at least one micro-op")
+        rng = random.Random(self.seed)
+        # Address streams restart per emission so emits are reproducible.
+        for stream in self._addresses:
+            self._addresses[stream] = 0
+        trace: list[MicroOp] = []
+        iteration = 0
+        while len(trace) < n_uops:
+            for step in self._steps:
+                trace.extend(step(iteration, rng))
+            iteration += 1
+        return trace[:n_uops]

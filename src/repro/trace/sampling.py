@@ -1,0 +1,121 @@
+"""SPIRE sample collection from the trace pipeline.
+
+The bridge that demonstrates architecture independence: the trace
+substrate's counters are chunked into fixed-size windows and emitted as
+the same :class:`~repro.core.sample.Sample` records the statistical
+substrate produces — ``T`` from ``trace.cycles``, ``W`` from
+``trace.instructions``, ``M_x`` from each remaining counter — after which
+every downstream SPIRE step (training, estimation, ranking) runs
+unmodified.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.sample import Sample, SampleSet
+from repro.errors import ConfigError
+from repro.trace.kernels import kernel_by_name
+from repro.trace.pipeline import PipelineConfig, TracePipeline
+
+# The trace substrate's "Table III": metric -> closest bottleneck area.
+TRACE_EVENT_AREAS = {
+    "trace.branches": "Other",
+    "trace.icache_misses": "Front-End",
+    "trace.icache_stall_cycles": "Front-End",
+    "trace.branch_mispredicts": "Bad Speculation",
+    "trace.redirect_stall_cycles": "Bad Speculation",
+    "trace.loads": "Memory",
+    "trace.l1_misses": "Memory",
+    "trace.l2_misses": "Memory",
+    "trace.l3_misses": "Memory",
+    "trace.memory_wait_cycles": "Memory",
+    "trace.divides": "Core",
+    "trace.divider_busy_cycles": "Core",
+    "trace.rob_stall_cycles": "Core",
+    "trace.operand_wait_cycles": "Core",
+    "trace.fu_contention_cycles": "Core",
+}
+
+WORK_EVENT = "trace.instructions"
+TIME_EVENT = "trace.cycles"
+
+
+@dataclass
+class TraceRun:
+    """One kernel execution's samples plus headline numbers."""
+
+    samples: SampleSet
+    instructions: int
+    cycles: int
+    final_counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def collect_trace_samples(
+    kernel: str,
+    n_uops: int = 60_000,
+    window_uops: int = 4_000,
+    intensities: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    seed: int = 0,
+    config: PipelineConfig | None = None,
+) -> TraceRun:
+    """Run a kernel at several intensities and emit SPIRE samples.
+
+    Each intensity gets a fresh pipeline (cold predictor and caches), its
+    trace is executed in ``window_uops`` chunks, and each chunk becomes
+    one sample per trace metric.
+    """
+    if window_uops < 1 or n_uops < window_uops:
+        raise ConfigError("need n_uops >= window_uops >= 1")
+    generator = kernel_by_name(kernel)
+
+    samples = SampleSet()
+    total_instructions = 0
+    total_cycles = 0
+    final: dict[str, float] = {}
+    for round_index, intensity in enumerate(intensities):
+        rng = random.Random(seed * 1_000 + round_index)
+        pipeline = TracePipeline(config=config)
+        trace = generator(n_uops, intensity, rng)
+        previous = pipeline.snapshot()
+        chunk: list = []
+        for uop in trace:
+            chunk.append(uop)
+            if len(chunk) >= window_uops:
+                pipeline.execute(chunk)
+                previous = _emit(samples, pipeline, previous)
+                chunk = []
+        if chunk:
+            pipeline.execute(chunk)
+            previous = _emit(samples, pipeline, previous)
+        total_instructions += pipeline.counters.instructions
+        total_cycles += pipeline.counters.cycles
+        final = pipeline.counters.as_dict()
+    return TraceRun(
+        samples=samples,
+        instructions=total_instructions,
+        cycles=total_cycles,
+        final_counters=final,
+    )
+
+
+def _emit(samples: SampleSet, pipeline: TracePipeline, previous):
+    """Append one sample per metric for the window since ``previous``."""
+    now = pipeline.snapshot()
+    delta = now.delta_from(previous)
+    time = delta[TIME_EVENT]
+    work = delta[WORK_EVENT]
+    if time <= 0:
+        return now
+    for metric, value in delta.items():
+        if metric in (TIME_EVENT, WORK_EVENT):
+            continue
+        samples.add(
+            Sample(metric=metric, time=time, work=work, metric_count=max(0.0, value))
+        )
+    return now

@@ -1,0 +1,37 @@
+"""A cycle-approximate out-of-order CPU model with performance counters.
+
+This package is the reproduction's substitute for the paper's physical
+Xeon Gold 6126: an interval-style analytical core model detailed enough
+that (a) its performance counters co-vary with throughput the way real
+microarchitectural events do, and (b) a Top-Down analysis over those
+counters recovers the bottlenecks injected into each workload.
+"""
+
+from repro.uarch.activity import WindowActivity
+from repro.uarch.config import MachineConfig, PortSpec, skylake_gold_6126
+from repro.uarch.core import CoreModel
+from repro.uarch.interference import (
+    InterferedCoreModel,
+    InterferenceConfig,
+    InterferenceModel,
+)
+from repro.uarch.multicore import MulticoreSystem, SharedResourceConfig
+from repro.uarch.frontend import FrontendModel
+from repro.uarch.backend import BackendModel
+from repro.uarch.memory import MemoryModel
+
+__all__ = [
+    "BackendModel",
+    "InterferedCoreModel",
+    "InterferenceConfig",
+    "InterferenceModel",
+    "CoreModel",
+    "FrontendModel",
+    "MachineConfig",
+    "MemoryModel",
+    "MulticoreSystem",
+    "SharedResourceConfig",
+    "PortSpec",
+    "WindowActivity",
+    "skylake_gold_6126",
+]

@@ -1,0 +1,128 @@
+"""Shared-resource interference from co-running workloads.
+
+The paper ran everything single-threaded "to maximize performance
+consistency on this shared system" (§IV) — implicitly acknowledging that
+co-runners perturb measurements through shared L3 capacity and DRAM
+bandwidth.  This module models that perturbation so the robustness of
+SPIRE's analysis under noisy, contended sampling can be studied (see the
+interference ablation benchmark):
+
+- a co-runner steals a fraction of L3 capacity, converting some L3 hits
+  into DRAM accesses;
+- DRAM bandwidth contention inflates effective memory latency;
+- both effects fluctuate over time (the co-runner has phases too).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.uarch.activity import WindowActivity
+
+
+@dataclass(frozen=True, slots=True)
+class InterferenceConfig:
+    """How aggressive the co-runner is."""
+
+    l3_steal_fraction: float = 0.3     # share of L3 hits pushed to DRAM
+    dram_slowdown: float = 1.4         # latency multiplier under contention
+    variability: float = 0.5           # temporal fluctuation of both effects
+    period_windows: int = 40           # co-runner phase length
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.l3_steal_fraction <= 1.0:
+            raise ConfigError("l3_steal_fraction must be in [0, 1]")
+        if self.dram_slowdown < 1.0:
+            raise ConfigError("dram_slowdown must be at least 1")
+        if not 0.0 <= self.variability <= 1.0:
+            raise ConfigError("variability must be in [0, 1]")
+        if self.period_windows < 1:
+            raise ConfigError("period_windows must be at least 1")
+
+
+class InterferenceModel:
+    """Stateful perturbation applied to each window's activity."""
+
+    def __init__(
+        self,
+        config: InterferenceConfig | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.config = config or InterferenceConfig()
+        self.rng = rng or random.Random(0)
+        self._window_index = 0
+
+    def _pressure(self) -> float:
+        """Co-runner pressure in [0, 1] for the current window."""
+        cfg = self.config
+        phase = 2.0 * math.pi * self._window_index / cfg.period_windows
+        base = 0.5 + 0.5 * math.sin(phase)
+        noise = self.rng.uniform(-0.2, 0.2) * cfg.variability
+        return min(1.0, max(0.0, base + noise))
+
+    def perturb(self, activity: WindowActivity) -> WindowActivity:
+        """Apply this window's contention to an activity record in place.
+
+        Returns the same object for chaining.  The perturbation stays
+        internally consistent: stolen L3 hits become DRAM accesses, the
+        added latency lands in ``c_mem``/``c_mem_cache``, and total cycles
+        grow by the same amount.
+        """
+        cfg = self.config
+        pressure = self._pressure()
+        self._window_index += 1
+        if pressure <= 0.0:
+            return activity
+
+        # L3 capacity steal: some L3-served lines now come from DRAM.
+        stolen = activity.l3_served * cfg.l3_steal_fraction * pressure
+        # Added latency: the stolen lines pay DRAM instead of L3, and all
+        # DRAM accesses slow under bandwidth contention.
+        dram_latency_gap = 160.0  # ~dram - l3 in the default machine
+        slow = (cfg.dram_slowdown - 1.0) * pressure
+        extra_latency = stolen * dram_latency_gap
+        extra_latency += (activity.dram_served + stolen) * 210.0 * slow
+        # Exposure through the same MLP the workload already achieved.
+        exposure = (
+            activity.c_mem_cache / activity.miss_latency_cycles
+            if activity.miss_latency_cycles > 0
+            else 0.25
+        )
+        extra_stall = extra_latency * exposure
+
+        activity.l3_served -= stolen
+        activity.dram_served += stolen
+        activity.miss_latency_cycles += extra_latency
+        activity.c_mem_cache += extra_stall
+        activity.c_mem += extra_stall
+        activity.cycles += extra_stall
+        return activity
+
+    def reset(self) -> None:
+        self._window_index = 0
+
+
+class InterferedCoreModel:
+    """A core model wrapper that applies interference to every window.
+
+    Exposes the same ``machine`` / ``simulate_window`` interface the
+    sample collector uses, so contended collections need no collector
+    changes.
+    """
+
+    def __init__(self, core, interference: InterferenceModel):
+        self.core = core
+        self.interference = interference
+
+    @property
+    def machine(self):
+        return self.core.machine
+
+    def simulate_window(self, spec, rng=None) -> WindowActivity:
+        return self.interference.perturb(self.core.simulate_window(spec, rng))
+
+    def simulate_run(self, specs, rng=None) -> list[WindowActivity]:
+        return [self.simulate_window(spec, rng) for spec in specs]

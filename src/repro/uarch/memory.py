@@ -1,0 +1,108 @@
+"""Memory hierarchy model: L1/L2/L3 caches, DRAM, and locked loads.
+
+Miss counts are driven by the workload's statistical miss rates; exposed
+stall cycles divide the summed miss latency by the effective memory-level
+parallelism (bounded by the machine's MSHR capacity).  Locked loads
+serialize the pipeline and are charged separately — they are the memory
+bottleneck the paper's Parboil case study surfaces through the ``LK``
+metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import MachineConfig
+from repro.uarch.spec import WindowSpec
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryResult:
+    """Per-window memory-hierarchy activity."""
+
+    loads: float
+    stores: float
+    lock_loads: float
+    l1_hits: float
+    l2_served: float
+    l3_served: float
+    dram_served: float
+    miss_latency_cycles: float
+    cache_stall_cycles: float
+    lock_stall_cycles: float
+    dtlb_walks: float = 0.0
+    dtlb_walk_cycles: float = 0.0
+    tlb_stall_cycles: float = 0.0
+    prefetches_issued: float = 0.0
+
+    @property
+    def l1_misses(self) -> float:
+        return self.l2_served + self.l3_served + self.dram_served
+
+    @property
+    def total_stall_cycles(self) -> float:
+        return (
+            self.cache_stall_cycles
+            + self.lock_stall_cycles
+            + self.tlb_stall_cycles
+        )
+
+
+class MemoryModel:
+    """Evaluates cache/DRAM behaviour for one window."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    def evaluate(self, spec: WindowSpec, instructions: float) -> MemoryResult:
+        machine = self.machine
+        loads = instructions * spec.frac_loads
+        stores = instructions * spec.frac_stores
+
+        l1_misses = loads * spec.l1_miss_per_load
+        l2_misses = l1_misses * spec.l2_miss_fraction
+        l3_misses = l2_misses * spec.l3_miss_fraction
+        l2_served = l1_misses - l2_misses
+        l3_served = l2_misses - l3_misses
+        dram_served = l3_misses
+        l1_hits = loads - l1_misses
+
+        miss_latency = (
+            l2_served * machine.l2_latency
+            + l3_served * machine.l3_latency
+            + dram_served * machine.dram_latency
+        )
+        effective_mlp = min(spec.mlp, float(machine.max_outstanding_misses))
+        cache_stalls = miss_latency / effective_mlp
+
+        # The hardware prefetcher hides part of the exposed miss latency on
+        # prefetch-friendly streams; it also issues extra requests (some of
+        # them useless), which is what the prefetch-request events count.
+        prefetches = l1_misses * spec.prefetcher_coverage * 1.5
+        cache_stalls *= 1.0 - spec.prefetcher_coverage
+
+        # dTLB misses trigger page walks whose latency is poorly hidden.
+        accesses = loads + stores
+        walks = accesses * spec.dtlb_miss_per_access
+        walk_cycles = walks * machine.tlb_walk_latency
+        tlb_stalls = walk_cycles * 0.7
+
+        lock_loads = loads * spec.lock_load_fraction
+        lock_stalls = lock_loads * machine.lock_load_penalty
+
+        return MemoryResult(
+            loads=loads,
+            stores=stores,
+            lock_loads=lock_loads,
+            l1_hits=l1_hits,
+            l2_served=l2_served,
+            l3_served=l3_served,
+            dram_served=dram_served,
+            miss_latency_cycles=miss_latency,
+            cache_stall_cycles=cache_stalls,
+            lock_stall_cycles=lock_stalls,
+            dtlb_walks=walks,
+            dtlb_walk_cycles=walk_cycles,
+            tlb_stall_cycles=tlb_stalls,
+            prefetches_issued=prefetches,
+        )

@@ -1,0 +1,171 @@
+"""Multi-core co-location with shared L3 and DRAM bandwidth.
+
+The paper pinned every run to one core of a 2-socket Xeon to keep
+measurements clean (§IV).  This module models what that avoided: several
+cores running concurrently, contending for last-level-cache capacity and
+DRAM bandwidth.  Unlike :mod:`repro.uarch.interference` (an exogenous
+noise source), contention here is *endogenous* — each core's pressure is
+computed from what the other cores actually did in the same step:
+
+- **L3 capacity**: a core's share shrinks with the other cores' combined
+  L3 footprint demand, converting part of its L3 hits into DRAM accesses;
+- **DRAM bandwidth**: when the cores' combined DRAM line rate exceeds the
+  chip's, every access queues, inflating memory stalls proportionally.
+
+Per-core activities stay internally consistent, so per-core SPIRE/TMA
+analysis works unchanged on co-located runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.uarch.activity import WindowActivity
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import CoreModel
+from repro.uarch.spec import WindowSpec
+
+
+@dataclass(frozen=True, slots=True)
+class SharedResourceConfig:
+    """How aggressively cores interact through the uncore."""
+
+    # Lines/cycle one core must demand to displace ~half of a peer's L3.
+    l3_demand_scale: float = 0.02
+    max_l3_steal: float = 0.8
+    # Sustainable DRAM lines per cycle for the whole chip.
+    dram_lines_per_cycle: float = 0.10
+    # Extra queuing latency per DRAM access at 2x oversubscription.
+    dram_queue_latency: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.l3_demand_scale <= 0:
+            raise ConfigError("l3_demand_scale must be positive")
+        if not 0.0 <= self.max_l3_steal < 1.0:
+            raise ConfigError("max_l3_steal must be in [0, 1)")
+        if self.dram_lines_per_cycle <= 0:
+            raise ConfigError("dram_lines_per_cycle must be positive")
+        if self.dram_queue_latency < 0:
+            raise ConfigError("dram_queue_latency cannot be negative")
+
+
+class MulticoreSystem:
+    """N cores of the same machine sharing an L3 and a memory controller."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        n_cores: int = 2,
+        shared: SharedResourceConfig | None = None,
+        jitter: float = 0.25,
+    ):
+        if n_cores < 1:
+            raise ConfigError("need at least one core")
+        self.machine = machine
+        self.shared = shared or SharedResourceConfig()
+        self.cores = [CoreModel(machine, jitter=jitter) for _ in range(n_cores)]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def simulate_step(
+        self,
+        specs: list[WindowSpec],
+        rng: random.Random | None = None,
+    ) -> list[WindowActivity]:
+        """One window on every core, then apply cross-core contention."""
+        if len(specs) != self.n_cores:
+            raise ConfigError(
+                f"need one spec per core ({self.n_cores}), got {len(specs)}"
+            )
+        activities = [
+            core.simulate_window(spec, rng)
+            for core, spec in zip(self.cores, specs)
+        ]
+        self._apply_contention(activities)
+        return activities
+
+    def run(
+        self,
+        per_core_specs: list[list[WindowSpec]],
+        rng: random.Random | None = None,
+    ) -> list[list[WindowActivity]]:
+        """Run aligned window sequences on all cores."""
+        if len(per_core_specs) != self.n_cores:
+            raise ConfigError("need one spec sequence per core")
+        lengths = {len(seq) for seq in per_core_specs}
+        if len(lengths) != 1:
+            raise ConfigError("core spec sequences must have equal length")
+        results: list[list[WindowActivity]] = [[] for _ in range(self.n_cores)]
+        for step in range(lengths.pop()):
+            step_specs = [seq[step] for seq in per_core_specs]
+            for core_index, activity in enumerate(
+                self.simulate_step(step_specs, rng)
+            ):
+                results[core_index].append(activity)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _l3_demand(self, activity: WindowActivity) -> float:
+        """Lines/cycle this core pushes through the L3."""
+        if activity.cycles <= 0:
+            return 0.0
+        return (activity.l3_served + activity.dram_served) / activity.cycles
+
+    def _apply_contention(self, activities: list[WindowActivity]) -> None:
+        shared = self.shared
+        demands = [self._l3_demand(a) for a in activities]
+        total_demand = sum(demands)
+
+        # --- L3 capacity steal -------------------------------------------
+        for index, activity in enumerate(activities):
+            others = total_demand - demands[index]
+            steal = min(
+                shared.max_l3_steal,
+                others / (others + shared.l3_demand_scale) * shared.max_l3_steal,
+            )
+            if steal <= 0 or activity.l3_served <= 0:
+                continue
+            moved = activity.l3_served * steal
+            extra_latency = moved * (
+                self.machine.dram_latency - self.machine.l3_latency
+            )
+            self._charge_memory(activity, moved, extra_latency)
+
+        # --- DRAM bandwidth ------------------------------------------------
+        dram_rate = sum(
+            a.dram_served / a.cycles for a in activities if a.cycles > 0
+        )
+        if dram_rate > shared.dram_lines_per_cycle:
+            oversubscription = dram_rate / shared.dram_lines_per_cycle - 1.0
+            for activity in activities:
+                if activity.dram_served <= 0:
+                    continue
+                extra_latency = (
+                    activity.dram_served
+                    * shared.dram_queue_latency
+                    * oversubscription
+                )
+                self._charge_memory(activity, 0.0, extra_latency)
+
+    def _charge_memory(
+        self, activity: WindowActivity, moved_lines: float, extra_latency: float
+    ) -> None:
+        """Move L3 hits to DRAM and charge exposed latency consistently."""
+        if moved_lines > 0:
+            activity.l3_served -= moved_lines
+            activity.dram_served += moved_lines
+        exposure = (
+            activity.c_mem_cache / activity.miss_latency_cycles
+            if activity.miss_latency_cycles > 0
+            else 0.25
+        )
+        extra_stall = extra_latency * exposure
+        activity.miss_latency_cycles += extra_latency
+        activity.c_mem_cache += extra_stall
+        activity.c_mem += extra_stall
+        activity.cycles += extra_stall

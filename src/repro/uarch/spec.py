@@ -1,0 +1,137 @@
+"""The behavioral specification the core model executes.
+
+A :class:`WindowSpec` characterizes a slice of a workload's dynamic
+instruction stream: its instruction mix and the statistical rates that
+drive each microarchitectural mechanism (misprediction rate, cache miss
+rates, DSB coverage, available ILP/MLP, ...).  The synthetic workloads in
+:mod:`repro.workloads` are generators of these specs; the core model turns
+each one into a :class:`repro.uarch.activity.WindowActivity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class WindowSpec:
+    """Statistical description of one window of executed instructions."""
+
+    instructions: int = 100_000
+    uops_per_instruction: float = 1.1
+
+    # Instruction mix (fractions of instructions; the remainder is scalar
+    # ALU work).  ``frac_vector_*`` count FP/SIMD arithmetic by width.
+    frac_loads: float = 0.25
+    frac_stores: float = 0.10
+    frac_branches: float = 0.15
+    frac_vector_128: float = 0.0
+    frac_vector_256: float = 0.0
+    frac_vector_512: float = 0.0
+    frac_divides: float = 0.0
+
+    # Front end.
+    dsb_coverage: float = 0.85          # fraction of non-MS uops from the DSB
+    microcode_fraction: float = 0.01    # fraction of uops from the MS
+    fe_bubble_rate: float = 0.002       # latency bubbles per instruction
+    fe_bubble_cycles: float = 4.0       # average cycles per latency bubble
+
+    # Speculation.
+    branch_mispredict_rate: float = 0.01  # per branch
+
+    # Memory.
+    l1_miss_per_load: float = 0.02
+    l2_miss_fraction: float = 0.3       # of L1 misses
+    l3_miss_fraction: float = 0.2       # of L2 misses
+    lock_load_fraction: float = 0.0     # of loads
+    dtlb_miss_per_access: float = 0.0   # page walks per memory access
+    prefetcher_coverage: float = 0.0    # miss latency hidden by prefetching
+    mlp: float = 4.0                    # overlapped outstanding misses
+
+    # Back end.
+    ilp: float = 3.0                    # independent uops available per cycle
+    vector_width_mix: float = 0.0       # degree of 256<->512 mixing [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ConfigError("a window must contain at least one instruction")
+        if self.uops_per_instruction < 1.0:
+            raise ConfigError("uops_per_instruction must be at least 1")
+        mix = (
+            self.frac_loads
+            + self.frac_stores
+            + self.frac_branches
+            + self.frac_vector_128
+            + self.frac_vector_256
+            + self.frac_vector_512
+            + self.frac_divides
+        )
+        if mix > 1.0 + 1e-9:
+            raise ConfigError(f"instruction mix fractions sum to {mix} > 1")
+        for name in (
+            "frac_loads",
+            "frac_stores",
+            "frac_branches",
+            "frac_vector_128",
+            "frac_vector_256",
+            "frac_vector_512",
+            "frac_divides",
+            "dsb_coverage",
+            "microcode_fraction",
+            "branch_mispredict_rate",
+            "l1_miss_per_load",
+            "l2_miss_fraction",
+            "l3_miss_fraction",
+            "lock_load_fraction",
+            "dtlb_miss_per_access",
+            "prefetcher_coverage",
+            "vector_width_mix",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.fe_bubble_rate < 0 or self.fe_bubble_cycles < 0:
+            raise ConfigError("front-end bubble parameters must be non-negative")
+        if self.mlp < 1.0:
+            raise ConfigError("mlp must be at least 1")
+        if self.ilp < 0.5:
+            raise ConfigError("ilp must be at least 0.5")
+
+    @property
+    def frac_scalar_alu(self) -> float:
+        """The remainder of the mix: scalar integer ALU work."""
+        return max(
+            0.0,
+            1.0
+            - self.frac_loads
+            - self.frac_stores
+            - self.frac_branches
+            - self.frac_vector_128
+            - self.frac_vector_256
+            - self.frac_vector_512
+            - self.frac_divides,
+        )
+
+    def with_instructions(self, instructions: int) -> "WindowSpec":
+        """Copy of this spec resized to a different window length."""
+        return replace(self, instructions=instructions)
+
+    def scaled_pressure(self, factor: float) -> "WindowSpec":
+        """Copy with the main bottleneck rates scaled by ``factor``.
+
+        Used by workload generators to create intensity drift over time
+        without redefining a full spec.  Rates are clamped to [0, 1].
+        """
+
+        def clamp(value: float) -> float:
+            return min(1.0, max(0.0, value))
+
+        return replace(
+            self,
+            branch_mispredict_rate=clamp(self.branch_mispredict_rate * factor),
+            l1_miss_per_load=clamp(self.l1_miss_per_load * factor),
+            fe_bubble_rate=max(0.0, self.fe_bubble_rate * factor),
+            microcode_fraction=clamp(self.microcode_fraction * factor),
+        )

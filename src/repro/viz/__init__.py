@@ -1,0 +1,14 @@
+"""Plotting without matplotlib: terminal (ASCII) and SVG renderers."""
+
+from repro.viz.ascii_plot import ascii_roofline, ascii_scatter
+from repro.viz.report import render_html_report, save_html_report
+from repro.viz.svg import SvgPlot, render_roofline_svg
+
+__all__ = [
+    "SvgPlot",
+    "ascii_roofline",
+    "ascii_scatter",
+    "render_html_report",
+    "render_roofline_svg",
+    "save_html_report",
+]

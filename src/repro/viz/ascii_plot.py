@@ -1,0 +1,145 @@
+"""Terminal plots for rooflines and sample clouds.
+
+Figure 7 of the paper plots learned rooflines over their training samples
+on log-scaled axes; these helpers render the same view as text so the
+examples and benchmarks can show model shapes without a display server.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.roofline import MetricRoofline
+from repro.errors import DataError
+
+
+def _log_or_linear(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return list(values)
+    return [math.log10(v) if v > 0 else math.nan for v in values]
+
+
+def _grid_scale(
+    values: Sequence[float], cells: int
+) -> tuple[float, float]:
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    return lo, (hi - lo) / max(1, cells - 1)
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+    marker: str = ".",
+    overlay: Sequence[tuple[float, float]] = (),
+    overlay_marker: str = "#",
+    title: str = "",
+) -> str:
+    """A text scatter plot with an optional overlaid curve.
+
+    Points with non-positive x are dropped when ``log_x`` is set (infinite
+    intensities cannot be placed on a finite axis either way).
+    """
+    usable = [
+        (x, y)
+        for x, y in points
+        if math.isfinite(x) and math.isfinite(y) and (not log_x or x > 0)
+    ]
+    if not usable:
+        raise DataError("no plottable points")
+    over = [
+        (x, y)
+        for x, y in overlay
+        if math.isfinite(x) and math.isfinite(y) and (not log_x or x > 0)
+    ]
+
+    xs = _log_or_linear([p[0] for p in usable + over], log_x)
+    ys = [p[1] for p in usable + over]
+    x_lo, x_step = _grid_scale(xs, width)
+    y_lo, y_step = _grid_scale(ys, height)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        tx = math.log10(x) if log_x else x
+        column = round((tx - x_lo) / x_step)
+        row = round((y - y_lo) / y_step)
+        column = min(width - 1, max(0, column))
+        row = min(height - 1, max(0, row))
+        grid[height - 1 - row][column] = glyph
+
+    for x, y in usable:
+        place(x, y, marker)
+    # Overlay drawn second so the curve stays visible over dense clouds;
+    # densify segments so slopes render as lines rather than dots.
+    for (x0, y0), (x1, y1) in zip(over, over[1:]):
+        for step in range(width):
+            frac = step / max(1, width - 1)
+            if log_x:
+                if x0 <= 0 or x1 <= 0:
+                    continue
+                x = 10 ** (math.log10(x0) + frac * (math.log10(x1) - math.log10(x0)))
+                # Interpolate y linearly in x (the function is piecewise
+                # linear in linear space).
+                y = y0 + (y1 - y0) * ((x - x0) / (x1 - x0) if x1 != x0 else 0.0)
+            else:
+                x = x0 + frac * (x1 - x0)
+                y = y0 + frac * (y1 - y0)
+            place(x, y, overlay_marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi = y_lo + y_step * (height - 1)
+    lines.append(f"{y_hi:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "-" * width)
+    x_hi = x_lo + x_step * (width - 1)
+    left = f"{10**x_lo if log_x else x_lo:.3g}"
+    right = f"{10**x_hi if log_x else x_hi:.3g}"
+    axis = "x: " + left + (" (log)" if log_x else "")
+    lines.append(" " * 12 + axis + " " * max(1, width - len(axis) - len(right)) + right)
+    return "\n".join(lines)
+
+
+def ascii_roofline(
+    roofline: MetricRoofline,
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+    max_points: int = 400,
+) -> str:
+    """Render a trained metric roofline over its retained training samples."""
+    points = [
+        (x, y) for x, y in roofline.training_points if math.isfinite(x) and x > 0
+    ]
+    if len(points) > max_points:
+        stride = len(points) // max_points
+        points = points[::stride]
+    curve = [(bp.x, bp.y) for bp in roofline.function.breakpoints if bp.x > 0 or not log_x]
+    if not curve:
+        curve = [(bp.x, bp.y) for bp in roofline.function.breakpoints]
+    # Extend the flat tail so the constant region is visible.
+    if points:
+        tail_x = max(x for x, _ in points)
+        last = curve[-1]
+        if tail_x > last[0]:
+            curve = curve + [(tail_x, last[1])]
+    title = (
+        f"{roofline.metric}  (apex I={roofline.apex.x:.3g}, "
+        f"P={roofline.apex.y:.3g}; {roofline.sample_count} samples)"
+    )
+    return ascii_scatter(
+        points,
+        width=width,
+        height=height,
+        log_x=log_x,
+        overlay=curve,
+        title=title,
+    )

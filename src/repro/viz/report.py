@@ -1,0 +1,196 @@
+"""Self-contained HTML analysis reports.
+
+Bundles everything a performance engineer wants from one SPIRE run into a
+single file with no external assets: the ranked bottleneck table (with
+area color-coding like the paper's Table II), the measured-vs-bound
+headline, optional Top-Down fractions for comparison, optional bootstrap
+intervals, and inline SVG plots of the most-limiting rooflines.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.viz.svg import SvgPlot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.analysis import AnalysisReport
+    from repro.core.ensemble import SpireModel
+    from repro.core.uncertainty import BootstrapResult
+    from repro.tma.topdown import TMAResult
+
+_AREA_COLORS = {
+    "Front-End": "#8da0cb",
+    "Bad Speculation": "#e78ac3",
+    "Memory": "#fc8d62",
+    "Core": "#66c2a5",
+    "Retiring": "#a6d854",
+    "Other": "#b3b3b3",
+    "?": "#dddddd",
+}
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 920px;
+       color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 4px 10px; border-bottom: 1px solid #ddd;
+         font-size: 0.92em; }
+th { border-bottom: 2px solid #999; }
+.num { text-align: right; font-variant-numeric: tabular-nums; }
+.tag { display: inline-block; padding: 1px 8px; border-radius: 9px;
+       font-size: 0.85em; }
+.headline { font-size: 1.05em; margin: 0.6em 0; }
+.plot { margin: 1em 0; }
+"""
+
+
+def _area_tag(area: str) -> str:
+    color = _AREA_COLORS.get(area, _AREA_COLORS["?"])
+    return f'<span class="tag" style="background:{color}">{html.escape(area)}</span>'
+
+
+def _roofline_svg(model: "SpireModel", metric: str) -> str:
+    roofline = model.roofline(metric)
+    plot = SvgPlot(
+        title=metric,
+        x_label="operational intensity I_x",
+        y_label="throughput P",
+        width=440,
+        height=280,
+    )
+    points = [
+        (x, y) for x, y in roofline.training_points if x > 0 and x != float("inf")
+    ]
+    if len(points) > 600:
+        points = points[:: len(points) // 600]
+    if points:
+        plot.add_scatter(points, color="#1f77b4")
+    curve = [(bp.x, bp.y) for bp in roofline.function.breakpoints if bp.x > 0]
+    if points:
+        tail = max(x for x, _ in points)
+        if curve and tail > curve[-1][0]:
+            curve.append((tail, curve[-1][1]))
+    if len(curve) >= 2:
+        plot.add_line(curve, color="#d62728")
+    try:
+        return plot.render()
+    except Exception:  # pragma: no cover - plot degenerate for odd metrics
+        return ""
+
+
+def render_html_report(
+    report: "AnalysisReport",
+    model: "SpireModel | None" = None,
+    tma: "TMAResult | None" = None,
+    bootstrap: "BootstrapResult | None" = None,
+    top_k: int = 10,
+    plot_count: int = 2,
+) -> str:
+    """Render one workload's analysis as a standalone HTML document."""
+    title = report.workload or "workload"
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>SPIRE report — {html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>SPIRE bottleneck report — {html.escape(title)}</h1>",
+        (
+            f"<p class='headline'>measured throughput "
+            f"<b>{report.measured_throughput:.3f}</b> "
+            f"{html.escape(report.work_unit)}/{html.escape(report.time_unit)} "
+            f"&middot; ensemble bound <b>{report.estimated_throughput:.3f}</b>"
+            f"</p>"
+        ),
+    ]
+
+    # Ranked metric table.
+    parts.append("<h2>Most limiting metrics</h2>")
+    parts.append(
+        "<table><tr><th class='num'>estimate</th><th>area</th>"
+        "<th>metric</th><th class='num'>samples</th></tr>"
+    )
+    for entry in report.top(top_k):
+        parts.append(
+            f"<tr><td class='num'>{entry.estimate:.3f}</td>"
+            f"<td>{_area_tag(report.area_of(entry.metric))}</td>"
+            f"<td><code>{html.escape(entry.metric)}</code></td>"
+            f"<td class='num'>{entry.sample_count}</td></tr>"
+        )
+    parts.append("</table>")
+
+    pool = report.bottleneck_pool()
+    parts.append(
+        f"<p>bottleneck pool (within 15% of the minimum): "
+        + ", ".join(f"<code>{html.escape(e.metric)}</code>" for e in pool)
+        + "</p>"
+    )
+
+    if bootstrap is not None:
+        parts.append("<h2>Bootstrap confidence</h2>")
+        parts.append(
+            "<table><tr><th class='num'>estimate</th>"
+            "<th class='num'>interval</th><th class='num'>P(min)</th>"
+            "<th>metric</th></tr>"
+        )
+        for interval in bootstrap.ranked()[:top_k]:
+            parts.append(
+                f"<tr><td class='num'>{interval.estimate:.3f}</td>"
+                f"<td class='num'>[{interval.lower:.3f}, {interval.upper:.3f}]"
+                f"</td><td class='num'>{interval.first_rank_share:.2f}</td>"
+                f"<td><code>{html.escape(interval.metric)}</code></td></tr>"
+            )
+        parts.append("</table>")
+
+    if tma is not None:
+        parts.append("<h2>Top-Down baseline</h2><table>")
+        parts.append("<tr><th>category</th><th class='num'>share</th></tr>")
+        for name, value in tma.level1().items():
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td class='num'>{value:.1%}</td></tr>"
+            )
+        for name in ("memory_bound", "core_bound"):
+            parts.append(
+                f"<tr><td>&nbsp;&nbsp;{html.escape(name)}</td>"
+                f"<td class='num'>{tma.fraction(name):.1%}</td></tr>"
+            )
+        parts.append("</table>")
+        parts.append(
+            f"<p>TMA main bottleneck: <b>{html.escape(tma.main_bottleneck())}"
+            f"</b></p>"
+        )
+
+    if model is not None and plot_count > 0:
+        parts.append("<h2>Learned rooflines of the top metrics</h2>")
+        for entry in report.top(plot_count):
+            if entry.metric not in model:
+                continue
+            svg = _roofline_svg(model, entry.metric)
+            if svg:
+                parts.append(f"<div class='plot'>{svg}</div>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def save_html_report(
+    path: str | Path,
+    report: "AnalysisReport",
+    model: "SpireModel | None" = None,
+    tma: "TMAResult | None" = None,
+    bootstrap: "BootstrapResult | None" = None,
+    top_k: int = 10,
+) -> Path:
+    """Write :func:`render_html_report` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        render_html_report(
+            report, model=model, tma=tma, bootstrap=bootstrap, top_k=top_k
+        ),
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,225 @@
+"""A minimal SVG plot writer (no third-party plotting stack available).
+
+Produces log-x scatter/line plots sufficient for the paper's figures:
+roofline curves over training samples (Figure 7) and classic roofline
+plots with ceilings and app points (Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import DataError
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class _Series:
+    kind: str  # "scatter" | "line"
+    points: list[tuple[float, float]]
+    label: str
+    color: str
+
+
+@dataclass
+class SvgPlot:
+    """A small log/linear 2-D plot builder."""
+
+    title: str = ""
+    x_label: str = "operational intensity"
+    y_label: str = "throughput"
+    width: int = 640
+    height: int = 420
+    log_x: bool = True
+    log_y: bool = False
+    series: list[_Series] = field(default_factory=list)
+    margin: int = 56
+
+    def _next_color(self) -> str:
+        return _COLORS[len(self.series) % len(_COLORS)]
+
+    def add_scatter(
+        self, points: Sequence[tuple[float, float]], label: str = "", color: str = ""
+    ) -> None:
+        pts = self._usable(points)
+        self.series.append(_Series("scatter", pts, label, color or self._next_color()))
+
+    def add_line(
+        self, points: Sequence[tuple[float, float]], label: str = "", color: str = ""
+    ) -> None:
+        pts = self._usable(points)
+        self.series.append(_Series("line", pts, label, color or self._next_color()))
+
+    def _usable(self, points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+        result = [
+            (float(x), float(y))
+            for x, y in points
+            if math.isfinite(x)
+            and math.isfinite(y)
+            and (not self.log_x or x > 0)
+            and (not self.log_y or y > 0)
+        ]
+        if not result:
+            raise DataError("series has no plottable points")
+        return result
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [p[0] for s in self.series for p in s.points]
+        ys = [p[1] for s in self.series for p in s.points]
+        if not xs:
+            raise DataError("plot has no series")
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if self.log_x:
+            x_lo, x_hi = math.log10(x_lo), math.log10(x_hi)
+        if self.log_y:
+            y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        pad_x = 0.04 * (x_hi - x_lo)
+        pad_y = 0.08 * (y_hi - y_lo)
+        return x_lo - pad_x, x_hi + pad_x, y_lo - pad_y, y_hi + pad_y
+
+    def _project(
+        self, x: float, y: float, bounds: tuple[float, float, float, float]
+    ) -> tuple[float, float]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        tx = math.log10(x) if self.log_x else x
+        ty = math.log10(y) if self.log_y else y
+        plot_w = self.width - 2 * self.margin
+        plot_h = self.height - 2 * self.margin
+        px = self.margin + (tx - x_lo) / (x_hi - x_lo) * plot_w
+        py = self.height - self.margin - (ty - y_lo) / (y_hi - y_lo) * plot_h
+        return px, py
+
+    def render(self) -> str:
+        """Render the plot as an SVG document string."""
+        bounds = self._bounds()
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        # Axes box.
+        m = self.margin
+        parts.append(
+            f'<rect x="{m}" y="{m}" width="{self.width - 2 * m}" '
+            f'height="{self.height - 2 * m}" fill="none" stroke="#444"/>'
+        )
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2}" y="{m - 18}" text-anchor="middle" '
+                f'font-size="15" font-family="sans-serif">{_escape(self.title)}</text>'
+            )
+        parts.append(
+            f'<text x="{self.width / 2}" y="{self.height - 10}" text-anchor="middle" '
+            f'font-size="12" font-family="sans-serif">'
+            f"{_escape(self.x_label + (' (log)' if self.log_x else ''))}</text>"
+        )
+        parts.append(
+            f'<text x="14" y="{self.height / 2}" text-anchor="middle" font-size="12" '
+            f'font-family="sans-serif" transform="rotate(-90 14 {self.height / 2})">'
+            f"{_escape(self.y_label + (' (log)' if self.log_y else ''))}</text>"
+        )
+
+        # Axis extreme tick labels.
+        x_lo, x_hi, y_lo, y_hi = bounds
+        def fmt(v: float, log: bool) -> str:
+            return f"{10 ** v:.3g}" if log else f"{v:.3g}"
+
+        parts.append(
+            f'<text x="{m}" y="{self.height - m + 16}" font-size="11" '
+            f'font-family="sans-serif">{fmt(x_lo, self.log_x)}</text>'
+        )
+        parts.append(
+            f'<text x="{self.width - m}" y="{self.height - m + 16}" text-anchor="end" '
+            f'font-size="11" font-family="sans-serif">{fmt(x_hi, self.log_x)}</text>'
+        )
+        parts.append(
+            f'<text x="{m - 4}" y="{self.height - m}" text-anchor="end" '
+            f'font-size="11" font-family="sans-serif">{fmt(y_lo, self.log_y)}</text>'
+        )
+        parts.append(
+            f'<text x="{m - 4}" y="{m + 4}" text-anchor="end" font-size="11" '
+            f'font-family="sans-serif">{fmt(y_hi, self.log_y)}</text>'
+        )
+
+        legend_y = m + 14
+        for s in self.series:
+            if s.kind == "scatter":
+                for x, y in s.points:
+                    px, py = self._project(x, y, bounds)
+                    parts.append(
+                        f'<circle cx="{px:.1f}" cy="{py:.1f}" r="2.2" '
+                        f'fill="{s.color}" fill-opacity="0.55"/>'
+                    )
+            else:
+                coords = " ".join(
+                    f"{px:.1f},{py:.1f}"
+                    for px, py in (
+                        self._project(x, y, bounds) for x, y in s.points
+                    )
+                )
+                parts.append(
+                    f'<polyline points="{coords}" fill="none" stroke="{s.color}" '
+                    f'stroke-width="2"/>'
+                )
+            if s.label:
+                parts.append(
+                    f'<text x="{self.width - m - 6}" y="{legend_y}" text-anchor="end" '
+                    f'font-size="11" font-family="sans-serif" fill="{s.color}">'
+                    f"{_escape(s.label)}</text>"
+                )
+                legend_y += 14
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG document to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render(), encoding="utf-8")
+        return path
+
+
+def render_roofline_svg(
+    roofline,
+    path: str | Path,
+    max_points: int = 1500,
+    log_y: bool = False,
+) -> Path:
+    """Figure 7-style plot: a metric roofline over its training samples."""
+    points = [
+        (x, y) for x, y in roofline.training_points if math.isfinite(x) and x > 0
+    ]
+    if len(points) > max_points:
+        stride = len(points) // max_points
+        points = points[::stride]
+    plot = SvgPlot(
+        title=roofline.metric,
+        x_label="operational intensity I_x",
+        y_label="throughput P",
+        log_y=log_y,
+    )
+    if points:
+        plot.add_scatter(points, label="training samples", color="#1f77b4")
+    curve = [(bp.x, bp.y) for bp in roofline.function.breakpoints if bp.x > 0]
+    if points:
+        tail_x = max(x for x, _ in points)
+        if curve and tail_x > curve[-1][0]:
+            curve.append((tail_x, curve[-1][1]))
+    if len(curve) >= 2:
+        plot.add_line(curve, label="SPIRE roofline", color="#d62728")
+    return plot.save(path)

@@ -1,0 +1,32 @@
+"""Synthetic workloads standing in for the paper's Phoronix HPC suite."""
+
+from repro.workloads.base import Phase, Workload
+from repro.workloads.generator import random_workload
+from repro.workloads.microbench import (
+    KNOBS,
+    microbenchmark_for,
+    microbenchmark_suite,
+)
+from repro.workloads.suite import (
+    TESTING_WORKLOADS,
+    TRAINING_WORKLOADS,
+    all_workloads,
+    testing_suite,
+    training_suite,
+    workload_by_name,
+)
+
+__all__ = [
+    "KNOBS",
+    "Phase",
+    "microbenchmark_for",
+    "microbenchmark_suite",
+    "TESTING_WORKLOADS",
+    "TRAINING_WORKLOADS",
+    "Workload",
+    "all_workloads",
+    "random_workload",
+    "testing_suite",
+    "training_suite",
+    "workload_by_name",
+]

@@ -1,0 +1,90 @@
+"""Workload abstraction: a named generator of window specs.
+
+A workload is a weighted sequence of *phases*, each a statistical
+behaviour (:class:`repro.uarch.spec.WindowSpec`).  On top of the phase
+structure, a slow sinusoidal *pressure profile* modulates each phase's
+bottleneck rates over the run.  Together with the core model's per-window
+jitter this spreads the collected samples across a wide range of
+operational intensities — the paper's observation that many samples from
+varied workloads substitute for purpose-built microbenchmarks (§III-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.uarch.spec import WindowSpec
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One phase of a workload: a behaviour and its share of the run."""
+
+    spec: WindowSpec
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError("phase weight must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A named, phased synthetic workload."""
+
+    name: str
+    configuration: str
+    expected_bottleneck: str  # the Table I color: dominant TMA category
+    phases: tuple[Phase, ...]
+    pressure_amplitude: float = 0.5   # depth of the slow rate modulation
+    pressure_periods: float = 3.0     # modulation cycles over one run
+    role: str = "training"            # "training" or "testing"
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigError(f"workload {self.name!r} needs at least one phase")
+        if not 0.0 <= self.pressure_amplitude < 1.0:
+            raise ConfigError("pressure_amplitude must be in [0, 1)")
+        if self.role not in ("training", "testing"):
+            raise ConfigError(f"unknown workload role {self.role!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} ({self.configuration})"
+
+    def phase_at(self, progress: float) -> Phase:
+        """The phase active at run progress ``progress`` in [0, 1].
+
+        Phases occupy contiguous blocks proportional to their weights,
+        mirroring how real programs move through setup / compute / teardown
+        stages rather than interleaving them per window.
+        """
+        if not 0.0 <= progress <= 1.0:
+            raise ConfigError(f"progress must be in [0, 1], got {progress}")
+        total = sum(p.weight for p in self.phases)
+        threshold = progress * total
+        running = 0.0
+        for phase in self.phases:
+            running += phase.weight
+            if threshold <= running:
+                return phase
+        return self.phases[-1]
+
+    def pressure_at(self, progress: float) -> float:
+        """Slow multiplicative modulation of bottleneck rates over the run."""
+        wave = math.sin(2.0 * math.pi * self.pressure_periods * progress)
+        return 1.0 + self.pressure_amplitude * wave
+
+    def specs(self, n_windows: int, window_instructions: int) -> list[WindowSpec]:
+        """Materialize the run as ``n_windows`` window specs."""
+        if n_windows < 1:
+            raise ConfigError("a run needs at least one window")
+        result: list[WindowSpec] = []
+        for index in range(n_windows):
+            progress = index / max(1, n_windows - 1)
+            phase = self.phase_at(progress)
+            spec = phase.spec.with_instructions(window_instructions)
+            result.append(spec.scaled_pressure(self.pressure_at(progress)))
+        return result

@@ -1,0 +1,62 @@
+"""Random workload generation for tests and robustness studies."""
+
+from __future__ import annotations
+
+import random
+
+from repro.uarch.spec import WindowSpec
+from repro.workloads.base import Phase, Workload
+
+_BOTTLENECKS = ("Front-End", "Bad Speculation", "Memory", "Core", "Retiring")
+
+
+def random_spec(rng: random.Random) -> WindowSpec:
+    """A random but internally consistent window spec."""
+    frac_loads = rng.uniform(0.1, 0.4)
+    frac_stores = rng.uniform(0.02, 0.15)
+    frac_branches = rng.uniform(0.05, 0.28)
+    remaining = 1.0 - frac_loads - frac_stores - frac_branches
+    vector = rng.uniform(0.0, max(0.0, remaining - 0.1))
+    widths = [0.0, 0.0, 0.0]
+    widths[rng.randrange(3)] = vector
+    return WindowSpec(
+        instructions=rng.choice([20_000, 50_000, 100_000]),
+        uops_per_instruction=rng.uniform(1.0, 1.4),
+        frac_loads=frac_loads,
+        frac_stores=frac_stores,
+        frac_branches=frac_branches,
+        frac_vector_128=widths[0],
+        frac_vector_256=widths[1],
+        frac_vector_512=widths[2],
+        frac_divides=rng.uniform(0.0, 0.02),
+        dsb_coverage=rng.uniform(0.05, 0.98),
+        microcode_fraction=rng.uniform(0.0, 0.05),
+        fe_bubble_rate=rng.uniform(0.0, 0.02),
+        fe_bubble_cycles=rng.uniform(2.0, 8.0),
+        branch_mispredict_rate=rng.uniform(0.0, 0.08),
+        l1_miss_per_load=rng.uniform(0.0, 0.12),
+        l2_miss_fraction=rng.uniform(0.1, 0.8),
+        l3_miss_fraction=rng.uniform(0.1, 0.85),
+        lock_load_fraction=rng.uniform(0.0, 0.01),
+        dtlb_miss_per_access=rng.uniform(0.0, 0.008),
+        prefetcher_coverage=rng.uniform(0.0, 0.7),
+        mlp=rng.uniform(1.5, 8.0),
+        ilp=rng.uniform(1.0, 5.0),
+        vector_width_mix=rng.uniform(0.0, 0.6),
+    )
+
+
+def random_workload(rng: random.Random, name: str = "random") -> Workload:
+    """A random workload with 1-3 phases, for property-based tests."""
+    phases = tuple(
+        Phase(random_spec(rng), rng.uniform(0.5, 3.0))
+        for _ in range(rng.randint(1, 3))
+    )
+    return Workload(
+        name=name,
+        configuration="synthetic",
+        expected_bottleneck=rng.choice(_BOTTLENECKS),
+        phases=phases,
+        pressure_amplitude=rng.uniform(0.0, 0.7),
+        pressure_periods=rng.uniform(1.0, 5.0),
+    )

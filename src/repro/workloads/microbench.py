@@ -1,0 +1,150 @@
+"""Per-metric microbenchmarks (paper §III-A).
+
+    "While collecting training data, the goal is to gather samples that
+    maximize performance over a wide range of operational intensities for
+    each metric.  Ideally, this is done using optimized workloads
+    specifically designed to exercise each metric (e.g. microbenchmarks)."
+
+Each microbenchmark here sweeps exactly one behavioural knob across its
+run — from nearly absent to heavily exercised — while keeping the rest of
+the mix light, so the swept metric's operational intensity covers orders
+of magnitude at near-peak throughput.  The ``bench_microbench`` ablation
+compares a SPIRE model trained on these against the application-trained
+model from the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigError
+from repro.uarch.spec import WindowSpec
+from repro.workloads.base import Phase, Workload
+
+# A lean baseline: high ILP, perfect caches/predictors, full DSB.
+_LEAN = WindowSpec(
+    frac_loads=0.2,
+    frac_stores=0.05,
+    frac_branches=0.1,
+    dsb_coverage=0.98,
+    microcode_fraction=0.0,
+    fe_bubble_rate=0.0,
+    branch_mispredict_rate=0.0,
+    l1_miss_per_load=0.0,
+    lock_load_fraction=0.0,
+    ilp=5.0,
+    mlp=8.0,
+)
+
+
+def _sweep(name: str, levels: list[WindowSpec], bottleneck: str) -> Workload:
+    """A workload whose phases step through increasing stress levels."""
+    phases = tuple(Phase(spec, weight=1.0) for spec in levels)
+    return Workload(
+        name=f"ubench-{name}",
+        configuration="microbenchmark sweep",
+        expected_bottleneck=bottleneck,
+        phases=phases,
+        # No extra modulation: the sweep itself provides the intensity
+        # coverage, geometrically spaced through the phases.
+        pressure_amplitude=0.0,
+        pressure_periods=1.0,
+    )
+
+
+def _geometric(low: float, high: float, steps: int) -> list[float]:
+    if steps < 2:
+        raise ConfigError("a sweep needs at least two levels")
+    ratio = (high / low) ** (1.0 / (steps - 1))
+    return [low * ratio**i for i in range(steps)]
+
+
+KNOBS = (
+    "branch-mispredict",
+    "l1-miss",
+    "l3-miss",
+    "dsb-coverage",
+    "microcode",
+    "fe-bubbles",
+    "ilp",
+    "divider",
+    "lock-loads",
+    "vector-width-mix",
+)
+
+
+def microbenchmark_for(knob: str, steps: int = 12) -> Workload:
+    """The stress-sweep microbenchmark for one behavioural knob."""
+    if knob == "branch-mispredict":
+        levels = [
+            replace(_LEAN, frac_branches=0.25, branch_mispredict_rate=rate)
+            for rate in _geometric(1e-4, 0.2, steps)
+        ]
+        return _sweep(knob, levels, "Bad Speculation")
+    if knob == "l1-miss":
+        levels = [
+            replace(_LEAN, frac_loads=0.35, l1_miss_per_load=rate,
+                    l2_miss_fraction=0.2, l3_miss_fraction=0.1)
+            for rate in _geometric(1e-4, 0.3, steps)
+        ]
+        return _sweep(knob, levels, "Memory")
+    if knob == "l3-miss":
+        levels = [
+            replace(_LEAN, frac_loads=0.35, l1_miss_per_load=rate,
+                    l2_miss_fraction=0.9, l3_miss_fraction=0.9, mlp=2.0)
+            for rate in _geometric(1e-4, 0.2, steps)
+        ]
+        return _sweep(knob, levels, "Memory")
+    if knob == "dsb-coverage":
+        levels = [
+            replace(_LEAN, dsb_coverage=coverage, uops_per_instruction=1.3)
+            for coverage in reversed(_geometric(0.02, 0.98, steps))
+        ]
+        return _sweep(knob, levels, "Front-End")
+    if knob == "microcode":
+        levels = [
+            replace(_LEAN, microcode_fraction=fraction)
+            for fraction in _geometric(1e-4, 0.4, steps)
+        ]
+        return _sweep(knob, levels, "Front-End")
+    if knob == "fe-bubbles":
+        levels = [
+            replace(_LEAN, fe_bubble_rate=rate, fe_bubble_cycles=5.0)
+            for rate in _geometric(1e-5, 0.05, steps)
+        ]
+        return _sweep(knob, levels, "Front-End")
+    if knob == "ilp":
+        levels = [
+            replace(_LEAN, ilp=ilp)
+            for ilp in reversed(_geometric(0.8, 8.0, steps))
+        ]
+        return _sweep(knob, levels, "Core")
+    if knob == "divider":
+        levels = [
+            replace(_LEAN, frac_divides=fraction)
+            for fraction in _geometric(1e-5, 0.05, steps)
+        ]
+        return _sweep(knob, levels, "Core")
+    if knob == "lock-loads":
+        levels = [
+            replace(_LEAN, frac_loads=0.3, lock_load_fraction=fraction)
+            for fraction in _geometric(1e-5, 0.05, steps)
+        ]
+        return _sweep(knob, levels, "Memory")
+    if knob == "vector-width-mix":
+        levels = [
+            replace(
+                _LEAN,
+                frac_vector_256=0.15,
+                frac_vector_512=0.15,
+                vector_width_mix=min(1.0, mix),
+            )
+            for mix in _geometric(1e-3, 1.0, steps)
+        ]
+        return _sweep(knob, levels, "Core")
+    raise ConfigError(f"unknown microbenchmark knob {knob!r}; options: {KNOBS}")
+
+
+def microbenchmark_suite(steps: int = 12) -> list[Workload]:
+    """One stress-sweep microbenchmark per behavioural knob."""
+    return [microbenchmark_for(knob, steps) for knob in KNOBS]

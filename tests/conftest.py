@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.sample import Sample, SampleSet
+from repro.pipeline import ExperimentConfig, run_experiment
+from repro.uarch import CoreModel, skylake_gold_6126
+from repro.uarch.spec import WindowSpec
+
+
+@pytest.fixture
+def machine():
+    return skylake_gold_6126()
+
+
+@pytest.fixture
+def core(machine):
+    return CoreModel(machine)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def base_spec():
+    return WindowSpec(instructions=10_000)
+
+
+def make_metric_samples(
+    metric: str,
+    curve,
+    rng: random.Random,
+    count: int = 300,
+    intensity_range: tuple[float, float] = (0.5, 100.0),
+    work: float = 10_000.0,
+) -> list[Sample]:
+    """Samples whose throughput lies on/below ``curve(intensity)``."""
+    samples = []
+    lo, hi = intensity_range
+    for _ in range(count):
+        intensity = rng.uniform(lo, hi)
+        throughput = curve(intensity) * rng.uniform(0.3, 1.0)
+        samples.append(
+            Sample(
+                metric=metric,
+                time=work / max(1e-9, throughput),
+                work=work,
+                metric_count=work / intensity,
+            )
+        )
+    return samples
+
+
+@pytest.fixture
+def negative_metric_samples(rng):
+    """A harmful metric: throughput rises with intensity, saturating."""
+    return make_metric_samples(
+        "stalls", lambda i: 4.0 * i / (i + 6.0), rng, count=400
+    )
+
+
+@pytest.fixture
+def positive_metric_samples(rng):
+    """A helpful metric: throughput falls as its events become rarer."""
+    return make_metric_samples(
+        "dsb_uops", lambda i: 4.0 * 3.0 / (3.0 + i), rng, count=400
+    )
+
+
+@pytest.fixture
+def two_metric_sampleset(negative_metric_samples, positive_metric_samples):
+    return SampleSet(negative_metric_samples + positive_metric_samples)
+
+
+@pytest.fixture(scope="session")
+def small_experiment():
+    """A scaled-down full-paper experiment shared across integration tests."""
+    return run_experiment(ExperimentConfig(train_windows=400, test_windows=200))

@@ -1,0 +1,73 @@
+"""Unit tests for ensemble aggregation strategies."""
+
+import pytest
+
+from repro.core.aggregation import (
+    AGGREGATORS,
+    aggregator_by_name,
+    kth_smallest_aggregator,
+    mean_aggregator,
+    min_aggregator,
+    softmin_aggregator,
+)
+from repro.errors import EstimationError
+
+VALUES = {"a": 1.0, "b": 2.0, "c": 4.0}
+
+
+class TestStockAggregators:
+    def test_min(self):
+        assert min_aggregator(VALUES) == 1.0
+
+    def test_mean(self):
+        assert mean_aggregator(VALUES) == pytest.approx(7.0 / 3.0)
+
+    def test_kth(self):
+        assert kth_smallest_aggregator(1)(VALUES) == 1.0
+        assert kth_smallest_aggregator(2)(VALUES) == 2.0
+        assert kth_smallest_aggregator(99)(VALUES) == 4.0  # clamped
+
+    def test_softmin_between_min_and_mean(self):
+        value = softmin_aggregator(0.5)(VALUES)
+        assert min_aggregator(VALUES) <= value <= mean_aggregator(VALUES)
+
+    def test_softmin_approaches_min_as_temperature_drops(self):
+        cold = softmin_aggregator(1e-4)(VALUES)
+        assert cold == pytest.approx(1.0, abs=1e-3)
+
+    def test_softmin_monotone_in_temperature(self):
+        a = softmin_aggregator(0.05)(VALUES)
+        b = softmin_aggregator(0.5)(VALUES)
+        c = softmin_aggregator(5.0)(VALUES)
+        assert a <= b <= c
+
+    def test_softmin_single_value_identity(self):
+        assert softmin_aggregator(0.3)({"only": 2.5}) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            softmin_aggregator(0.0)
+        with pytest.raises(EstimationError):
+            kth_smallest_aggregator(0)
+        with pytest.raises(EstimationError):
+            min_aggregator({})
+        with pytest.raises(EstimationError):
+            mean_aggregator({})
+
+    def test_lookup(self):
+        assert aggregator_by_name("min") is min_aggregator
+        assert set(AGGREGATORS) == {"min", "mean", "softmin", "second-smallest"}
+        with pytest.raises(EstimationError):
+            aggregator_by_name("max")
+
+
+class TestOnEnsembleEstimate:
+    def test_aggregate_method(self, two_metric_sampleset):
+        from repro.core.ensemble import SpireModel
+
+        model = SpireModel.train(two_metric_sampleset)
+        estimate = model.estimate(two_metric_sampleset)
+        assert estimate.aggregate(min_aggregator) == estimate.throughput
+        assert estimate.aggregate(mean_aggregator) >= estimate.throughput
+        soft = estimate.aggregate(softmin_aggregator(0.01))
+        assert soft == pytest.approx(estimate.throughput, rel=0.05)

@@ -1,0 +1,105 @@
+"""Unit tests for the back-end execution model."""
+
+import pytest
+
+from repro.uarch.backend import BackendModel, port_activity_histogram
+from repro.uarch.spec import WindowSpec
+
+
+@pytest.fixture
+def backend(machine):
+    return BackendModel(machine)
+
+
+class TestPortPressure:
+    def test_port_uops_cover_all_ports(self, backend, machine):
+        spec = WindowSpec(frac_loads=0.3, frac_stores=0.1, frac_branches=0.1)
+        result = backend.evaluate(spec, 11_000.0, 10_000.0, base_cycles=2_750.0)
+        assert set(result.port_uops) == {p.name for p in machine.ports}
+
+    def test_loads_split_across_load_ports(self, backend):
+        spec = WindowSpec(frac_loads=0.4, frac_stores=0.0, frac_branches=0.0)
+        result = backend.evaluate(spec, 10_000.0, 10_000.0, base_cycles=2_500.0)
+        assert result.port_uops["p2"] == pytest.approx(result.port_uops["p3"])
+        assert result.port_uops["p2"] > 0
+
+    def test_high_ilp_no_port_stalls(self, backend):
+        spec = WindowSpec(ilp=8.0, frac_loads=0.2, frac_stores=0.05)
+        result = backend.evaluate(spec, 10_000.0, 10_000.0, base_cycles=2_500.0)
+        assert result.port_stall_cycles == pytest.approx(0.0, abs=1e-6)
+
+    def test_low_ilp_stalls(self, backend):
+        spec = WindowSpec(ilp=1.0)
+        result = backend.evaluate(spec, 10_000.0, 10_000.0, base_cycles=2_500.0)
+        assert result.port_stall_cycles > 0
+
+    def test_lower_ilp_costs_more(self, backend):
+        costs = []
+        for ilp in (4.0, 2.0, 1.0):
+            result = backend.evaluate(
+                WindowSpec(ilp=ilp), 10_000.0, 10_000.0, base_cycles=2_500.0
+            )
+            costs.append(result.port_stall_cycles)
+        assert costs == sorted(costs)
+
+
+class TestDivider:
+    def test_divider_occupancy(self, backend, machine):
+        spec = WindowSpec(frac_divides=0.01)  # default 1.1 uops/instruction
+        result = backend.evaluate(spec, 11_000.0, 10_000.0, base_cycles=2_750.0)
+        assert result.divides == pytest.approx(100.0)
+        assert result.divider_active_cycles == pytest.approx(
+            100.0 * machine.divider_latency
+        )
+        assert 0 < result.divider_stall_cycles < result.divider_active_cycles
+
+    def test_no_divides_no_divider(self, backend):
+        result = backend.evaluate(
+            WindowSpec(frac_divides=0.0), 10_000.0, 10_000.0, base_cycles=2_500.0
+        )
+        assert result.divider_active_cycles == 0.0
+
+
+class TestVectorWidth:
+    def test_mixing_requires_both_widths(self, backend):
+        only_512 = WindowSpec(frac_vector_512=0.3, vector_width_mix=0.8)
+        result = backend.evaluate(only_512, 10_000.0, 10_000.0, base_cycles=2_500.0)
+        assert result.vw_mismatch_events == 0.0
+
+    def test_mixing_generates_events_and_stalls(self, backend):
+        spec = WindowSpec(
+            frac_vector_256=0.15, frac_vector_512=0.15, vector_width_mix=0.8
+        )
+        result = backend.evaluate(spec, 10_000.0, 10_000.0, base_cycles=2_500.0)
+        assert result.vw_mismatch_events > 0
+        assert result.vw_stall_cycles > 0
+
+    def test_vector_counts_by_width(self, backend):
+        spec = WindowSpec(
+            frac_vector_128=0.1, frac_vector_256=0.2, frac_vector_512=0.05
+        )  # default 1.1 uops/instruction
+        result = backend.evaluate(spec, 11_000.0, 10_000.0, base_cycles=2_750.0)
+        assert result.vector_uops_128 == pytest.approx(1_000.0)
+        assert result.vector_uops_256 == pytest.approx(2_000.0)
+        assert result.vector_uops_512 == pytest.approx(500.0)
+
+
+class TestPortActivityHistogram:
+    def test_zero_inputs(self):
+        assert port_activity_histogram(0.0, 0.0, 8) == (0.0, 0.0, 0.0)
+
+    def test_buckets_sum_to_active_cycles(self):
+        c1, c2, c3 = port_activity_histogram(5_000.0, 2_000.0, 8)
+        assert c1 + c2 + c3 == pytest.approx(2_000.0)
+
+    def test_low_occupancy_favors_one_port(self):
+        c1, c2, c3 = port_activity_histogram(1_100.0, 1_000.0, 8)
+        assert c1 > c2 > c3
+
+    def test_high_occupancy_favors_many_ports(self):
+        c1, c2, c3 = port_activity_histogram(6_000.0, 1_000.0, 8)
+        assert c3 > c1
+
+    def test_mean_capped_by_port_count(self):
+        c1, c2, c3 = port_activity_histogram(1e9, 10.0, 4)
+        assert c1 + c2 + c3 == pytest.approx(10.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the classic roofline baseline (paper Fig. 2)."""
+
+import pytest
+
+from repro.baselines.classic_roofline import (
+    Ceiling,
+    ClassicRoofline,
+    RooflinePoint,
+)
+from repro.errors import ConfigError
+from repro.uarch import skylake_gold_6126
+
+
+@pytest.fixture
+def roofline():
+    return ClassicRoofline(
+        pi=100.0,
+        beta=10.0,
+        ceilings=(
+            Ceiling("scalar", "compute", 25.0),
+            Ceiling("dram", "memory", 4.0),
+        ),
+    )
+
+
+class TestAttainable:
+    def test_memory_side(self, roofline):
+        assert roofline.attainable(0.5) == pytest.approx(5.0)
+
+    def test_compute_side(self, roofline):
+        assert roofline.attainable(50.0) == pytest.approx(100.0)
+
+    def test_ridge_point(self, roofline):
+        assert roofline.ridge_point == pytest.approx(10.0)
+        assert roofline.attainable(10.0) == pytest.approx(100.0)
+
+    def test_compute_ceiling_caps(self, roofline):
+        ceiling = roofline.ceilings[0]
+        assert roofline.attainable(50.0, ceiling) == pytest.approx(25.0)
+
+    def test_memory_ceiling_caps(self, roofline):
+        ceiling = roofline.ceilings[1]
+        assert roofline.attainable(0.5, ceiling) == pytest.approx(2.0)
+
+    def test_negative_intensity_rejected(self, roofline):
+        with pytest.raises(ConfigError):
+            roofline.attainable(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            ClassicRoofline(pi=0.0, beta=1.0)
+        with pytest.raises(ConfigError):
+            Ceiling("x", "temporal", 1.0)
+        with pytest.raises(ConfigError):
+            Ceiling("x", "compute", -1.0)
+
+
+class TestClassification:
+    def test_memory_bound(self, roofline):
+        app = RooflinePoint("A", intensity=1.0, throughput=5.0)
+        assert roofline.classify(app) == "memory-bound"
+
+    def test_compute_bound(self, roofline):
+        app = RooflinePoint("B", intensity=50.0, throughput=20.0)
+        assert roofline.classify(app) == "compute-bound"
+
+    def test_binding_ceiling_scalar(self, roofline):
+        app = RooflinePoint("B", intensity=50.0, throughput=20.0)
+        assert roofline.binding_ceiling(app) == "scalar"
+
+    def test_binding_ceiling_peak(self, roofline):
+        app = RooflinePoint("B", intensity=50.0, throughput=60.0)
+        assert roofline.binding_ceiling(app) == "peak"
+
+    def test_binding_ceiling_dram(self, roofline):
+        app = RooflinePoint("A", intensity=1.0, throughput=3.0)
+        assert roofline.binding_ceiling(app) == "dram"
+
+    def test_impossible_point_rejected(self, roofline):
+        app = RooflinePoint("X", intensity=1.0, throughput=50.0)
+        with pytest.raises(ConfigError):
+            roofline.binding_ceiling(app)
+
+    def test_efficiency(self, roofline):
+        app = RooflinePoint("A", intensity=1.0, throughput=5.0)
+        assert roofline.efficiency(app) == pytest.approx(0.5)
+
+
+class TestSeriesAndMachine:
+    def test_series_shape(self, roofline):
+        series = roofline.series([0.1, 1.0, 10.0, 100.0])
+        assert len(series) == 4
+        values = [v for _, v in series]
+        assert values == sorted(values)
+
+    def test_from_machine_ceilings(self):
+        roofline = ClassicRoofline.from_machine(skylake_gold_6126())
+        names = {c.name for c in roofline.ceilings}
+        assert names == {"scalar", "dram"}
+        assert roofline.pi > 0
+        # The DRAM ceiling must sit below the cache-bandwidth roof.
+        dram = next(c for c in roofline.ceilings if c.name == "dram")
+        assert dram.value < roofline.beta

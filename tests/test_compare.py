@@ -1,0 +1,108 @@
+"""Unit tests for cross-model roofline comparison."""
+
+import pytest
+
+from repro.core.compare import compare_models, render_comparison
+from repro.core.ensemble import SpireModel
+from repro.core.sample import Sample, SampleSet
+from repro.errors import EstimationError
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+def model_with_scale(scale, rng):
+    """A model whose throughput is ``scale`` times the reference curve."""
+    samples = SampleSet()
+    for _ in range(300):
+        i = rng.uniform(1, 50)
+        p = scale * (4 * i / (i + 6)) * rng.uniform(0.5, 1.0)
+        samples.add(sample("stalls", i, p))
+        i = rng.uniform(1, 100)
+        p = scale * (12 / (3 + i)) * rng.uniform(0.5, 1.0)
+        samples.add(sample("dsb", i, p))
+    return SpireModel.train(samples)
+
+
+class TestCompareModels:
+    def test_identical_models_ratio_one(self, rng):
+        model = model_with_scale(1.0, rng)
+        comparisons = compare_models(model, model)
+        for c in comparisons:
+            assert c.mean_ratio == pytest.approx(1.0)
+            assert c.min_ratio == pytest.approx(1.0)
+            assert c.max_ratio == pytest.approx(1.0)
+
+    def test_scaled_model_detected(self, rng):
+        import random
+
+        a = model_with_scale(1.0, rng)
+        b = model_with_scale(0.5, random.Random(99))
+        comparisons = compare_models(a, b)
+        for c in comparisons:
+            assert c.mean_ratio < 0.9
+            assert c.b_is_more_sensitive
+
+    def test_sorted_most_sensitive_first(self, rng):
+        import random
+
+        a = model_with_scale(1.0, rng)
+        b = model_with_scale(0.7, random.Random(5))
+        comparisons = compare_models(a, b)
+        ratios = [c.mean_ratio for c in comparisons]
+        assert ratios == sorted(ratios)
+
+    def test_no_shared_metrics_rejected(self, rng):
+        a = SpireModel.train(
+            SampleSet([sample("only_a", i, 1.0) for i in range(1, 8)])
+        )
+        b = SpireModel.train(
+            SampleSet([sample("only_b", i, 1.0) for i in range(1, 8)])
+        )
+        with pytest.raises(EstimationError):
+            compare_models(a, b)
+
+    def test_apex_values_reported(self, rng):
+        model = model_with_scale(1.0, rng)
+        comparison = compare_models(model, model)[0]
+        assert comparison.apex_a == comparison.apex_b > 0
+
+    def test_render(self, rng):
+        model = model_with_scale(1.0, rng)
+        text = render_comparison(compare_models(model, model), "sky", "little")
+        assert "little" in text
+        assert "stalls" in text
+
+
+class TestCrossMachineComparison:
+    def test_little_core_is_more_sensitive(self, small_experiment):
+        """The 2-wide in-order-ish core bounds lower than the Skylake
+        analog on shared metrics — the paper's non-transfer motivation."""
+        import random
+
+        from repro.core.sample import SampleSet
+        from repro.counters import CollectionConfig, SampleCollector
+        from repro.uarch import CoreModel
+        from repro.uarch.config import little_inorder_core
+        from repro.workloads import training_suite
+
+        machine = little_inorder_core()
+        collector = SampleCollector(
+            machine, config=CollectionConfig(windows_per_period=30)
+        )
+        core = CoreModel(machine)
+        pooled = SampleSet()
+        for index, workload in enumerate(training_suite()[:8]):
+            pooled.extend(
+                collector.collect(
+                    core, workload.specs(150, 20_000), rng=random.Random(index)
+                ).samples
+            )
+        little_model = SpireModel.train(pooled)
+        comparisons = compare_models(small_experiment.model, little_model)
+        # On average across metrics, the little core's bounds sit lower.
+        mean_of_means = sum(c.mean_ratio for c in comparisons) / len(comparisons)
+        assert mean_of_means < 1.0

@@ -1,0 +1,94 @@
+"""Unit tests for derived counter metrics."""
+
+import math
+import random
+
+import pytest
+
+from repro.counters import CollectionConfig, SampleCollector
+from repro.counters.derived import DERIVED_METRICS, derive_all, render_derived
+from repro.errors import DataError
+from repro.uarch import CoreModel
+from repro.uarch.spec import WindowSpec
+
+
+@pytest.fixture
+def full_counts(machine, core):
+    collector = SampleCollector(
+        machine, config=CollectionConfig(multiplex=False, windows_per_period=5)
+    )
+    spec = WindowSpec(
+        frac_loads=0.3,
+        frac_branches=0.2,
+        branch_mispredict_rate=0.02,
+        l1_miss_per_load=0.05,
+        dsb_coverage=0.8,
+        microcode_fraction=0.02,
+    )
+    return collector.collect(core, [spec] * 10, rng=random.Random(0)).full_counts
+
+
+class TestDeriveAll:
+    def test_all_standard_metrics_computable(self, full_counts):
+        values = derive_all(full_counts)
+        assert set(values) == {m.name for m in DERIVED_METRICS}
+
+    def test_ipc_matches_counters(self, full_counts):
+        values = derive_all(full_counts)
+        assert values["ipc"] == pytest.approx(
+            full_counts["inst_retired.any"]
+            / full_counts["cpu_clk_unhalted.thread"]
+        )
+
+    def test_rates_in_sane_ranges(self, full_counts):
+        values = derive_all(full_counts)
+        assert 0 < values["ipc"] <= 4.0
+        assert values["uops_per_instruction"] >= 1.0
+        assert 0 <= values["branch_mispredict_rate"] <= 1.0
+        assert 0 <= values["l1_miss_ratio"] <= 1.0
+        assert 0 <= values["dsb_coverage"] <= 1.0
+        assert 0 <= values["memory_stall_share"] <= 1.0
+        assert values["branch_mpki"] > 0
+
+    def test_dsb_coverage_tracks_spec(self, machine, core):
+        collector = SampleCollector(
+            machine,
+            config=CollectionConfig(multiplex=False, windows_per_period=5),
+        )
+        low = collector.collect(
+            core, [WindowSpec(dsb_coverage=0.1)] * 5
+        ).full_counts
+        high = collector.collect(
+            core, [WindowSpec(dsb_coverage=0.95)] * 5
+        ).full_counts
+        assert derive_all(low)["dsb_coverage"] < derive_all(high)["dsb_coverage"]
+
+    def test_missing_events_skipped(self, full_counts):
+        partial = {
+            "inst_retired.any": full_counts["inst_retired.any"],
+            "cpu_clk_unhalted.thread": full_counts["cpu_clk_unhalted.thread"],
+        }
+        values = derive_all(partial)
+        assert set(values) == {"ipc"}
+
+    def test_nothing_computable_rejected(self):
+        with pytest.raises(DataError):
+            derive_all({"weird.event": 1.0})
+
+    def test_zero_denominator_nan(self):
+        values = derive_all(
+            {
+                "inst_retired.any": 0.0,
+                "cpu_clk_unhalted.thread": 100.0,
+                "br_misp_retired.all_branches": 0.0,
+                "br_inst_retired.all_branches": 0.0,
+            }
+        )
+        assert values["ipc"] == 0.0
+        assert math.isnan(values["branch_mispredict_rate"])
+
+    def test_render(self, full_counts):
+        text = render_derived(full_counts)
+        assert "ipc" in text
+        assert "dsb_coverage" in text
+        assert "per kilo-instruction" in text

@@ -1,0 +1,165 @@
+"""Unit tests for metric-direction detection and the trend fitting mode."""
+
+import random
+
+import pytest
+
+from repro.core.direction import (
+    MIXED,
+    NEGATIVE_METRIC,
+    POSITIVE_METRIC,
+    detect_direction,
+    spearman,
+)
+from repro.core.roofline import RooflineFitOptions, fit_metric_roofline
+from repro.core.sample import Sample
+from repro.errors import FitError
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert spearman([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_monotone_nonlinear_still_one(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ys = [x**3 for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_constant_series_zero(self):
+        assert spearman([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_short_series_zero(self):
+        assert spearman([1, 2], [1, 2]) == 0.0
+
+    def test_ties_handled(self):
+        value = spearman([1, 1, 2, 2], [1, 2, 3, 4])
+        assert -1.0 <= value <= 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1])
+
+    def test_independent_near_zero(self):
+        rng = random.Random(0)
+        xs = [rng.random() for _ in range(500)]
+        ys = [rng.random() for _ in range(500)]
+        assert abs(spearman(xs, ys)) < 0.15
+
+
+class TestDetectDirection:
+    def test_rising_cloud_is_negative_metric(self, rng):
+        points = []
+        for _ in range(200):
+            i = rng.uniform(1, 100)
+            points.append((i, (4 * i / (i + 10)) * rng.uniform(0.6, 1.0)))
+        assert detect_direction(points) == NEGATIVE_METRIC
+
+    def test_falling_cloud_is_positive_metric(self, rng):
+        points = []
+        for _ in range(200):
+            i = rng.uniform(1, 100)
+            points.append((i, (12 / (3 + i)) * rng.uniform(0.6, 1.0)))
+        assert detect_direction(points) == POSITIVE_METRIC
+
+    def test_flat_noise_is_mixed(self, rng):
+        points = [(rng.uniform(1, 100), rng.uniform(1, 2)) for _ in range(200)]
+        assert detect_direction(points) == MIXED
+
+    def test_too_few_points_mixed(self):
+        assert detect_direction([(1.0, 1.0), (2.0, 2.0)]) == MIXED
+
+    def test_infinite_points_ignored(self, rng):
+        points = [(float("inf"), 1.0)] * 10
+        assert detect_direction(points) == MIXED
+
+
+class TestTrendFittingMode:
+    def _rising_samples(self, rng, n=300):
+        result = []
+        for _ in range(n):
+            i = rng.uniform(1, 100)
+            p = (4 * i / (i + 10)) * rng.uniform(0.5, 1.0)
+            result.append(sample("bp", i, p))
+        return result
+
+    def _falling_samples(self, rng, n=300):
+        result = []
+        for _ in range(n):
+            i = rng.uniform(1, 100)
+            p = (12 / (3 + i)) * rng.uniform(0.5, 1.0)
+            result.append(sample("db", i, p))
+        return result
+
+    def test_mode_validation(self):
+        with pytest.raises(FitError):
+            RooflineFitOptions(direction_mode="sideways")
+        with pytest.raises(FitError):
+            RooflineFitOptions(direction_threshold=0.0)
+
+    def test_apex_split_records_direction(self, rng):
+        roofline = fit_metric_roofline(self._rising_samples(rng))
+        assert roofline.direction == NEGATIVE_METRIC
+
+    def test_trend_mode_fixes_bp1_defect(self, rng):
+        """Paper §V: the right fit drops the bound for high intensities on a
+        clearly negative metric; trend mode keeps it flat at the apex."""
+        samples = self._rising_samples(rng)
+        paper = fit_metric_roofline(
+            samples, RooflineFitOptions(direction_mode="apex-split")
+        )
+        robust = fit_metric_roofline(
+            samples, RooflineFitOptions(direction_mode="trend")
+        )
+        # The paper-mode tail drops below the apex; trend mode does not.
+        assert paper.function.breakpoints[-1].y < paper.apex.y
+        assert robust.function.breakpoints[-1].y == pytest.approx(robust.apex.y)
+        assert robust.estimate(1e9) == pytest.approx(robust.apex.y)
+
+    def test_trend_mode_flattens_positive_left_region(self, rng):
+        samples = self._falling_samples(rng)
+        robust = fit_metric_roofline(
+            samples, RooflineFitOptions(direction_mode="trend")
+        )
+        assert robust.direction == POSITIVE_METRIC
+        # Left of the apex the bound is flat at the apex level, not rising
+        # from the origin.
+        assert robust.estimate(robust.apex.x / 100.0) == pytest.approx(
+            robust.apex.y
+        )
+
+    def test_trend_mode_still_upper_bound(self, rng):
+        for samples in (self._rising_samples(rng), self._falling_samples(rng)):
+            roofline = fit_metric_roofline(
+                samples, RooflineFitOptions(direction_mode="trend")
+            )
+            assert roofline.is_upper_bound_of_training_data()
+
+    def test_mixed_metric_falls_back_to_apex_split(self, rng):
+        samples = [
+            sample("m", rng.uniform(1, 100), rng.uniform(0.5, 2.0))
+            for _ in range(200)
+        ]
+        paper = fit_metric_roofline(samples)
+        robust = fit_metric_roofline(
+            samples, RooflineFitOptions(direction_mode="trend")
+        )
+        assert robust.direction == MIXED
+        assert robust.function == paper.function
+
+    def test_direction_serialized(self, rng):
+        from repro.core.roofline import MetricRoofline
+
+        roofline = fit_metric_roofline(
+            self._rising_samples(rng), RooflineFitOptions(direction_mode="trend")
+        )
+        clone = MetricRoofline.from_dict(roofline.to_dict())
+        assert clone.direction == NEGATIVE_METRIC

@@ -1,0 +1,103 @@
+"""Unit tests for the Top-Down drilldown walker."""
+
+import random
+
+import pytest
+
+from repro.counters import CollectionConfig, SampleCollector
+from repro.errors import DataError
+from repro.tma import TopDownAnalyzer, drilldown
+from repro.uarch import CoreModel
+from repro.uarch.spec import WindowSpec
+
+
+def tma_for(machine, core, spec, seed=0):
+    collector = SampleCollector(
+        machine, config=CollectionConfig(multiplex=False, windows_per_period=5)
+    )
+    result = collector.collect(core, [spec] * 20, rng=random.Random(seed))
+    return TopDownAnalyzer(machine).analyze(result.full_counts)
+
+
+class TestDrilldownPaths:
+    def test_memory_workload_reaches_dram(self, machine, core):
+        result = tma_for(
+            machine,
+            core,
+            WindowSpec(
+                frac_loads=0.4, l1_miss_per_load=0.12, l2_miss_fraction=0.8,
+                l3_miss_fraction=0.85, mlp=2.0,
+            ),
+        )
+        walk = drilldown(result)
+        assert walk.path[0] == "back_end_bound"
+        assert "memory_bound" in walk.path
+        assert walk.leaf.name == "dram_bound"
+        assert "DRAM" in walk.advice
+
+    def test_divider_workload_reaches_divider(self, machine, core):
+        result = tma_for(
+            machine, core, WindowSpec(frac_divides=0.02, ilp=4.0)
+        )
+        walk = drilldown(result)
+        assert walk.path[:2] == ["back_end_bound", "core_bound"]
+        assert walk.leaf.name == "divider"
+
+    def test_branchy_workload(self, machine, core):
+        result = tma_for(
+            machine,
+            core,
+            WindowSpec(frac_branches=0.25, branch_mispredict_rate=0.12, ilp=4.0),
+        )
+        walk = drilldown(result)
+        assert walk.path[0] == "bad_speculation"
+        assert walk.leaf.name == "branch_mispredicts"
+
+    def test_frontend_workload(self, machine, core):
+        result = tma_for(
+            machine,
+            core,
+            WindowSpec(dsb_coverage=0.0, fe_bubble_rate=0.0, ilp=4.0,
+                       uops_per_instruction=1.4),
+        )
+        walk = drilldown(result)
+        assert walk.path[0] == "front_end_bound"
+        assert walk.leaf.name == "fetch_bandwidth"
+
+    def test_retiring_included_when_requested(self, machine, core):
+        spec = WindowSpec(
+            ilp=8.0, dsb_coverage=1.0, branch_mispredict_rate=0.0,
+            l1_miss_per_load=0.0, fe_bubble_rate=0.0, uops_per_instruction=1.0,
+        )
+        result = tma_for(machine, core, spec)
+        bottleneck_walk = drilldown(result)
+        healthy_walk = drilldown(result, include_retiring=True)
+        assert bottleneck_walk.path[0] != "retiring"
+        assert healthy_walk.path[0] == "retiring"
+        assert healthy_walk.leaf.name in ("base", "retiring")
+
+    def test_fractions_non_increasing_down_the_path(self, machine, core):
+        result = tma_for(
+            machine, core, WindowSpec(frac_loads=0.4, l1_miss_per_load=0.1)
+        )
+        walk = drilldown(result)
+        fractions = [step.fraction for step in walk.steps]
+        assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+    def test_minimum_fraction_stops_walk(self, machine, core):
+        result = tma_for(machine, core, WindowSpec())
+        shallow = drilldown(result, minimum_fraction=0.99)
+        assert len(shallow.steps) == 1
+
+    def test_render(self, machine, core):
+        result = tma_for(
+            machine, core, WindowSpec(frac_loads=0.4, l1_miss_per_load=0.1)
+        )
+        text = drilldown(result).render()
+        assert "%" in text
+        assert "->" in text
+
+    def test_validation(self, machine, core):
+        result = tma_for(machine, core, WindowSpec())
+        with pytest.raises(DataError):
+            drilldown(result, minimum_fraction=1.0)

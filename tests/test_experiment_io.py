@@ -1,0 +1,109 @@
+"""Unit tests for experiment archiving."""
+
+import json
+
+import pytest
+
+from repro.core.ensemble import SpireModel
+from repro.core.sample import Sample, SampleSet
+from repro.errors import DataError
+from repro.io.experiment import (
+    archive_pipeline_result,
+    load_experiment,
+    save_experiment,
+)
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+@pytest.fixture
+def model(two_metric_sampleset):
+    return SpireModel.train(two_metric_sampleset)
+
+
+@pytest.fixture
+def workload_samples():
+    return {
+        "alpha (v1)": SampleSet(
+            [sample("stalls", 2.0, 1.0), sample("dsb_uops", 5.0, 1.0)]
+        ),
+        "beta/2": SampleSet([sample("stalls", 9.0, 2.0)]),
+    }
+
+
+class TestSaveLoad:
+    def test_round_trip(self, model, workload_samples, tmp_path):
+        directory = save_experiment(
+            tmp_path / "run",
+            model,
+            workload_samples,
+            metadata={"seed": 7},
+            workload_info={"alpha (v1)": {"measured_ipc": 1.0}},
+        )
+        archive = load_experiment(directory)
+        assert sorted(archive.model.metrics) == sorted(model.metrics)
+        assert archive.workloads() == sorted(workload_samples)
+        assert archive.metadata == {"seed": 7}
+        assert archive.workload_info["alpha (v1)"]["measured_ipc"] == 1.0
+        loaded = archive.samples_for("alpha (v1)")
+        assert loaded.to_records() == workload_samples["alpha (v1)"].to_records()
+
+    def test_unsafe_names_sanitized(self, model, workload_samples, tmp_path):
+        directory = save_experiment(tmp_path / "run", model, workload_samples)
+        files = {p.name for p in (directory / "samples").iterdir()}
+        assert all("/" not in name for name in files)
+        assert len(files) == 2
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DataError, match="manifest"):
+            load_experiment(tmp_path)
+
+    def test_bad_format_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format": "other/9"}')
+        with pytest.raises(DataError, match="unknown archive format"):
+            load_experiment(tmp_path)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(DataError, match="invalid JSON"):
+            load_experiment(tmp_path)
+
+    def test_unknown_workload_lookup(self, model, workload_samples, tmp_path):
+        archive = load_experiment(
+            save_experiment(tmp_path / "run", model, workload_samples)
+        )
+        with pytest.raises(DataError):
+            archive.samples_for("gamma")
+
+    def test_manifest_is_json(self, model, workload_samples, tmp_path):
+        directory = save_experiment(tmp_path / "run", model, workload_samples)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["format"] == "spire-experiment/1"
+        assert manifest["workloads"]["beta/2"]["samples"] == 1
+
+
+class TestPipelineArchiving:
+    def test_archive_full_experiment(self, small_experiment, tmp_path):
+        directory = archive_pipeline_result(tmp_path / "exp", small_experiment)
+        archive = load_experiment(directory)
+        assert len(archive.workloads()) == 27
+        assert archive.metadata["machine"] == "xeon-gold-6126"
+        info = archive.workload_info["tnn"]
+        assert info["role"] == "testing"
+        assert info["tma_category"] == "Front-End"
+        # A re-analysis from the archive matches the live result.
+        from repro.counters.events import default_catalog
+
+        report = archive.model.analyze(
+            archive.samples_for("tnn"),
+            top_k=5,
+            metric_areas=default_catalog().areas(),
+        )
+        live = small_experiment.analyze("tnn", top_k=5)
+        assert [e.metric for e in report.top(5)] == [
+            e.metric for e in live.top(5)
+        ]

@@ -1,0 +1,85 @@
+"""Unit tests for the front-end supply model."""
+
+import pytest
+
+from repro.uarch.frontend import FrontendModel
+from repro.uarch.spec import WindowSpec
+
+
+@pytest.fixture
+def frontend(machine):
+    return FrontendModel(machine)
+
+
+class TestSupplySplit:
+    def test_uop_sources_sum_to_issued(self, frontend):
+        spec = WindowSpec(dsb_coverage=0.6, microcode_fraction=0.1)
+        result = frontend.evaluate(spec, uops_issued=10_000.0, instructions=9_000.0)
+        assert result.dsb_uops + result.mite_uops + result.ms_uops == pytest.approx(
+            10_000.0
+        )
+
+    def test_dsb_coverage_controls_split(self, frontend):
+        spec = WindowSpec(dsb_coverage=0.9, microcode_fraction=0.0)
+        result = frontend.evaluate(spec, 10_000.0, 9_000.0)
+        assert result.dsb_uops == pytest.approx(9_000.0)
+        assert result.mite_uops == pytest.approx(1_000.0)
+        assert result.ms_uops == 0.0
+
+    def test_ms_fraction(self, frontend):
+        spec = WindowSpec(microcode_fraction=0.2, dsb_coverage=1.0)
+        result = frontend.evaluate(spec, 10_000.0, 9_000.0)
+        assert result.ms_uops == pytest.approx(2_000.0)
+
+    def test_active_cycles_match_widths(self, frontend, machine):
+        spec = WindowSpec(dsb_coverage=1.0, microcode_fraction=0.0)
+        result = frontend.evaluate(spec, 6_000.0, 6_000.0)
+        assert result.dsb_active_cycles == pytest.approx(6_000.0 / machine.dsb_width)
+
+
+class TestCosts:
+    def test_full_dsb_no_bandwidth_cost(self, frontend):
+        # Full DSB coverage delivers 6 uops/cycle against a 4-wide demand:
+        # supply never falls behind.
+        spec = WindowSpec(dsb_coverage=1.0, microcode_fraction=0.0, fe_bubble_rate=0.0)
+        result = frontend.evaluate(spec, 10_000.0, 9_000.0)
+        assert result.bandwidth_cycles == 0.0
+        assert result.total_cycles == 0.0
+
+    def test_legacy_decode_costs_cycles(self, frontend):
+        spec = WindowSpec(dsb_coverage=0.0, microcode_fraction=0.0, fe_bubble_rate=0.0)
+        result = frontend.evaluate(spec, 10_000.0, 9_000.0)
+        assert result.bandwidth_cycles > 0.0
+
+    def test_lower_dsb_coverage_costs_more(self, frontend):
+        costs = []
+        for coverage in (0.9, 0.5, 0.1):
+            spec = WindowSpec(dsb_coverage=coverage, fe_bubble_rate=0.0)
+            costs.append(frontend.evaluate(spec, 10_000.0, 9_000.0).bandwidth_cycles)
+        assert costs == sorted(costs)
+
+    def test_latency_bubbles_scale_with_rate(self, frontend):
+        low = frontend.evaluate(
+            WindowSpec(fe_bubble_rate=0.001), 10_000.0, 9_000.0
+        ).latency_cycles
+        high = frontend.evaluate(
+            WindowSpec(fe_bubble_rate=0.01), 10_000.0, 9_000.0
+        ).latency_cycles
+        assert high == pytest.approx(10 * low)
+
+    def test_ms_switches_scale_with_ms_uops(self, frontend):
+        little = frontend.evaluate(
+            WindowSpec(microcode_fraction=0.01), 10_000.0, 9_000.0
+        )
+        lots = frontend.evaluate(
+            WindowSpec(microcode_fraction=0.1), 10_000.0, 9_000.0
+        )
+        assert lots.ms_switches > little.ms_switches
+
+    def test_wrong_path_uops_decode_too(self, frontend):
+        # More issued uops (same retired instructions) -> more DSB uops:
+        # the Figure 7 confounding path.
+        spec = WindowSpec(dsb_coverage=0.8)
+        a = frontend.evaluate(spec, 10_000.0, 9_000.0)
+        b = frontend.evaluate(spec, 13_000.0, 9_000.0)
+        assert b.dsb_uops > a.dsb_uops

@@ -1,0 +1,75 @@
+"""The paper's evaluation at full default scale, as one integration test.
+
+This is the same configuration the benchmarks use
+(``ExperimentConfig()``); running it inside the test suite guarantees
+``pytest tests/`` alone certifies the headline reproduction — Table I
+categories, Table II shape, and the §V agreement claim — without needing
+the benchmark harness.
+"""
+
+import pytest
+
+from repro.counters.events import default_catalog
+from repro.pipeline import ExperimentConfig, cached_experiment
+
+
+@pytest.fixture(scope="module")
+def full_experiment():
+    return cached_experiment(ExperimentConfig())
+
+
+class TestHeadlineReproduction:
+    def test_table1_categories(self, full_experiment):
+        runs = {**full_experiment.training_runs, **full_experiment.testing_runs}
+        assert len(runs) == 27
+        for name, run in runs.items():
+            assert run.table1_category == run.workload.expected_bottleneck, name
+
+    def test_table2_shape(self, full_experiment):
+        expectations = {
+            "tnn": ("Front-End", ("dsb", "idq")),
+            "scikit-learn-sparsify": ("Bad Speculation", ("br_misp", "recovery")),
+            "onnx": ("Memory", ("cycle_activity", "l1d")),
+            "parboil-cutcp": ("Core", ("lock_loads", "stall")),
+        }
+        for name, (category, families) in expectations.items():
+            report = full_experiment.analyze(name, top_k=10)
+            areas = [report.area_of(e.metric) for e in report.top(10)]
+            assert category in areas, (name, areas)
+            metrics = [e.metric for e in report.top(10)]
+            assert any(
+                any(family in metric for family in families)
+                for metric in metrics
+            ), (name, metrics)
+
+    def test_agreement_at_least_three_of_four(self, full_experiment):
+        matches = 0
+        for name, run in full_experiment.testing_runs.items():
+            report = full_experiment.analyze(name, top_k=10)
+            top_area = report.area_of(report.top(1)[0].metric)
+            if run.table1_category in (top_area, report.dominant_area(10)):
+                matches += 1
+        assert matches >= 3
+
+    def test_every_roofline_is_an_upper_bound(self, full_experiment):
+        model = full_experiment.model
+        for metric in model.metrics:
+            assert model.roofline(metric).is_upper_bound_of_training_data(), metric
+
+    def test_estimates_track_measured_ipc(self, full_experiment):
+        # Bounds land in the right order and the right neighbourhood: the
+        # four test workloads' estimated bounds rank like their IPCs.
+        measured = {}
+        estimated = {}
+        for name, run in full_experiment.testing_runs.items():
+            report = full_experiment.analyze(name)
+            measured[name] = report.measured_throughput
+            estimated[name] = report.estimated_throughput
+        measured_order = sorted(measured, key=measured.get)
+        estimated_order = sorted(estimated, key=estimated.get)
+        assert measured_order == estimated_order
+
+    def test_metric_catalog_fully_trained(self, full_experiment):
+        assert set(full_experiment.model.metrics) == set(
+            default_catalog().programmable_names
+        )

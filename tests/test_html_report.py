@@ -1,0 +1,99 @@
+"""Unit tests for the HTML report renderer."""
+
+import random
+
+import pytest
+
+from repro.core.ensemble import SpireModel
+from repro.core.sample import Sample, SampleSet
+from repro.core.uncertainty import bootstrap_estimates
+from repro.counters.events import default_catalog
+from repro.viz.report import render_html_report, save_html_report
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+@pytest.fixture
+def model(two_metric_sampleset):
+    return SpireModel.train(two_metric_sampleset)
+
+
+@pytest.fixture
+def report(model):
+    workload = SampleSet(
+        [sample("stalls", 3.0, 1.0), sample("dsb_uops", 10.0, 1.0)]
+    )
+    return model.analyze(
+        workload,
+        workload="unit <test>",
+        metric_areas={"stalls": "Core", "dsb_uops": "Front-End"},
+    )
+
+
+class TestRenderHtml:
+    def test_document_structure(self, report):
+        doc = render_html_report(report)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.endswith("</html>")
+        assert "stalls" in doc
+
+    def test_title_escaped(self, report):
+        doc = render_html_report(report)
+        assert "unit &lt;test&gt;" in doc
+        assert "unit <test>" not in doc
+
+    def test_areas_tagged(self, report):
+        doc = render_html_report(report)
+        assert "Front-End" in doc
+        assert "Core" in doc
+
+    def test_pool_listed(self, report):
+        doc = render_html_report(report)
+        assert "bottleneck pool" in doc
+
+    def test_roofline_plots_embedded(self, report, model):
+        doc = render_html_report(report, model=model, plot_count=2)
+        assert doc.count("<svg") >= 1
+
+    def test_bootstrap_section(self, report, model):
+        workload = SampleSet(
+            [sample("stalls", 3.0, 1.0) for _ in range(10)]
+            + [sample("dsb_uops", 10.0, 1.0) for _ in range(10)]
+        )
+        boot = bootstrap_estimates(
+            model, workload, resamples=20, rng=random.Random(0)
+        )
+        doc = render_html_report(report, bootstrap=boot)
+        assert "Bootstrap confidence" in doc
+        assert "P(min)" in doc
+
+    def test_tma_section(self, report, small_experiment):
+        tma = small_experiment.testing_runs["tnn"].tma
+        doc = render_html_report(report, tma=tma)
+        assert "Top-Down baseline" in doc
+        assert "front_end_bound" in doc
+
+    def test_save(self, report, model, tmp_path):
+        path = save_html_report(tmp_path / "deep" / "report.html", report, model)
+        assert path.exists()
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestEndToEnd:
+    def test_full_experiment_report(self, small_experiment, tmp_path):
+        report = small_experiment.analyze("onnx", top_k=10)
+        run = small_experiment.testing_runs["onnx"]
+        path = save_html_report(
+            tmp_path / "onnx.html",
+            report,
+            model=small_experiment.model,
+            tma=run.tma,
+        )
+        doc = path.read_text()
+        assert "cycle_activity" in doc
+        assert "<svg" in doc
+        assert default_catalog().areas()[report.top(1)[0].metric] in doc

@@ -1,0 +1,108 @@
+"""Unit tests for the gift-wrapped upper concave chain (Figure 5)."""
+
+import random
+
+import pytest
+
+from repro.geometry.hull import upper_concave_chain
+
+
+def chain_is_concave_down(chain):
+    slopes = [
+        (y1 - y0) / (x1 - x0)
+        for (x0, y0), (x1, y1) in zip(chain, chain[1:])
+        if x1 > x0
+    ]
+    return all(b <= a + 1e-9 for a, b in zip(slopes, slopes[1:]))
+
+
+def chain_covers(chain, points):
+    from repro.geometry.piecewise import PiecewiseLinear
+
+    f = PiecewiseLinear(chain)
+    return f.is_upper_bound_of(points)
+
+
+class TestBasics:
+    def test_single_point(self):
+        chain = upper_concave_chain([(2.0, 3.0)])
+        assert chain == [(0.0, 0.0), (2.0, 3.0)]
+
+    def test_two_points_keeps_upper(self):
+        chain = upper_concave_chain([(1.0, 1.0), (2.0, 4.0)])
+        assert chain[-1] == (2.0, 4.0)
+        assert chain_covers(chain, [(1.0, 1.0)])
+
+    def test_collinear_points_collapse(self):
+        chain = upper_concave_chain([(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+        assert chain == [(0.0, 0.0), (3.0, 3.0)]
+
+    def test_interior_point_below_is_skipped(self):
+        chain = upper_concave_chain([(1.0, 3.0), (2.0, 3.5), (3.0, 6.0)])
+        assert (2.0, 3.5) not in chain
+
+    def test_interior_point_above_is_kept(self):
+        chain = upper_concave_chain([(1.0, 3.0), (3.0, 4.0)])
+        assert (1.0, 3.0) in chain
+
+    def test_default_target_is_max_y(self):
+        chain = upper_concave_chain([(1.0, 1.0), (2.0, 9.0), (3.0, 4.0)])
+        assert chain[-1] == (2.0, 9.0)
+
+    def test_explicit_target_bounds_chain(self):
+        points = [(1.0, 1.0), (2.0, 9.0), (3.0, 4.0)]
+        chain = upper_concave_chain(points, target=(2.0, 9.0))
+        assert chain[-1] == (2.0, 9.0)
+
+    def test_points_right_of_target_ignored(self):
+        chain = upper_concave_chain(
+            [(1.0, 2.0), (5.0, 1.0)], target=(2.0, 4.0)
+        )
+        assert chain[-1] == (2.0, 4.0)
+
+    def test_empty_points_with_target(self):
+        chain = upper_concave_chain([], target=(4.0, 2.0))
+        assert chain == [(0.0, 0.0), (4.0, 2.0)]
+
+    def test_empty_points_without_target_rejected(self):
+        with pytest.raises(ValueError):
+            upper_concave_chain([])
+
+    def test_target_left_of_anchor_rejected(self):
+        with pytest.raises(ValueError):
+            upper_concave_chain([(1.0, 1.0)], anchor=(2.0, 0.0), target=(1.0, 1.0))
+
+    def test_anchor_equals_target(self):
+        assert upper_concave_chain([], target=(0.0, 0.0)) == [(0.0, 0.0)]
+
+    def test_vertical_chain_when_target_shares_anchor_x(self):
+        chain = upper_concave_chain([], anchor=(0.0, 0.0), target=(0.0, 5.0))
+        assert chain == [(0.0, 0.0), (0.0, 5.0)]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clouds(self, seed):
+        rng = random.Random(seed)
+        points = [
+            (rng.uniform(0.1, 100.0), rng.uniform(0.1, 5.0)) for _ in range(120)
+        ]
+        target = max(points, key=lambda p: (p[1], -p[0]))
+        covered = [p for p in points if p[0] <= target[0]]
+        chain = upper_concave_chain(covered, target=target)
+        assert chain[0] == (0.0, 0.0)
+        assert chain[-1] == target
+        assert chain_is_concave_down(chain)
+        assert chain_covers(chain, covered)
+        xs = [x for x, _ in chain]
+        assert xs == sorted(xs)
+
+    def test_increasing_values(self):
+        rng = random.Random(99)
+        points = [(rng.uniform(0.1, 50.0), rng.uniform(0.1, 4.0)) for _ in range(60)]
+        target = max(points, key=lambda p: (p[1], -p[0]))
+        chain = upper_concave_chain(
+            [p for p in points if p[0] <= target[0]], target=target
+        )
+        ys = [y for _, y in chain]
+        assert ys == sorted(ys)

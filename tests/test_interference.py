@@ -1,0 +1,85 @@
+"""Unit tests for the shared-resource interference model."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch import CoreModel, InterferenceConfig, InterferenceModel
+from repro.uarch.spec import WindowSpec
+
+
+@pytest.fixture
+def memory_spec():
+    return WindowSpec(
+        frac_loads=0.35,
+        l1_miss_per_load=0.06,
+        l2_miss_fraction=0.6,
+        l3_miss_fraction=0.3,
+        instructions=20_000,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            InterferenceConfig(l3_steal_fraction=1.5)
+        with pytest.raises(ConfigError):
+            InterferenceConfig(dram_slowdown=0.5)
+        with pytest.raises(ConfigError):
+            InterferenceConfig(variability=2.0)
+        with pytest.raises(ConfigError):
+            InterferenceConfig(period_windows=0)
+
+
+class TestPerturbation:
+    def test_interference_slows_the_window(self, core, memory_spec):
+        clean = core.simulate_window(memory_spec)
+        perturbed = InterferenceModel(rng=random.Random(0)).perturb(
+            core.simulate_window(memory_spec)
+        )
+        assert perturbed.cycles >= clean.cycles
+        assert perturbed.ipc <= clean.ipc
+
+    def test_l3_traffic_moves_to_dram(self, core, memory_spec):
+        clean = core.simulate_window(memory_spec)
+        perturbed = InterferenceModel(
+            InterferenceConfig(l3_steal_fraction=0.8), rng=random.Random(0)
+        ).perturb(core.simulate_window(memory_spec))
+        assert perturbed.l3_served < clean.l3_served
+        assert perturbed.dram_served > clean.dram_served
+        # Total L1 misses conserved: lines moved levels, none vanished.
+        assert perturbed.l1_misses == pytest.approx(clean.l1_misses)
+
+    def test_consistency_preserved(self, core, memory_spec):
+        model = InterferenceModel(rng=random.Random(1))
+        for _ in range(10):
+            activity = model.perturb(core.simulate_window(memory_spec))
+            activity.check_consistency()
+
+    def test_pressure_varies_over_windows(self, core, memory_spec):
+        model = InterferenceModel(
+            InterferenceConfig(period_windows=10), rng=random.Random(2)
+        )
+        extra = []
+        clean_cycles = core.simulate_window(memory_spec).cycles
+        for _ in range(20):
+            perturbed = model.perturb(core.simulate_window(memory_spec))
+            extra.append(perturbed.cycles - clean_cycles)
+        assert max(extra) > min(extra)  # the co-runner has phases
+
+    def test_compute_workload_barely_affected(self, core):
+        spec = WindowSpec(l1_miss_per_load=0.0, frac_loads=0.1)
+        clean = core.simulate_window(spec)
+        perturbed = InterferenceModel(rng=random.Random(3)).perturb(
+            core.simulate_window(spec)
+        )
+        assert perturbed.cycles == pytest.approx(clean.cycles, rel=1e-6)
+
+    def test_reset(self, core, memory_spec):
+        model = InterferenceModel(rng=random.Random(4))
+        first = model.perturb(core.simulate_window(memory_spec)).cycles
+        model.reset()
+        model.rng = random.Random(4)
+        again = model.perturb(core.simulate_window(memory_spec)).cycles
+        assert first == again

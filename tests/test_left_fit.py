@@ -1,0 +1,68 @@
+"""Unit tests for the left-region fitting algorithm (paper Fig. 5)."""
+
+import pytest
+
+from repro.core.left_fit import fit_left_region
+from repro.errors import FitError
+from repro.geometry.piecewise import PiecewiseLinear
+
+
+class TestFitLeftRegion:
+    def test_starts_at_origin_ends_at_apex(self):
+        bps = fit_left_region([(1.0, 1.0), (2.0, 3.0)], apex=(2.0, 3.0))
+        assert bps[0].as_tuple() == (0.0, 0.0)
+        assert bps[-1].as_tuple() == (2.0, 3.0)
+
+    def test_covers_all_points(self):
+        points = [(1.0, 2.0), (2.0, 2.5), (3.0, 4.0), (1.5, 1.0)]
+        bps = fit_left_region(points, apex=(3.0, 4.0))
+        f = PiecewiseLinear(bps)
+        assert f.is_upper_bound_of(points)
+
+    def test_increasing(self):
+        points = [(0.5, 1.8), (1.0, 2.0), (2.0, 2.5), (3.0, 4.0)]
+        bps = fit_left_region(points, apex=(3.0, 4.0))
+        ys = [bp.y for bp in bps]
+        assert ys == sorted(ys)
+
+    def test_concave_down(self):
+        points = [(0.5, 1.8), (1.0, 2.0), (2.0, 2.5), (3.0, 4.0)]
+        bps = fit_left_region(points, apex=(3.0, 4.0))
+        f = PiecewiseLinear(bps)
+        slopes = f.slopes()
+        assert all(b <= a + 1e-9 for a, b in zip(slopes, slopes[1:]))
+
+    def test_rejects_points_right_of_apex(self):
+        with pytest.raises(FitError, match="right of the apex"):
+            fit_left_region([(5.0, 1.0)], apex=(2.0, 3.0))
+
+    def test_rejects_points_above_apex(self):
+        with pytest.raises(FitError, match="exceeds the apex"):
+            fit_left_region([(1.0, 5.0)], apex=(2.0, 3.0))
+
+    def test_rejects_negative_apex(self):
+        with pytest.raises(FitError, match="first quadrant"):
+            fit_left_region([], apex=(-1.0, 1.0))
+
+    def test_degenerate_apex_at_origin(self):
+        bps = fit_left_region([], apex=(0.0, 0.0))
+        assert [bp.as_tuple() for bp in bps] == [(0.0, 0.0)]
+
+    def test_degenerate_apex_on_y_axis(self):
+        bps = fit_left_region([(0.0, 1.0)], apex=(0.0, 2.0))
+        assert [bp.as_tuple() for bp in bps] == [(0.0, 0.0), (0.0, 2.0)]
+
+    def test_no_points_gives_single_segment(self):
+        bps = fit_left_region([], apex=(4.0, 2.0))
+        assert [bp.as_tuple() for bp in bps] == [(0.0, 0.0), (4.0, 2.0)]
+
+    def test_paper_figure5_shape(self):
+        # A cloud where the highest slope from the origin picks an interior
+        # point before reaching the apex, as Figure 5 illustrates.
+        points = [(1.0, 2.0), (2.0, 2.2), (4.0, 3.0), (3.0, 1.0)]
+        bps = fit_left_region(points, apex=(4.0, 3.0))
+        tuples = [bp.as_tuple() for bp in bps]
+        assert tuples[0] == (0.0, 0.0)
+        assert (1.0, 2.0) in tuples  # steepest from origin
+        assert tuples[-1] == (4.0, 3.0)
+        assert (3.0, 1.0) not in tuples  # dominated interior point

@@ -1,0 +1,86 @@
+"""Unit tests for machine configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.config import (
+    MachineConfig,
+    PortSpec,
+    little_inorder_core,
+    skylake_gold_6126,
+)
+
+
+class TestDefaults:
+    def test_skylake_defaults(self):
+        m = skylake_gold_6126()
+        assert m.pipeline_width == 4
+        assert m.num_programmable_counters == 4
+        assert len(m.ports) == 8
+        assert m.frequency_ghz == pytest.approx(2.6)
+
+    def test_little_core(self):
+        m = little_inorder_core()
+        assert m.pipeline_width == 2
+        assert m.num_programmable_counters == 2
+        assert len(m.ports) == 2
+
+    def test_slots_per_cycle(self):
+        assert skylake_gold_6126().slots_per_cycle == 4
+
+    def test_cycles_per_second(self):
+        assert skylake_gold_6126().cycles_per_second() == pytest.approx(2.6e9)
+
+
+class TestPortRouting:
+    def test_load_ports(self):
+        m = skylake_gold_6126()
+        names = [p.name for p in m.ports_for("load")]
+        assert names == ["p2", "p3"]
+
+    def test_every_class_routed(self):
+        m = skylake_gold_6126()
+        for uop_class in ("alu", "fp", "div", "branch", "load", "store_data",
+                          "store_addr", "mul", "shuffle"):
+            assert m.ports_for(uop_class)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigError):
+            skylake_gold_6126().ports_for("teleport")
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(pipeline_width=0)
+
+    def test_empty_ports_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(ports=())
+
+    def test_nonpositive_fetch_width_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(dsb_width=0.0)
+
+    def test_zero_counters_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_programmable_counters=0)
+
+    def test_non_increasing_latencies_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(l2_latency=3.0)  # below the 4-cycle L1
+
+    def test_zero_mshr_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(max_outstanding_misses=0)
+
+    def test_config_is_frozen(self):
+        m = skylake_gold_6126()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.pipeline_width = 8
+
+    def test_port_spec_holds_classes(self):
+        p = PortSpec("p9", frozenset({"alu"}))
+        assert "alu" in p.uop_classes

@@ -1,0 +1,157 @@
+"""Unit tests for the memory hierarchy model."""
+
+import pytest
+
+from repro.uarch.memory import MemoryModel
+from repro.uarch.spec import WindowSpec
+
+
+@pytest.fixture
+def memory(machine):
+    return MemoryModel(machine)
+
+
+class TestCounts:
+    def test_miss_chain(self, memory):
+        spec = WindowSpec(
+            frac_loads=0.4,
+            l1_miss_per_load=0.1,
+            l2_miss_fraction=0.5,
+            l3_miss_fraction=0.5,
+        )
+        result = memory.evaluate(spec, instructions=10_000.0)
+        assert result.loads == pytest.approx(4_000.0)
+        assert result.l1_misses == pytest.approx(400.0)
+        assert result.l2_served == pytest.approx(200.0)
+        assert result.l3_served == pytest.approx(100.0)
+        assert result.dram_served == pytest.approx(100.0)
+        assert result.l1_hits == pytest.approx(3_600.0)
+
+    def test_serving_levels_partition_misses(self, memory):
+        spec = WindowSpec(frac_loads=0.3, l1_miss_per_load=0.2)
+        result = memory.evaluate(spec, 10_000.0)
+        assert (
+            result.l2_served + result.l3_served + result.dram_served
+        ) == pytest.approx(result.l1_misses)
+
+    def test_no_loads_no_stalls(self, memory):
+        spec = WindowSpec(frac_loads=0.0, frac_stores=0.0)
+        result = memory.evaluate(spec, 10_000.0)
+        assert result.total_stall_cycles == 0.0
+        assert result.miss_latency_cycles == 0.0
+
+
+class TestStalls:
+    def test_latency_weighting(self, memory, machine):
+        spec = WindowSpec(
+            frac_loads=0.1,
+            l1_miss_per_load=0.1,
+            l2_miss_fraction=0.0,  # everything served by L2
+        )
+        result = memory.evaluate(spec, 10_000.0)
+        assert result.miss_latency_cycles == pytest.approx(
+            100.0 * machine.l2_latency
+        )
+
+    def test_mlp_divides_exposure(self, memory):
+        base = WindowSpec(frac_loads=0.3, l1_miss_per_load=0.1, mlp=1.0)
+        overlapped = WindowSpec(frac_loads=0.3, l1_miss_per_load=0.1, mlp=4.0)
+        a = memory.evaluate(base, 10_000.0)
+        b = memory.evaluate(overlapped, 10_000.0)
+        assert b.cache_stall_cycles == pytest.approx(a.cache_stall_cycles / 4.0)
+
+    def test_mlp_capped_by_mshrs(self, memory, machine):
+        huge = WindowSpec(frac_loads=0.3, l1_miss_per_load=0.1, mlp=64.0)
+        capped = WindowSpec(
+            frac_loads=0.3,
+            l1_miss_per_load=0.1,
+            mlp=float(machine.max_outstanding_misses),
+        )
+        assert memory.evaluate(huge, 1e4).cache_stall_cycles == pytest.approx(
+            memory.evaluate(capped, 1e4).cache_stall_cycles
+        )
+
+    def test_lock_loads_serialize(self, memory, machine):
+        spec = WindowSpec(frac_loads=0.2, lock_load_fraction=0.01)
+        result = memory.evaluate(spec, 10_000.0)
+        assert result.lock_loads == pytest.approx(20.0)
+        assert result.lock_stall_cycles == pytest.approx(
+            20.0 * machine.lock_load_penalty
+        )
+
+    def test_deeper_misses_cost_more(self, memory):
+        shallow = WindowSpec(
+            frac_loads=0.3, l1_miss_per_load=0.05, l2_miss_fraction=0.1,
+            l3_miss_fraction=0.1,
+        )
+        deep = WindowSpec(
+            frac_loads=0.3, l1_miss_per_load=0.05, l2_miss_fraction=0.9,
+            l3_miss_fraction=0.9,
+        )
+        assert (
+            memory.evaluate(deep, 1e4).cache_stall_cycles
+            > memory.evaluate(shallow, 1e4).cache_stall_cycles
+        )
+
+
+class TestTlbAndPrefetch:
+    def test_dtlb_walks_counted(self, memory, machine):
+        spec = WindowSpec(frac_loads=0.3, frac_stores=0.1,
+                          dtlb_miss_per_access=0.01)
+        result = memory.evaluate(spec, 10_000.0)
+        assert result.dtlb_walks == pytest.approx(40.0)
+        assert result.dtlb_walk_cycles == pytest.approx(
+            40.0 * machine.tlb_walk_latency
+        )
+        assert 0 < result.tlb_stall_cycles < result.dtlb_walk_cycles
+
+    def test_no_dtlb_by_default(self, memory):
+        result = memory.evaluate(WindowSpec(), 10_000.0)
+        assert result.dtlb_walks == 0.0
+        assert result.tlb_stall_cycles == 0.0
+
+    def test_prefetcher_hides_latency(self, memory):
+        base = WindowSpec(frac_loads=0.3, l1_miss_per_load=0.1)
+        covered = WindowSpec(frac_loads=0.3, l1_miss_per_load=0.1,
+                             prefetcher_coverage=0.5)
+        a = memory.evaluate(base, 1e4)
+        b = memory.evaluate(covered, 1e4)
+        assert b.cache_stall_cycles == pytest.approx(a.cache_stall_cycles / 2)
+
+    def test_prefetcher_issues_requests(self, memory):
+        spec = WindowSpec(frac_loads=0.3, l1_miss_per_load=0.1,
+                          prefetcher_coverage=0.5)
+        result = memory.evaluate(spec, 1e4)
+        assert result.prefetches_issued > 0
+
+    def test_tlb_stalls_hurt_ipc(self, machine):
+        from repro.uarch import CoreModel
+
+        core = CoreModel(machine)
+        clean = core.simulate_window(WindowSpec())
+        walked = core.simulate_window(WindowSpec(dtlb_miss_per_access=0.02))
+        assert walked.ipc < clean.ipc
+
+    def test_prefetching_helps_ipc(self, machine):
+        from repro.uarch import CoreModel
+
+        core = CoreModel(machine)
+        spec = WindowSpec(frac_loads=0.35, l1_miss_per_load=0.08)
+        import dataclasses
+
+        covered = dataclasses.replace(spec, prefetcher_coverage=0.7)
+        assert core.simulate_window(covered).ipc > core.simulate_window(spec).ipc
+
+    def test_new_events_in_catalog(self, machine, core):
+        from repro.counters.events import default_catalog
+
+        counts = default_catalog().compute_all(
+            core.simulate_window(
+                WindowSpec(dtlb_miss_per_access=0.01, prefetcher_coverage=0.3,
+                           l1_miss_per_load=0.05)
+            ),
+            machine,
+        )
+        assert counts["dtlb_load_misses.miss_causes_a_walk"] > 0
+        assert counts["dtlb_load_misses.walk_active"] > 0
+        assert counts["l2_rqsts.all_pf"] > 0

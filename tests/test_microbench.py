@@ -1,0 +1,97 @@
+"""Unit tests for the per-metric microbenchmark generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tma import TopDownAnalyzer
+from repro.counters import CollectionConfig, SampleCollector
+from repro.uarch import CoreModel, skylake_gold_6126
+from repro.workloads.microbench import (
+    KNOBS,
+    microbenchmark_for,
+    microbenchmark_suite,
+)
+
+
+class TestGeneration:
+    def test_suite_covers_all_knobs(self):
+        suite = microbenchmark_suite()
+        assert len(suite) == len(KNOBS)
+        names = {w.name for w in suite}
+        assert all(name.startswith("ubench-") for name in names)
+        assert len(names) == len(suite)
+
+    @pytest.mark.parametrize("knob", KNOBS)
+    def test_each_knob_materializes(self, knob):
+        workload = microbenchmark_for(knob, steps=6)
+        specs = workload.specs(12, 5_000)
+        assert len(specs) == 12
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigError):
+            microbenchmark_for("prefetcher")
+
+    def test_too_few_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            microbenchmark_for("ilp", steps=1)
+
+    def test_sweep_monotonically_stresses(self):
+        """Later phases must hurt IPC more than earlier ones."""
+        machine = skylake_gold_6126()
+        core = CoreModel(machine)
+        for knob in ("branch-mispredict", "l1-miss", "dsb-coverage", "ilp"):
+            workload = microbenchmark_for(knob, steps=6)
+            ipcs = [
+                core.simulate_window(phase.spec.with_instructions(20_000)).ipc
+                for phase in workload.phases
+            ]
+            assert ipcs[0] > ipcs[-1], knob
+
+    @pytest.mark.parametrize(
+        "knob,expected",
+        [
+            ("branch-mispredict", "Bad Speculation"),
+            ("l3-miss", "Memory"),
+            ("dsb-coverage", "Front-End"),
+            ("ilp", "Core"),
+            ("divider", "Core"),
+        ],
+    )
+    def test_heaviest_phase_exhibits_intended_bottleneck(self, knob, expected):
+        machine = skylake_gold_6126()
+        core = CoreModel(machine)
+        collector = SampleCollector(
+            machine, config=CollectionConfig(multiplex=False, windows_per_period=4)
+        )
+        workload = microbenchmark_for(knob, steps=6)
+        heavy = workload.phases[-1].spec.with_instructions(20_000)
+        result = collector.collect(core, [heavy] * 8)
+        tma = TopDownAnalyzer(machine).analyze(result.full_counts)
+        assert tma.main_bottleneck() == expected
+
+
+class TestIntensityCoverage:
+    def test_sweep_spans_orders_of_magnitude(self):
+        """The swept metric's intensity must cover a wide range — the
+        §III-A goal the microbenchmarks exist for."""
+        machine = skylake_gold_6126()
+        core = CoreModel(machine)
+        collector = SampleCollector(
+            machine,
+            config=CollectionConfig(
+                multiplex=False,
+                windows_per_period=1,
+                events=("br_misp_retired.all_branches",),
+            ),
+        )
+        workload = microbenchmark_for("branch-mispredict", steps=10)
+        specs = workload.specs(10, 20_000)
+        result = collector.collect(core, specs, rng=random.Random(0))
+        intensities = [
+            s.intensity
+            for s in result.samples.for_metric("br_misp_retired.all_branches")
+            if s.has_finite_intensity
+        ]
+        assert max(intensities) / min(intensities) > 100.0

@@ -1,0 +1,160 @@
+"""Unit tests for multi-core shared-resource contention."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch import MulticoreSystem, SharedResourceConfig, skylake_gold_6126
+from repro.uarch.spec import WindowSpec
+
+MEMORY_SPEC = WindowSpec(
+    frac_loads=0.35,
+    l1_miss_per_load=0.08,
+    l2_miss_fraction=0.7,
+    l3_miss_fraction=0.3,
+    mlp=4.0,
+    instructions=20_000,
+)
+COMPUTE_SPEC = WindowSpec(
+    frac_loads=0.1, l1_miss_per_load=0.0, ilp=4.0, instructions=20_000
+)
+
+
+@pytest.fixture
+def machine():
+    return skylake_gold_6126()
+
+
+def solo_ipc(machine, spec):
+    system = MulticoreSystem(machine, n_cores=1)
+    return system.simulate_step([spec])[0].ipc
+
+
+class TestValidation:
+    def test_core_count(self, machine):
+        with pytest.raises(ConfigError):
+            MulticoreSystem(machine, n_cores=0)
+
+    def test_spec_count_must_match(self, machine):
+        system = MulticoreSystem(machine, n_cores=2)
+        with pytest.raises(ConfigError):
+            system.simulate_step([MEMORY_SPEC])
+
+    def test_ragged_sequences_rejected(self, machine):
+        system = MulticoreSystem(machine, n_cores=2)
+        with pytest.raises(ConfigError):
+            system.run([[MEMORY_SPEC], [MEMORY_SPEC, MEMORY_SPEC]])
+
+    def test_shared_config_validation(self):
+        with pytest.raises(ConfigError):
+            SharedResourceConfig(l3_demand_scale=0.0)
+        with pytest.raises(ConfigError):
+            SharedResourceConfig(max_l3_steal=1.0)
+        with pytest.raises(ConfigError):
+            SharedResourceConfig(dram_lines_per_cycle=0.0)
+
+
+class TestContention:
+    def test_single_core_matches_isolation(self, machine):
+        system = MulticoreSystem(machine, n_cores=1)
+        activity = system.simulate_step([MEMORY_SPEC])[0]
+        # One core has no peers; only DRAM self-saturation could apply,
+        # and this spec stays under the chip bandwidth.
+        assert activity.ipc == pytest.approx(solo_ipc(machine, MEMORY_SPEC))
+
+    def test_memory_pair_hurts_both(self, machine):
+        solo = solo_ipc(machine, MEMORY_SPEC)
+        system = MulticoreSystem(machine, n_cores=2)
+        a, b = system.simulate_step([MEMORY_SPEC, MEMORY_SPEC])
+        assert a.ipc < solo
+        assert b.ipc < solo
+
+    def test_compute_pair_unaffected(self, machine):
+        solo = solo_ipc(machine, COMPUTE_SPEC)
+        system = MulticoreSystem(machine, n_cores=2)
+        a, b = system.simulate_step([COMPUTE_SPEC, COMPUTE_SPEC])
+        assert a.ipc == pytest.approx(solo, rel=1e-6)
+        assert b.ipc == pytest.approx(solo, rel=1e-6)
+
+    def test_memory_aggressor_hurts_victim(self, machine):
+        victim_solo = solo_ipc(machine, MEMORY_SPEC)
+        system = MulticoreSystem(machine, n_cores=2)
+        victim, aggressor = system.simulate_step([MEMORY_SPEC, MEMORY_SPEC])
+        compute_system = MulticoreSystem(machine, n_cores=2)
+        victim_vs_compute, _ = compute_system.simulate_step(
+            [MEMORY_SPEC, COMPUTE_SPEC]
+        )
+        # A memory aggressor hurts more than a compute neighbour.
+        assert victim.ipc < victim_vs_compute.ipc <= victim_solo + 1e-9
+
+    def test_l3_traffic_shifts_to_dram(self, machine):
+        system = MulticoreSystem(machine, n_cores=2)
+        solo_system = MulticoreSystem(machine, n_cores=1)
+        solo = solo_system.simulate_step([MEMORY_SPEC])[0]
+        contended, _ = system.simulate_step([MEMORY_SPEC, MEMORY_SPEC])
+        assert contended.dram_served > solo.dram_served
+        assert contended.l3_served < solo.l3_served
+        assert contended.l1_misses == pytest.approx(solo.l1_misses)
+
+    def test_activities_stay_consistent(self, machine):
+        system = MulticoreSystem(machine, n_cores=3)
+        rng = random.Random(0)
+        for _ in range(5):
+            for activity in system.simulate_step(
+                [MEMORY_SPEC, COMPUTE_SPEC, MEMORY_SPEC], rng
+            ):
+                activity.check_consistency()
+
+    def test_more_cores_more_pressure(self, machine):
+        two = MulticoreSystem(machine, n_cores=2)
+        four = MulticoreSystem(machine, n_cores=4)
+        ipc_two = two.simulate_step([MEMORY_SPEC] * 2)[0].ipc
+        ipc_four = four.simulate_step([MEMORY_SPEC] * 4)[0].ipc
+        assert ipc_four < ipc_two
+
+    def test_run_shapes(self, machine):
+        system = MulticoreSystem(machine, n_cores=2)
+        results = system.run([[MEMORY_SPEC] * 4, [COMPUTE_SPEC] * 4])
+        assert len(results) == 2
+        assert all(len(seq) == 4 for seq in results)
+
+
+class TestAnalysisOnCoLocation:
+    def test_spire_sees_memory_pressure_rise(self, machine, small_experiment):
+        """Per-core samples from a co-located run still feed SPIRE; the
+        victim's memory metrics tighten under contention."""
+        from repro.core.sample import Sample, SampleSet
+        from repro.counters.events import default_catalog
+
+        catalog = default_catalog()
+
+        def samples_from(activities):
+            samples = SampleSet()
+            for activity in activities:
+                counts = catalog.compute_all(activity, machine)
+                for name, value in counts.items():
+                    if catalog.get(name).fixed:
+                        continue
+                    samples.add(
+                        Sample(name, activity.cycles, activity.instructions,
+                               value)
+                    )
+            return samples
+
+        rng = random.Random(1)
+        solo_system = MulticoreSystem(machine, n_cores=1)
+        solo_acts = [
+            solo_system.simulate_step([MEMORY_SPEC], rng)[0] for _ in range(12)
+        ]
+        pair_system = MulticoreSystem(machine, n_cores=2)
+        rng = random.Random(1)
+        pair_acts = [
+            pair_system.simulate_step([MEMORY_SPEC, MEMORY_SPEC], rng)[0]
+            for _ in range(12)
+        ]
+
+        model = small_experiment.model
+        solo_est = model.estimate(samples_from(solo_acts))
+        pair_est = model.estimate(samples_from(pair_acts))
+        assert pair_est.throughput < solo_est.throughput

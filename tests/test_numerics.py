@@ -1,0 +1,129 @@
+"""Numerical robustness at the extremes.
+
+Operational intensities span many orders of magnitude (the paper's log
+plots run 1e0..1e6+); these tests pin down behaviour at the edges —
+huge/tiny values, near-duplicate breakpoints, extreme sample magnitudes —
+where naive float handling would silently corrupt fits.
+"""
+
+import math
+
+import pytest
+
+from repro.core.roofline import fit_metric_roofline
+from repro.core.sample import Sample
+from repro.geometry.piecewise import PiecewiseLinear
+
+
+def sample(metric, intensity, throughput, work=1.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+class TestPiecewiseExtremes:
+    def test_huge_x_interpolation(self):
+        f = PiecewiseLinear([(1e-12, 1.0), (1e12, 2.0)])
+        assert 1.0 <= f(1e6) <= 2.0
+        assert f(1e300) == 2.0
+
+    def test_tiny_segment(self):
+        f = PiecewiseLinear([(1.0, 1.0), (1.0 + 1e-12, 2.0)])
+        assert f(0.5) == 1.0
+        assert f(2.0) == 2.0
+        value = f(1.0 + 5e-13)
+        assert 1.0 <= value <= 2.0
+
+    def test_huge_y_values(self):
+        f = PiecewiseLinear([(0.0, 0.0), (1.0, 1e18)])
+        assert f(0.5) == pytest.approx(5e17)
+
+    def test_many_breakpoints_evaluation(self):
+        points = [(float(i), float(i % 7)) for i in range(10_000)]
+        points = [(x, y) for x, y in points]
+        # Monotone x is required; y is arbitrary.
+        f = PiecewiseLinear(points)
+        assert f(5_000.5) == pytest.approx(
+            (points[5000][1] + points[5001][1]) / 2
+        )
+
+    def test_upper_bound_check_scales_with_magnitude(self):
+        f = PiecewiseLinear([(0.0, 0.0), (1.0, 1e15)])
+        # A violation of absolute size 1 is far below the relative
+        # tolerance at this magnitude.
+        assert f.is_upper_bound_of([(1.0, 1e15 + 1.0)])
+        # But a 1% violation is caught.
+        assert not f.is_upper_bound_of([(1.0, 1.01e15)])
+
+
+class TestFittingExtremes:
+    def test_intensities_spanning_12_decades(self):
+        samples = [
+            sample("m", 10.0**k, max(0.1, min(4.0, 0.5 * k + 0.5)))
+            for k in range(-6, 7)
+        ]
+        roofline = fit_metric_roofline(samples)
+        assert roofline.is_upper_bound_of_training_data()
+        assert roofline.estimate(1e-7) >= 0.0
+        assert roofline.estimate(1e9) > 0.0
+
+    def test_near_duplicate_intensities(self):
+        samples = [
+            sample("m", 1.0 + i * 1e-12, 1.0 + i * 0.1) for i in range(5)
+        ]
+        roofline = fit_metric_roofline(samples)
+        assert roofline.is_upper_bound_of_training_data()
+
+    def test_identical_samples(self):
+        samples = [sample("m", 5.0, 2.0) for _ in range(20)]
+        roofline = fit_metric_roofline(samples)
+        assert roofline.estimate(5.0) == pytest.approx(2.0)
+        assert roofline.estimate(500.0) == pytest.approx(2.0)
+
+    def test_extreme_work_magnitudes(self):
+        # Billions of instructions per sample (realistic for 2 s periods on
+        # a GHz-class core) must not overflow anything.
+        samples = [
+            Sample("m", time=2.6e9 * (1 + i % 3), work=2e9, metric_count=1e6 / (1 + i))
+            for i in range(50)
+        ]
+        roofline = fit_metric_roofline(samples)
+        assert roofline.is_upper_bound_of_training_data()
+        assert 0 < roofline.apex.y < 10.0
+
+    def test_tiny_throughputs(self):
+        samples = [sample("m", float(i + 1), 1e-9 * (i + 1)) for i in range(10)]
+        roofline = fit_metric_roofline(samples)
+        assert roofline.is_upper_bound_of_training_data()
+        assert roofline.apex.y == pytest.approx(1e-8)
+
+    def test_single_zero_work_sample(self):
+        zero = Sample("m", time=10.0, work=0.0, metric_count=5.0)
+        roofline = fit_metric_roofline([zero])
+        assert roofline.estimate(0.0) == 0.0
+        assert roofline.estimate(100.0) == 0.0
+
+    def test_mixed_zero_and_normal(self):
+        samples = [
+            Sample("m", time=10.0, work=0.0, metric_count=5.0),
+            sample("m", 4.0, 2.0),
+            sample("m", 9.0, 1.0),
+        ]
+        roofline = fit_metric_roofline(samples)
+        assert roofline.is_upper_bound_of_training_data()
+        assert roofline.estimate(0.0) == 0.0
+
+
+class TestEstimationExtremes:
+    def test_estimate_far_outside_training_range(self):
+        samples = [sample("m", i, 1.0) for i in (1.0, 2.0, 4.0)]
+        roofline = fit_metric_roofline(samples)
+        assert roofline.estimate(1e-300) >= 0.0
+        assert roofline.estimate(1e300) == roofline.estimate(4.0)
+        assert roofline.estimate(math.inf) == roofline.estimate(1e300)
+
+    def test_time_weighted_average_extreme_weights(self):
+        from repro.core.sample import time_weighted_average
+
+        value = time_weighted_average([1.0, 2.0], [1e-9, 1e9])
+        assert value == pytest.approx(2.0, rel=1e-6)

@@ -1,0 +1,72 @@
+"""Unit tests for Pareto-front extraction."""
+
+import random
+
+from repro.geometry.pareto import is_pareto_optimal, pareto_front
+
+
+class TestParetoFront:
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_dominated_point_removed(self):
+        front = pareto_front([(1.0, 1.0), (2.0, 2.0)])
+        assert front == [(2.0, 2.0)]
+
+    def test_incomparable_points_kept(self):
+        front = pareto_front([(1.0, 2.0), (2.0, 1.0)])
+        assert front == [(2.0, 1.0), (1.0, 2.0)]
+
+    def test_sorted_by_decreasing_x(self):
+        front = pareto_front([(1.0, 5.0), (3.0, 3.0), (5.0, 1.0)])
+        assert front == [(5.0, 1.0), (3.0, 3.0), (1.0, 5.0)]
+
+    def test_duplicates_collapsed(self):
+        front = pareto_front([(1.0, 1.0), (1.0, 1.0)])
+        assert front == [(1.0, 1.0)]
+
+    def test_same_x_keeps_highest_y(self):
+        front = pareto_front([(1.0, 1.0), (1.0, 3.0)])
+        assert front == [(1.0, 3.0)]
+
+    def test_same_y_keeps_highest_x(self):
+        front = pareto_front([(1.0, 3.0), (2.0, 3.0)])
+        assert front == [(2.0, 3.0)]
+
+    def test_front_y_strictly_increases_leftward(self):
+        rng = random.Random(3)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(200)]
+        front = pareto_front(points)
+        ys = [y for _, y in front]
+        assert all(b > a for a, b in zip(ys, ys[1:]))
+        xs = [x for x, _ in front]
+        assert all(b < a for a, b in zip(xs, xs[1:]))
+
+    def test_every_front_point_is_pareto_optimal(self):
+        rng = random.Random(5)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(150)]
+        front = pareto_front(points)
+        for point in front:
+            assert is_pareto_optimal(point, points)
+
+    def test_every_non_front_point_is_dominated(self):
+        rng = random.Random(7)
+        points = list({(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(150)})
+        front = set(pareto_front(points))
+        for point in points:
+            if point not in front:
+                assert not is_pareto_optimal(point, points)
+
+
+class TestIsParetoOptimal:
+    def test_point_dominates_itself_is_fine(self):
+        assert is_pareto_optimal((1.0, 1.0), [(1.0, 1.0)])
+
+    def test_detects_domination(self):
+        assert not is_pareto_optimal((1.0, 1.0), [(2.0, 2.0)])
+
+    def test_partial_order(self):
+        assert is_pareto_optimal((1.0, 2.0), [(2.0, 1.0)])

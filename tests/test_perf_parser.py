@@ -1,0 +1,205 @@
+"""Unit tests for the perf stat output parser."""
+
+import io
+import math
+
+import pytest
+
+from repro.counters.perf_parser import (
+    PerfStatParser,
+    parse_perf_lines,
+    parse_perf_stat,
+)
+from repro.errors import ParseError
+
+INTERVAL_TEXT = """\
+# started on Mon Jul  6 10:00:00 2026
+1.000234,1000000,,instructions,1999881203,100.00,0.85,insn per cycle
+1.000234,1450034,,cycles,1999881203,100.00,,
+1.000234,8123,,br_misp_retired.all_branches,499970301,25.00,,
+1.000234,995,,longest_lat_cache.miss,499970301,25.00,,
+3.000456,2000000,,instructions,1999881203,100.00,0.91,insn per cycle
+3.000456,2250034,,cycles,1999881203,100.00,,
+3.000456,<not counted>,,br_misp_retired.all_branches,0,0.00,,
+3.000456,1995,,longest_lat_cache.miss,499970301,25.00,,
+"""
+
+SINGLE_SHOT_TEXT = """\
+5000000,,instructions,2000000000,100.00,,
+7000000,,cycles,2000000000,100.00,,
+12345,,cache-misses,2000000000,100.00,,
+"""
+
+
+class TestLineParser:
+    def test_parses_interval_records(self):
+        records = parse_perf_lines(io.StringIO(INTERVAL_TEXT))
+        assert len(records) == 8
+        assert records[0].timestamp == pytest.approx(1.000234)
+        assert records[0].event == "instructions"
+        assert records[0].value == pytest.approx(1_000_000)
+
+    def test_skips_comments_and_blanks(self):
+        text = "# comment\n\n" + SINGLE_SHOT_TEXT
+        records = parse_perf_lines(io.StringIO(text))
+        assert len(records) == 3
+
+    def test_not_counted_becomes_none(self):
+        records = parse_perf_lines(io.StringIO(INTERVAL_TEXT))
+        missing = [r for r in records if r.value is None]
+        assert len(missing) == 1
+        assert missing[0].event == "br_misp_retired.all_branches"
+
+    def test_single_shot_has_no_timestamp(self):
+        records = parse_perf_lines(io.StringIO(SINGLE_SHOT_TEXT))
+        assert all(r.timestamp is None for r in records)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_perf_lines(io.StringIO(""))
+
+    def test_too_few_fields_rejected(self):
+        with pytest.raises(ParseError):
+            parse_perf_lines(io.StringIO("only_one_field\n"))
+
+    def test_empty_event_name_rejected(self):
+        with pytest.raises(ParseError, match="empty event"):
+            parse_perf_lines(io.StringIO("1.0,100,, ,200,100.0\n"))
+
+    def test_run_time_and_enabled_parsed(self):
+        records = parse_perf_lines(io.StringIO(INTERVAL_TEXT))
+        assert records[2].run_time == pytest.approx(499970301)
+        assert records[2].enabled_percent == pytest.approx(25.0)
+
+
+class TestSampleBuilding:
+    def test_interval_samples(self):
+        samples = parse_perf_stat(INTERVAL_TEXT)
+        # Interval 1: two metrics; interval 2: one (mispredicts not counted).
+        assert len(samples) == 3
+        assert sorted(samples.metrics()) == [
+            "br_misp_retired.all_branches",
+            "longest_lat_cache.miss",
+        ]
+
+    def test_sample_values(self):
+        samples = parse_perf_stat(INTERVAL_TEXT)
+        bp = samples.for_metric("br_misp_retired.all_branches")[0]
+        assert bp.work == pytest.approx(1_000_000)
+        assert bp.time == pytest.approx(1_450_034)
+        assert bp.metric_count == pytest.approx(8_123)
+        assert bp.intensity == pytest.approx(1_000_000 / 8_123)
+
+    def test_single_shot_mode(self):
+        samples = parse_perf_stat(SINGLE_SHOT_TEXT)
+        assert len(samples) == 1
+        sample = samples.for_metric("cache-misses")[0]
+        assert sample.throughput == pytest.approx(5 / 7)
+
+    def test_custom_work_time_events(self):
+        text = (
+            "100,,uops_retired.retire_slots,1,100\n"
+            "400,,ref-cycles,1,100\n"
+            "7,,some.metric,1,100\n"
+        )
+        parser = PerfStatParser(
+            work_event="uops_retired.retire_slots", time_event="ref-cycles"
+        )
+        samples = parser.parse(text)
+        assert samples.for_metric("some.metric")[0].throughput == pytest.approx(0.25)
+
+    def test_missing_work_event_rejected(self):
+        text = "1000,,cycles,1,100\n55,,some.metric,1,100\n"
+        with pytest.raises(ParseError, match="no usable intervals"):
+            parse_perf_stat(text)
+
+    def test_interval_without_cycles_skipped(self):
+        text = (
+            "1.0,1000,,instructions,1,100\n"
+            "1.0,10,,some.metric,1,100\n"
+            "2.0,1000,,instructions,1,100\n"
+            "2.0,1500,,cycles,1,100\n"
+            "2.0,20,,some.metric,1,100\n"
+        )
+        samples = parse_perf_stat(text)
+        assert len(samples) == 1
+        assert samples.for_metric("some.metric")[0].metric_count == 20
+
+    def test_file_object_input(self):
+        samples = PerfStatParser().parse(io.StringIO(INTERVAL_TEXT))
+        assert len(samples) == 3
+
+    def test_zero_count_metric_gives_infinite_intensity(self):
+        text = (
+            "1000,,instructions,1,100\n"
+            "1500,,cycles,1,100\n"
+            "0,,rare.event,1,100\n"
+        )
+        samples = parse_perf_stat(text)
+        assert math.isinf(samples.for_metric("rare.event")[0].intensity)
+
+    def test_custom_separator(self):
+        text = INTERVAL_TEXT.replace(",", ";")
+        samples = parse_perf_stat(text, separator=";")
+        assert len(samples) == 3
+
+
+JSON_TEXT = """\
+{"interval": 1.000123, "counter-value": "1000000.0", "event": "instructions", "event-runtime": 1999881203, "pcnt-running": 100.0}
+{"interval": 1.000123, "counter-value": "1450034.0", "event": "cycles", "event-runtime": 1999881203, "pcnt-running": 100.0}
+{"interval": 1.000123, "counter-value": "8123.0", "event": "br_misp_retired.all_branches", "event-runtime": 499970301, "pcnt-running": 25.0}
+{"interval": 3.000456, "counter-value": "2000000.0", "event": "instructions"}
+{"interval": 3.000456, "counter-value": "2250034.0", "event": "cycles"}
+{"interval": 3.000456, "counter-value": "<not counted>", "event": "br_misp_retired.all_branches"}
+{"interval": 3.000456, "counter-value": "1995.0", "event": "longest_lat_cache.miss"}
+"""
+
+
+class TestJsonParser:
+    def test_parses_intervals(self):
+        from repro.counters.perf_parser import parse_perf_json
+
+        samples = parse_perf_json(JSON_TEXT)
+        assert len(samples) == 2
+        assert sorted(samples.metrics()) == [
+            "br_misp_retired.all_branches",
+            "longest_lat_cache.miss",
+        ]
+
+    def test_values_match_csv_semantics(self):
+        from repro.counters.perf_parser import parse_perf_json
+
+        samples = parse_perf_json(JSON_TEXT)
+        bp = samples.for_metric("br_misp_retired.all_branches")[0]
+        assert bp.work == pytest.approx(1_000_000)
+        assert bp.time == pytest.approx(1_450_034)
+        assert bp.metric_count == pytest.approx(8_123)
+
+    def test_single_shot_json(self):
+        from repro.counters.perf_parser import parse_perf_json
+
+        text = (
+            '{"counter-value": "100.0", "event": "instructions"}\n'
+            '{"counter-value": "400.0", "event": "cycles"}\n'
+            '{"counter-value": "7.0", "event": "some.metric"}\n'
+        )
+        samples = parse_perf_json(text)
+        assert samples.for_metric("some.metric")[0].throughput == pytest.approx(0.25)
+
+    def test_invalid_json_rejected(self):
+        from repro.counters.perf_parser import parse_perf_json
+
+        with pytest.raises(ParseError, match="invalid JSON"):
+            parse_perf_json("{broken\n")
+
+    def test_missing_event_rejected(self):
+        from repro.counters.perf_parser import parse_perf_json
+
+        with pytest.raises(ParseError, match="missing event"):
+            parse_perf_json('{"counter-value": "1.0"}\n')
+
+    def test_empty_input_rejected(self):
+        from repro.counters.perf_parser import parse_perf_json
+
+        with pytest.raises(ParseError):
+            parse_perf_json("\n# comment only\n")

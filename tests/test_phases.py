@@ -1,0 +1,85 @@
+"""Unit tests for phase-resolved analysis."""
+
+import pytest
+
+from repro.core.ensemble import SpireModel
+from repro.core.phases import phase_profile
+from repro.core.sample import Sample, SampleSet
+from repro.errors import EstimationError
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+@pytest.fixture
+def model(two_metric_sampleset):
+    return SpireModel.train(two_metric_sampleset)
+
+
+def phased_workload():
+    """First half: stall-bound (low I_stalls); second half: dsb-bound."""
+    samples = SampleSet()
+    for _ in range(20):
+        samples.add(sample("stalls", 2.0, 0.8))     # bound ~1.0
+        samples.add(sample("dsb_uops", 2.0, 0.8))   # bound ~2.4
+    for _ in range(20):
+        samples.add(sample("stalls", 40.0, 0.4))    # bound ~3.5
+        samples.add(sample("dsb_uops", 30.0, 0.4))  # bound ~0.36
+    return samples
+
+
+class TestPhaseProfile:
+    def test_detects_phase_transition(self, model):
+        profile = phase_profile(model, phased_workload(), chunks=4)
+        assert not profile.is_stable
+        transitions = profile.transitions()
+        assert len(transitions) == 1
+        _, before, after = transitions[0]
+        assert before == "stalls"
+        assert after == "dsb_uops"
+
+    def test_stable_run(self, model):
+        samples = SampleSet()
+        for _ in range(40):
+            samples.add(sample("stalls", 2.0, 0.8))
+            samples.add(sample("dsb_uops", 2.0, 0.8))
+        profile = phase_profile(model, samples, chunks=4)
+        assert profile.is_stable
+        assert profile.transitions() == []
+
+    def test_chunk_count(self, model):
+        profile = phase_profile(model, phased_workload(), chunks=5)
+        assert len(profile.phases) == 5
+        assert [p.index for p in profile.phases] == list(range(5))
+
+    def test_every_sample_used_once(self, model):
+        workload = phased_workload()
+        profile = phase_profile(model, workload, chunks=4)
+        assert sum(p.sample_count for p in profile.phases) == len(workload)
+
+    def test_bound_range(self, model):
+        profile = phase_profile(model, phased_workload(), chunks=4)
+        lo, hi = profile.bound_range()
+        assert lo < hi
+
+    def test_render(self, model):
+        text = phase_profile(model, phased_workload(), chunks=4).render()
+        assert "transition" in text
+        assert "phased" in text
+
+    def test_validation(self, model):
+        with pytest.raises(EstimationError):
+            phase_profile(model, phased_workload(), chunks=1)
+        tiny = SampleSet([sample("stalls", 2.0, 1.0)])
+        with pytest.raises(EstimationError):
+            phase_profile(model, tiny, chunks=4)
+
+    def test_unknown_metrics_dropped(self, model):
+        workload = phased_workload()
+        for _ in range(10):
+            workload.add(sample("unknown", 1.0, 1.0))
+        profile = phase_profile(model, workload, chunks=4)
+        assert sum(p.sample_count for p in profile.phases) == 80  # knowns only

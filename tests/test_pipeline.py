@@ -1,0 +1,127 @@
+"""Integration tests for the experiment pipeline (scaled down)."""
+
+import pytest
+
+from repro.pipeline import (
+    ExperimentConfig,
+    cached_experiment,
+    quick_workload_run,
+    run_workload,
+)
+from repro.uarch import skylake_gold_6126
+from repro.workloads import workload_by_name
+
+
+class TestWorkloadRun:
+    def test_quick_run_produces_samples_and_tma(self):
+        run = quick_workload_run("graph500", n_windows=60)
+        assert len(run.collection.samples) > 0
+        assert 0 < run.measured_ipc < 4.0
+        assert run.tma.fraction("memory_bound") > 0.3
+        assert run.table1_category == "Memory"
+
+    def test_runs_are_deterministic(self):
+        config = ExperimentConfig(seed=7)
+        machine = skylake_gold_6126()
+        workload = workload_by_name("fftw")
+        a = run_workload(workload, machine, 40, config)
+        b = run_workload(workload, machine, 40, config)
+        assert a.collection.total_cycles == b.collection.total_cycles
+
+    def test_seed_changes_results(self):
+        machine = skylake_gold_6126()
+        workload = workload_by_name("fftw")
+        a = run_workload(workload, machine, 40, ExperimentConfig(seed=1))
+        b = run_workload(workload, machine, 40, ExperimentConfig(seed=2))
+        assert a.collection.total_cycles != b.collection.total_cycles
+
+
+class TestExperiment:
+    def test_model_covers_catalog(self, small_experiment):
+        from repro.counters.events import default_catalog
+
+        trained = set(small_experiment.model.metrics)
+        programmable = set(default_catalog().programmable_names)
+        # Every programmable event must have been sampled and trained.
+        assert trained == programmable
+
+    def test_all_workloads_ran(self, small_experiment):
+        assert len(small_experiment.training_runs) == 23
+        assert len(small_experiment.testing_runs) == 4
+
+    def test_analyze_testing_workload(self, small_experiment):
+        report = small_experiment.analyze("tnn", top_k=10)
+        assert len(report.top(10)) == 10
+        assert report.measured_throughput > 0
+
+    def test_analyze_training_workload(self, small_experiment):
+        report = small_experiment.analyze("graph500", top_k=5)
+        assert len(report.top(5)) == 5
+
+    def test_analyze_unknown_workload(self, small_experiment):
+        with pytest.raises(KeyError):
+            small_experiment.analyze("nothere")
+
+    def test_ensemble_bound_roughly_above_measured(self, small_experiment):
+        # The ensemble min is an upper bound learned from training data;
+        # on held-out workloads it should land near or above measured IPC
+        # (the paper's Table II shows estimates close to measured values).
+        for name in small_experiment.testing_runs:
+            report = small_experiment.analyze(name)
+            assert report.estimated_throughput > 0.4 * report.measured_throughput
+
+    def test_cached_experiment_is_cached(self):
+        config = ExperimentConfig(train_windows=48, test_windows=24)
+        a = cached_experiment(config)
+        b = cached_experiment(config)
+        assert a is b
+
+
+class TestPaperAgreement:
+    """The headline §V result: SPIRE agrees with TMA on the test workloads."""
+
+    @pytest.mark.parametrize(
+        "workload,expected_area",
+        [
+            ("tnn", "Front-End"),
+            ("scikit-learn-sparsify", "Bad Speculation"),
+            ("onnx", "Memory"),
+            ("parboil-cutcp", "Core"),
+        ],
+    )
+    def test_tma_classification(self, small_experiment, workload, expected_area):
+        run = small_experiment.testing_runs[workload]
+        assert run.table1_category == expected_area
+
+    @pytest.mark.parametrize(
+        "workload,expected_area",
+        [
+            ("tnn", "Front-End"),
+            ("scikit-learn-sparsify", "Bad Speculation"),
+            ("onnx", "Memory"),
+            ("parboil-cutcp", "Core"),
+        ],
+    )
+    def test_spire_flags_expected_area_in_top_metrics(
+        self, small_experiment, workload, expected_area
+    ):
+        report = small_experiment.analyze(workload, top_k=10)
+        areas = [report.area_of(e.metric) for e in report.top(10)]
+        assert expected_area in areas, (
+            f"{workload}: expected a {expected_area} metric in the top 10, "
+            f"got {areas}"
+        )
+
+    def test_spire_number_one_matches_tma_for_most_workloads(
+        self, small_experiment
+    ):
+        # The paper reports agreement on "many of the same bottlenecks";
+        # require the #1 metric's area (or the dominant area of the pool)
+        # to match TMA on at least 3 of the 4 test workloads.
+        matches = 0
+        for name, run in small_experiment.testing_runs.items():
+            report = small_experiment.analyze(name, top_k=10)
+            top_area = report.area_of(report.top(1)[0].metric)
+            if run.table1_category in (top_area, report.dominant_area(10)):
+                matches += 1
+        assert matches >= 3

@@ -1,0 +1,110 @@
+"""Pipeline variants: trend fitting, little machine, unmultiplexed mode.
+
+The default experiment uses the paper's exact configuration; these tests
+exercise the pipeline's orthogonal switches end to end and check each one
+changes (only) what it should.
+"""
+
+import pytest
+
+from repro.core import (
+    NEGATIVE_METRIC,
+    RooflineFitOptions,
+    SpireModel,
+    TrainOptions,
+)
+from repro.pipeline import ExperimentConfig, run_experiment, run_workload
+from repro.uarch import skylake_gold_6126
+from repro.uarch.config import little_inorder_core
+from repro.workloads import workload_by_name
+
+SMALL = ExperimentConfig(train_windows=120, test_windows=60)
+
+
+class TestTrendModeExperiment:
+    def test_trend_training_on_pipeline_data(self, small_experiment):
+        options = TrainOptions(
+            roofline=RooflineFitOptions(direction_mode="trend")
+        )
+        model = SpireModel.train(small_experiment.training_samples, options)
+        assert set(model.metrics) == set(small_experiment.model.metrics)
+        bp1 = model.roofline("br_misp_retired.all_branches")
+        assert bp1.direction == NEGATIVE_METRIC
+        # Trend mode never drops the bound past the apex for BP.1.
+        assert bp1.estimate(1e9) == pytest.approx(bp1.apex.y)
+
+    def test_trend_model_still_agrees_with_tma(self, small_experiment):
+        from repro.counters.events import default_catalog
+
+        options = TrainOptions(
+            roofline=RooflineFitOptions(direction_mode="trend")
+        )
+        model = SpireModel.train(small_experiment.training_samples, options)
+        run = small_experiment.testing_runs["tnn"]
+        report = model.analyze(
+            run.collection.samples,
+            workload="tnn",
+            top_k=10,
+            metric_areas=default_catalog().areas(),
+        )
+        areas = [report.area_of(e.metric) for e in report.top(10)]
+        assert "Front-End" in areas
+
+
+class TestLittleMachineExperiment:
+    def test_full_experiment_on_little_core(self):
+        result = run_experiment(SMALL, machine=little_inorder_core())
+        assert result.machine.name == "little-inorder"
+        assert len(result.model) > 40
+        # IPCs respect the 2-wide pipeline.
+        for run in result.testing_runs.values():
+            assert 0 < run.measured_ipc <= 2.0
+
+    def test_little_core_still_classifies_tnn_frontend(self):
+        machine = little_inorder_core()
+        run = run_workload(workload_by_name("tnn"), machine, 120, SMALL)
+        assert run.tma.fraction("front_end_bound") > 0.1
+
+
+class TestUnmultiplexedExperiment:
+    def test_unmultiplexed_has_no_overhead_and_more_samples(self):
+        multiplexed = run_workload(
+            workload_by_name("fftw"), skylake_gold_6126(), 96, SMALL
+        )
+        unmultiplexed = run_workload(
+            workload_by_name("fftw"),
+            skylake_gold_6126(),
+            96,
+            ExperimentConfig(
+                train_windows=120, test_windows=60, multiplex=False
+            ),
+        )
+        assert unmultiplexed.collection.overhead_cycles == 0.0
+        assert multiplexed.collection.overhead_cycles > 0.0
+        # The idealized PMU observes at least as much as the multiplexed
+        # one (equal when every group gets a slice in every period).
+        assert len(unmultiplexed.collection.samples) >= len(
+            multiplexed.collection.samples
+        )
+        # ... but each unmultiplexed sample saw the whole period, while a
+        # multiplexed sample saw only its group's slices.
+        unmux_time = unmultiplexed.collection.samples.total_time("idq.dsb_uops")
+        mux_time = multiplexed.collection.samples.total_time("idq.dsb_uops")
+        assert unmux_time > mux_time
+
+    def test_both_modes_measure_the_same_ipc(self):
+        # Identical seeds and specs: the PMU mode must not change execution.
+        a = run_workload(
+            workload_by_name("fftw"), skylake_gold_6126(), 96, SMALL
+        )
+        b = run_workload(
+            workload_by_name("fftw"),
+            skylake_gold_6126(),
+            96,
+            ExperimentConfig(
+                train_windows=SMALL.train_windows,
+                test_windows=SMALL.test_windows,
+                multiplex=False,
+            ),
+        )
+        assert a.measured_ipc == pytest.approx(b.measured_ipc)

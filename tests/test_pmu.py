@@ -1,0 +1,98 @@
+"""Unit tests for the PMU register model."""
+
+import pytest
+
+from repro.counters.pmu import PMU
+from repro.errors import ConfigError
+
+
+class TestProgramming:
+    def test_program_within_capacity(self, machine):
+        pmu = PMU(machine)
+        pmu.program(["idq.dsb_uops", "br_misp_retired.all_branches"])
+        assert pmu.programmed_events == [
+            "idq.dsb_uops",
+            "br_misp_retired.all_branches",
+        ]
+
+    def test_capacity_enforced(self, machine):
+        pmu = PMU(machine)
+        events = [
+            "idq.dsb_uops",
+            "br_misp_retired.all_branches",
+            "longest_lat_cache.miss",
+            "idq.ms_switches",
+            "resource_stalls.any",
+        ]
+        assert len(events) > machine.num_programmable_counters
+        with pytest.raises(ConfigError, match="programmable counters"):
+            pmu.program(events)
+
+    def test_unknown_event_rejected(self, machine):
+        pmu = PMU(machine)
+        with pytest.raises(ConfigError):
+            pmu.program(["bogus.event"])
+
+    def test_fixed_event_not_programmable(self, machine):
+        pmu = PMU(machine)
+        with pytest.raises(ConfigError, match="fixed"):
+            pmu.program(["inst_retired.any"])
+
+    def test_duplicate_events_rejected(self, machine):
+        pmu = PMU(machine)
+        with pytest.raises(ConfigError, match="duplicate"):
+            pmu.program(["idq.dsb_uops", "idq.dsb_uops"])
+
+    def test_reprogramming_replaces_group(self, machine):
+        pmu = PMU(machine)
+        pmu.program(["idq.dsb_uops"])
+        pmu.program(["longest_lat_cache.miss"])
+        assert pmu.programmed_events == ["longest_lat_cache.miss"]
+
+
+class TestObservation:
+    def test_fixed_counters_always_counted(self, machine, core, base_spec):
+        pmu = PMU(machine)
+        counts = pmu.observe(core.simulate_window(base_spec))
+        assert "inst_retired.any" in counts
+        assert "cpu_clk_unhalted.thread" in counts
+
+    def test_programmed_events_counted(self, machine, core, base_spec):
+        pmu = PMU(machine)
+        pmu.program(["idq.dsb_uops"])
+        counts = pmu.observe(core.simulate_window(base_spec))
+        assert counts["idq.dsb_uops"] > 0
+
+    def test_unprogrammed_events_absent(self, machine, core, base_spec):
+        pmu = PMU(machine)
+        pmu.program(["idq.dsb_uops"])
+        counts = pmu.observe(core.simulate_window(base_spec))
+        assert "longest_lat_cache.miss" not in counts
+
+    def test_totals_accumulate(self, machine, core, base_spec):
+        pmu = PMU(machine)
+        pmu.program(["idq.dsb_uops"])
+        a = pmu.observe(core.simulate_window(base_spec))
+        b = pmu.observe(core.simulate_window(base_spec))
+        totals = pmu.read_totals()
+        assert totals["idq.dsb_uops"] == pytest.approx(
+            a["idq.dsb_uops"] + b["idq.dsb_uops"]
+        )
+
+    def test_totals_survive_reprogramming(self, machine, core, base_spec):
+        pmu = PMU(machine)
+        pmu.program(["idq.dsb_uops"])
+        pmu.observe(core.simulate_window(base_spec))
+        pmu.program(["longest_lat_cache.miss"])
+        pmu.observe(core.simulate_window(base_spec))
+        totals = pmu.read_totals()
+        assert "idq.dsb_uops" in totals
+        assert "longest_lat_cache.miss" in totals
+
+    def test_reset(self, machine, core, base_spec):
+        pmu = PMU(machine)
+        pmu.program(["idq.dsb_uops"])
+        pmu.observe(core.simulate_window(base_spec))
+        pmu.reset()
+        totals = pmu.read_totals()
+        assert all(v == 0.0 for v in totals.values())

@@ -1,0 +1,115 @@
+"""Property-based tests for sample collection invariants.
+
+Whatever the window count, period length, or scheduler, a collection must
+satisfy the paper's §III-A data contract: positive shared (T, W) per
+sample, per-metric T never exceeding the run's total cycles, the full
+(un-multiplexed) counter view consistent with the run totals, and — in
+unmultiplexed mode — a rectangular sample matrix with shared T/W per
+period.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters import CollectionConfig, SampleCollector
+from repro.uarch import CoreModel, skylake_gold_6126
+from repro.workloads.generator import random_spec
+
+EVENTS = (
+    "idq.dsb_uops",
+    "br_misp_retired.all_branches",
+    "longest_lat_cache.miss",
+    "resource_stalls.any",
+    "idq.ms_switches",
+    "cycle_activity.stalls_total",
+)
+
+
+@st.composite
+def collection_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_windows = draw(st.integers(min_value=1, max_value=60))
+    period = draw(st.integers(min_value=1, max_value=20))
+    multiplex = draw(st.booleans())
+    return seed, n_windows, period, multiplex
+
+
+@settings(max_examples=40, deadline=None)
+@given(collection_cases())
+def test_collection_invariants(case):
+    seed, n_windows, period, multiplex = case
+    machine = skylake_gold_6126()
+    rng = random.Random(seed)
+    specs = [random_spec(rng).with_instructions(2_000) for _ in range(n_windows)]
+    collector = SampleCollector(
+        machine,
+        config=CollectionConfig(
+            windows_per_period=period, events=EVENTS, multiplex=multiplex
+        ),
+    )
+    result = collector.collect(CoreModel(machine), specs, rng=random.Random(seed))
+
+    assert result.total_cycles > 0
+    assert result.total_instructions == 2_000 * n_windows
+    assert 0 < result.measured_ipc <= machine.pipeline_width
+
+    # Every sample: positive period, work/time consistent with the run.
+    for sample in result.samples:
+        assert sample.time > 0
+        assert sample.time <= result.total_cycles + 1e-6
+        assert sample.work <= result.total_instructions + 1e-6
+
+    # Per-metric total observation time never exceeds the run.
+    for metric in result.samples.metrics():
+        assert (
+            result.samples.total_time(metric) <= result.total_cycles + 1e-6
+        )
+
+    # The full-count view matches the run totals for the fixed counters.
+    assert result.full_counts["inst_retired.any"] == pytest.approx(
+        result.total_instructions
+    )
+    assert result.full_counts["cpu_clk_unhalted.thread"] == pytest.approx(
+        result.total_cycles
+    )
+
+    if multiplex:
+        assert result.overhead_cycles == pytest.approx(
+            n_windows * collector.config.switch_overhead_cycles
+        )
+    else:
+        # Rectangular: every metric has one sample per period with shared
+        # T and W.
+        grouped = result.samples.grouped()
+        lengths = {len(group) for group in grouped.values()}
+        assert len(lengths) == 1
+        for index in range(lengths.pop()):
+            times = {round(group[index].time, 6) for group in grouped.values()}
+            works = {round(group[index].work, 6) for group in grouped.values()}
+            assert len(times) == 1
+            assert len(works) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_multiplexed_metric_times_partition_the_run(seed):
+    """With round-robin multiplexing, the groups' observation times sum to
+    (at most) the run's total cycles — slices don't overlap."""
+    machine = skylake_gold_6126()
+    rng = random.Random(seed)
+    specs = [random_spec(rng).with_instructions(2_000) for _ in range(36)]
+    collector = SampleCollector(
+        machine,
+        config=CollectionConfig(windows_per_period=12, events=EVENTS),
+    )
+    result = collector.collect(CoreModel(machine), specs, rng=random.Random(seed))
+    groups = collector._event_groups()
+    group_time = 0.0
+    for group in groups:
+        # All metrics in a group share slices; count each group once via
+        # its first metric.
+        group_time += result.samples.total_time(group[0])
+    assert group_time == pytest.approx(result.total_cycles, rel=1e-6)

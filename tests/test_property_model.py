@@ -1,0 +1,79 @@
+"""Property-based tests over the simulator substrate.
+
+For any valid window spec, the core model must produce physically sensible
+activity (non-negative counters, IPC bounded by the pipeline width, cycle
+attribution summing to total cycles), and every catalog event must compute
+a non-negative count.  These are the invariants the SPIRE pipeline relies
+on when it treats the simulator as a stand-in for real hardware.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters.events import default_catalog
+from repro.uarch import CoreModel, skylake_gold_6126
+from repro.uarch.config import little_inorder_core
+from repro.workloads.generator import random_spec
+
+_MACHINES = [skylake_gold_6126(), little_inorder_core()]
+
+
+@st.composite
+def window_specs(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_spec(random.Random(seed))
+
+
+@settings(max_examples=80, deadline=None)
+@given(window_specs(), st.sampled_from([0, 1]))
+def test_activity_physically_sensible(spec, machine_index):
+    machine = _MACHINES[machine_index]
+    core = CoreModel(machine)
+    activity = core.simulate_window(spec)
+    assert activity.cycles > 0
+    assert 0 < activity.ipc <= machine.pipeline_width
+    activity.check_consistency()
+    assert activity.uops_retired <= activity.uops_executed + 1e-9
+    assert activity.uops_executed <= activity.uops_issued + 1e-9
+    assert activity.l1_misses <= activity.loads + 1e-9
+    assert activity.mispredicted_branches <= activity.branches + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(window_specs())
+def test_all_events_non_negative(spec):
+    machine = _MACHINES[0]
+    core = CoreModel(machine)
+    activity = core.simulate_window(spec)
+    counts = default_catalog().compute_all(activity, machine)
+    for name, value in counts.items():
+        assert value >= 0.0, name
+
+
+@settings(max_examples=40, deadline=None)
+@given(window_specs(), st.integers(min_value=0, max_value=1_000))
+def test_jittered_windows_stay_sensible(spec, seed):
+    machine = _MACHINES[0]
+    core = CoreModel(machine)
+    activity = core.simulate_window(spec, random.Random(seed))
+    assert activity.cycles > 0
+    assert 0 < activity.ipc <= machine.pipeline_width
+    activity.check_consistency()
+
+
+@settings(max_examples=30, deadline=None)
+@given(window_specs())
+def test_tma_fractions_valid_for_any_spec(spec):
+    from repro.tma import TopDownAnalyzer
+
+    machine = _MACHINES[0]
+    core = CoreModel(machine)
+    activity = core.simulate_window(spec)
+    counts = default_catalog().compute_all(activity, machine)
+    result = TopDownAnalyzer(machine).analyze(counts)
+    level1 = result.level1()
+    assert abs(sum(level1.values()) - 1.0) < 1e-6
+    for value in result.fractions.values():
+        assert -1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,87 @@
+"""Property-based tests for the trace pipeline's physical invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import KERNELS, PipelineConfig, TracePipeline, make_kernel_trace
+from repro.trace.uops import MicroOp
+
+
+@st.composite
+def random_traces(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=50, max_value=3_000))
+    rng = random.Random(seed)
+    kinds = ("alu", "mul", "div", "fp", "load", "store", "branch")
+    trace = []
+    for i in range(n):
+        kind = rng.choice(kinds)
+        if kind in ("load", "store"):
+            uop = MicroOp(
+                kind,
+                dest=rng.randint(1, 16) if kind == "load" else None,
+                sources=(rng.randint(1, 16),),
+                address=rng.randrange(1 << 24),
+                pc=(i % 512) * 4,
+            )
+        elif kind == "branch":
+            uop = MicroOp(
+                "branch", sources=(rng.randint(1, 16),),
+                taken=rng.random() < 0.5, pc=(i % 512) * 4,
+            )
+        else:
+            uop = MicroOp(
+                kind, dest=rng.randint(1, 16),
+                sources=(rng.randint(1, 16),), pc=(i % 512) * 4,
+            )
+        trace.append(uop)
+    return trace
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_traces())
+def test_pipeline_invariants_on_arbitrary_traces(trace):
+    pipeline = TracePipeline()
+    counters = pipeline.execute(trace)
+
+    assert counters.instructions == len(trace)
+    assert counters.cycles >= len(trace) // PipelineConfig().width
+    assert 0 < counters.ipc <= PipelineConfig().width
+
+    # Event counts bounded by their populations.
+    assert counters.branch_mispredicts <= counters.branches
+    assert counters.l1_misses <= counters.loads
+    assert counters.l2_misses <= counters.l1_misses
+    assert counters.l3_misses <= counters.l2_misses
+    assert counters.branches == sum(1 for u in trace if u.kind == "branch")
+    assert counters.loads == sum(1 for u in trace if u.kind == "load")
+    assert counters.divides == sum(1 for u in trace if u.kind == "div")
+
+    # Stall accounting stays within physical limits.
+    assert counters.rob_stall_cycles <= counters.cycles
+    assert counters.redirect_stall_cycles <= counters.cycles
+    assert counters.icache_stall_cycles <= counters.cycles
+    assert all(v >= 0 for v in counters.as_dict().values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sampled_from(sorted(KERNELS)),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=1_000),
+)
+def test_kernels_always_executable(kernel, intensity, seed):
+    trace = make_kernel_trace(kernel, 1_000, intensity, seed=seed)
+    counters = TracePipeline().execute(trace)
+    assert counters.instructions == 1_000
+    assert 0 < counters.ipc <= 4.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_traces())
+def test_execution_split_is_deterministic(trace):
+    a = TracePipeline().execute(trace)
+    b = TracePipeline().execute(trace)
+    assert a.as_dict() == b.as_dict()

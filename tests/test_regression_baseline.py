@@ -1,0 +1,124 @@
+"""Unit tests for the ML-importance baselines (paper §VI-B)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.regression import (
+    GradientBoostingImportance,
+    RidgeImportance,
+    build_feature_matrix,
+)
+from repro.core.sample import Sample, SampleSet
+from repro.errors import DataError
+
+
+def rectangular_samples(rng, periods=60):
+    """Two metrics sampled every period; 'stalls' drives throughput."""
+    samples = SampleSet()
+    for _ in range(periods):
+        stall_rate = rng.uniform(0.0, 0.5)
+        noise_rate = rng.uniform(0.0, 0.5)
+        time = 1000.0
+        ipc = 3.0 - 4.0 * stall_rate
+        samples.add(Sample("stalls", time, ipc * time, stall_rate * time))
+        samples.add(Sample("noise", time, ipc * time, noise_rate * time))
+    return samples
+
+
+class TestFeatureMatrix:
+    def test_shapes(self, rng):
+        samples = rectangular_samples(rng)
+        features, target, metrics = build_feature_matrix(samples)
+        assert features.shape == (60, 2)
+        assert target.shape == (60,)
+        assert metrics == ["noise", "stalls"]
+
+    def test_values_are_rates(self, rng):
+        samples = SampleSet([Sample("m", 100.0, 200.0, 50.0)])
+        features, target, _ = build_feature_matrix(samples)
+        assert features[0, 0] == pytest.approx(0.5)
+        assert target[0] == pytest.approx(2.0)
+
+    def test_ragged_collection_rejected(self):
+        samples = SampleSet(
+            [
+                Sample("a", 1.0, 1.0, 1.0),
+                Sample("a", 1.0, 1.0, 1.0),
+                Sample("b", 1.0, 1.0, 1.0),
+            ]
+        )
+        with pytest.raises(DataError, match="rectangular"):
+            build_feature_matrix(samples)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            build_feature_matrix(SampleSet())
+
+
+class TestRidge:
+    def test_finds_true_driver(self, rng):
+        result = RidgeImportance().fit(rectangular_samples(rng))
+        assert result.top(1) == ["stalls"]
+        assert result.r_squared > 0.9
+
+    def test_ranked_descending(self, rng):
+        result = RidgeImportance().fit(rectangular_samples(rng))
+        values = [v for _, v in result.ranked()]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(DataError):
+            RidgeImportance(alpha=-1.0)
+
+    def test_constant_feature_handled(self):
+        samples = SampleSet()
+        for i in range(20):
+            t = 100.0
+            samples.add(Sample("const", t, (1.0 + i * 0.1) * t, 5.0))
+            samples.add(Sample("varying", t, (1.0 + i * 0.1) * t, i * 1.0))
+        result = RidgeImportance().fit(samples)
+        assert result.top(1) == ["varying"]
+
+
+class TestGradientBoosting:
+    def test_finds_true_driver(self, rng):
+        result = GradientBoostingImportance(n_rounds=40).fit(
+            rectangular_samples(rng)
+        )
+        assert result.top(1) == ["stalls"]
+        assert result.r_squared > 0.5
+
+    def test_importances_non_negative(self, rng):
+        result = GradientBoostingImportance().fit(rectangular_samples(rng))
+        assert np.all(result.importances >= 0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataError):
+            GradientBoostingImportance(n_rounds=0)
+        with pytest.raises(DataError):
+            GradientBoostingImportance(learning_rate=0.0)
+
+    def test_prefers_broad_proxy_over_cause(self):
+        """The paper's critique: regressors lean on a broad stall count.
+
+        Two causes (icache misses, dcache misses) each explain part of the
+        slowdown; a 'total stalls' metric equals their combined effect.
+        The regressor ranks the proxy first — losing causal information —
+        which is exactly what SPIRE's independent per-metric fits avoid.
+        """
+        rng = random.Random(0)
+        samples = SampleSet()
+        for _ in range(80):
+            icache = rng.uniform(0.0, 0.2)
+            dcache = rng.uniform(0.0, 0.2)
+            total = icache + dcache
+            time = 1000.0
+            ipc = 3.0 - 5.0 * total + rng.gauss(0.0, 0.01)
+            ipc = max(0.1, ipc)
+            samples.add(Sample("icache_miss", time, ipc * time, icache * time))
+            samples.add(Sample("dcache_miss", time, ipc * time, dcache * time))
+            samples.add(Sample("total_stalls", time, ipc * time, total * time))
+        result = GradientBoostingImportance(n_rounds=50).fit(samples)
+        assert result.top(1) == ["total_stalls"]

@@ -1,0 +1,67 @@
+"""Unit tests for the reusable table renderers."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.reporting import (
+    render_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+class TestTable1:
+    def test_text_contains_all_workloads(self, small_experiment):
+        text = render_table1(small_experiment)
+        assert "Table I" in text
+        for name in small_experiment.training_runs:
+            assert name in text
+        for name in small_experiment.testing_runs:
+            assert name in text
+
+    def test_markdown_structure(self, small_experiment):
+        text = render_table1(small_experiment, style="markdown")
+        assert "| workload |" in text
+        assert text.count("|---") >= 1
+
+    def test_bad_format_rejected(self, small_experiment):
+        with pytest.raises(DataError):
+            render_table1(small_experiment, style="latex")
+
+
+class TestTable2:
+    def test_contains_measured_ipc_and_areas(self, small_experiment):
+        text = render_table2(small_experiment, top_k=5)
+        assert "measured IPC" in text
+        assert "Front-End" in text
+        assert "tnn" in text
+
+    def test_respects_top_k(self, small_experiment):
+        short = render_table2(small_experiment, top_k=3)
+        long = render_table2(small_experiment, top_k=10)
+        assert len(long.splitlines()) > len(short.splitlines())
+
+    def test_markdown(self, small_experiment):
+        text = render_table2(small_experiment, top_k=3, style="markdown")
+        assert "| est. IPC |" in text
+
+
+class TestTable3:
+    def test_all_abbreviations_present(self):
+        text = render_table3()
+        for abbr in ("FE.1", "DB.2", "DQ.K", "BP.1", "L1.3", "CS.6", "C1.3",
+                     "VW", "LK", "M"):
+            assert abbr in text
+
+    def test_markdown(self):
+        text = render_table3(style="markdown")
+        assert "| area |" in text
+
+
+class TestSummary:
+    def test_summary_agreement_line(self, small_experiment):
+        text = render_summary(small_experiment)
+        assert "agreement:" in text
+        assert "/4 test workloads" in text
+        assert "tnn" in text

@@ -1,0 +1,164 @@
+"""Unit tests for multiplex scheduling and counter-constraint packing."""
+
+import random
+
+import pytest
+
+from repro.counters.events import default_catalog
+from repro.counters.scheduling import (
+    AdaptiveScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    assign_counters,
+    effective_masks,
+    pack_events,
+)
+from repro.errors import ConfigError
+
+
+class TestAssignCounters:
+    def test_unconstrained_events_fit(self):
+        assignment = assign_counters(["a", "b"], 2, {"a": None, "b": None})
+        assert assignment is not None
+        assert sorted(assignment.values()) == [0, 1]
+
+    def test_over_capacity_infeasible(self):
+        assert assign_counters(["a", "b", "c"], 2, {}) is None
+
+    def test_mask_respected(self):
+        assignment = assign_counters(
+            ["a", "b"], 4, {"a": (2,), "b": None}
+        )
+        assert assignment["a"] == 2
+        assert assignment["b"] != 2
+
+    def test_conflicting_masks_infeasible(self):
+        assert assign_counters(["a", "b"], 4, {"a": (2,), "b": (2,)}) is None
+
+    def test_augmenting_path_reshuffles(self):
+        # b must take slot 0, which forces a off slot 0 onto slot 1.
+        assignment = assign_counters(
+            ["a", "b"], 2, {"a": (0, 1), "b": (0,)}
+        )
+        assert assignment == {"a": 1, "b": 0}
+
+    def test_out_of_range_slot_unusable(self):
+        assert assign_counters(["a"], 2, {"a": (5,)}) is None
+
+
+class TestEffectiveMasks:
+    def test_in_range_mask_kept(self):
+        catalog = default_catalog()
+        masks = effective_masks(["cycle_activity.stalls_total"], 4, catalog)
+        assert masks["cycle_activity.stalls_total"] == (2,)
+
+    def test_out_of_range_mask_relaxed(self):
+        catalog = default_catalog()
+        masks = effective_masks(["cycle_activity.stalls_total"], 2, catalog)
+        assert masks["cycle_activity.stalls_total"] is None
+
+
+class TestPackEvents:
+    def test_groups_respect_capacity(self):
+        catalog = default_catalog()
+        names = catalog.programmable_names
+        groups = pack_events(names, 4, catalog)
+        assert all(len(group) <= 4 for group in groups)
+        assert sorted(n for g in groups for n in g) == sorted(names)
+
+    def test_restricted_events_never_share_a_group(self):
+        catalog = default_catalog()
+        restricted = [
+            name for name in catalog.programmable_names
+            if catalog.get(name).counter_mask == (2,)
+        ]
+        assert len(restricted) >= 2
+        groups = pack_events(catalog.programmable_names, 4, catalog)
+        for group in groups:
+            assert sum(1 for name in group if name in restricted) <= 1
+
+    def test_every_group_feasible(self):
+        catalog = default_catalog()
+        groups = pack_events(catalog.programmable_names, 4, catalog)
+        for group in groups:
+            masks = effective_masks(group, 4, catalog)
+            assert assign_counters(group, 4, masks) is not None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            pack_events(["idq.dsb_uops"], 0, default_catalog())
+
+
+class TestSchedulers:
+    def test_round_robin_cycles(self):
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.next_group(i, 3) for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_random_covers_all_groups(self):
+        scheduler = RandomScheduler(random.Random(0))
+        picks = {scheduler.next_group(i, 4) for i in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_adaptive_visits_all_groups_first(self):
+        scheduler = AdaptiveScheduler(random.Random(0))
+        first = []
+        for i in range(3):
+            group = scheduler.next_group(i, 3)
+            first.append(group)
+            scheduler.observe(group, 100.0, 100.0)
+        assert sorted(first) == [0, 1, 2]
+
+    def test_adaptive_prefers_high_variance_group(self):
+        rng = random.Random(1)
+        scheduler = AdaptiveScheduler(random.Random(2), epsilon=0.01)
+        # Train: group 0 noisy, group 1 steady.
+        for i in range(40):
+            group = scheduler.next_group(i, 2)
+            if group == 0:
+                scheduler.observe(0, 100.0, rng.uniform(50.0, 400.0))
+            else:
+                scheduler.observe(1, 100.0, 200.0)
+        picks = [scheduler.next_group(i, 2) for i in range(400)]
+        assert picks.count(0) > picks.count(1) * 2
+
+    def test_adaptive_epsilon_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptiveScheduler(epsilon=0.0)
+
+
+class TestSchedulersInCollector:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            RoundRobinScheduler,
+            lambda: RandomScheduler(random.Random(3)),
+            lambda: AdaptiveScheduler(random.Random(3)),
+        ],
+    )
+    def test_collection_works_with_each_scheduler(
+        self, machine, core, scheduler_factory
+    ):
+        from repro.counters import CollectionConfig, SampleCollector
+        from repro.uarch.spec import WindowSpec
+
+        collector = SampleCollector(
+            machine,
+            config=CollectionConfig(
+                windows_per_period=12,
+                events=(
+                    "idq.dsb_uops",
+                    "br_misp_retired.all_branches",
+                    "cycle_activity.stalls_total",
+                    "cycle_activity.stalls_mem_any",
+                ),
+            ),
+            scheduler=scheduler_factory(),
+        )
+        result = collector.collect(
+            core, [WindowSpec(instructions=4_000)] * 48, rng=random.Random(0)
+        )
+        assert len(result.samples) > 0
+        # The two slot-2-restricted events must be in different groups, so
+        # at least 2 groups exist regardless of scheduler.
+        assert len(collector._event_groups()) >= 2

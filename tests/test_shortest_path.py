@@ -1,0 +1,112 @@
+"""Unit tests for the graph/Dijkstra kernel, cross-checked with networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.geometry.shortest_path import Graph, dijkstra
+
+
+class TestGraph:
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        assert "a" in g and "b" in g
+        assert g.node_count == 2
+        assert g.edge_count == 1
+
+    def test_duplicate_edge_keeps_lighter(self):
+        g = Graph()
+        g.add_edge("a", "b", 5.0)
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("a", "b", 9.0)
+        assert g.neighbors("a") == {"b": 2.0}
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_edges_iteration(self):
+        g = Graph()
+        g.add_edge(1, 2, 0.5)
+        g.add_edge(2, 3, 1.5)
+        assert sorted(g.edges()) == [(1, 2, 0.5), (2, 3, 1.5)]
+
+    def test_tuple_nodes(self):
+        g = Graph()
+        g.add_edge(("tail", 0), (0, 1), 0.0)
+        assert ("tail", 0) in g
+
+
+class TestDijkstra:
+    def test_direct_path(self):
+        g = Graph()
+        g.add_edge("s", "t", 3.0)
+        assert dijkstra(g, "s", "t") == (3.0, ["s", "t"])
+
+    def test_prefers_cheaper_multi_hop(self):
+        g = Graph()
+        g.add_edge("s", "t", 10.0)
+        g.add_edge("s", "a", 1.0)
+        g.add_edge("a", "t", 2.0)
+        assert dijkstra(g, "s", "t") == (3.0, ["s", "a", "t"])
+
+    def test_source_equals_target(self):
+        g = Graph()
+        g.add_node("s")
+        assert dijkstra(g, "s", "s") == (0.0, ["s"])
+
+    def test_unreachable_raises(self):
+        g = Graph()
+        g.add_node("s")
+        g.add_node("t")
+        with pytest.raises(ValueError, match="no path"):
+            dijkstra(g, "s", "t")
+
+    def test_missing_nodes_raise(self):
+        g = Graph()
+        g.add_node("s")
+        with pytest.raises(ValueError):
+            dijkstra(g, "s", "missing")
+        with pytest.raises(ValueError):
+            dijkstra(g, "missing", "s")
+
+    def test_zero_weight_cycles_terminate(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.0)
+        g.add_edge("b", "a", 0.0)
+        g.add_edge("b", "t", 1.0)
+        assert dijkstra(g, "a", "t")[0] == 1.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_on_random_dags(self, seed):
+        rng = random.Random(seed)
+        n = 40
+        g = Graph()
+        ref = nx.DiGraph()
+        for node in range(n):
+            g.add_node(node)
+            ref.add_node(node)
+        for _ in range(240):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a == b:
+                continue
+            w = rng.uniform(0.0, 10.0)
+            g.add_edge(a, b, w)
+            if ref.has_edge(a, b):
+                ref[a][b]["weight"] = min(ref[a][b]["weight"], w)
+            else:
+                ref.add_edge(a, b, weight=w)
+        for _ in range(10):
+            s, t = rng.randrange(n), rng.randrange(n)
+            try:
+                expected = nx.dijkstra_path_length(ref, s, t)
+            except nx.NetworkXNoPath:
+                with pytest.raises(ValueError):
+                    dijkstra(g, s, t)
+                continue
+            distance, path = dijkstra(g, s, t)
+            assert distance == pytest.approx(expected)
+            assert path[0] == s and path[-1] == t

@@ -1,0 +1,79 @@
+"""Unit tests for WindowSpec validation and helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.spec import WindowSpec
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        spec = WindowSpec()
+        assert spec.instructions > 0
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ConfigError):
+            WindowSpec(instructions=0)
+
+    def test_uops_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            WindowSpec(uops_per_instruction=0.9)
+
+    def test_mix_exceeding_one_rejected(self):
+        with pytest.raises(ConfigError, match="sum"):
+            WindowSpec(frac_loads=0.6, frac_stores=0.5)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "frac_loads",
+            "dsb_coverage",
+            "branch_mispredict_rate",
+            "l1_miss_per_load",
+            "lock_load_fraction",
+            "vector_width_mix",
+        ],
+    )
+    def test_rate_out_of_range_rejected(self, field):
+        with pytest.raises(ConfigError):
+            WindowSpec(**{field: 1.5})
+
+    def test_mlp_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            WindowSpec(mlp=0.5)
+
+    def test_ilp_below_half_rejected(self):
+        with pytest.raises(ConfigError):
+            WindowSpec(ilp=0.2)
+
+    def test_negative_bubble_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            WindowSpec(fe_bubble_rate=-0.1)
+
+
+class TestHelpers:
+    def test_scalar_remainder(self):
+        spec = WindowSpec(frac_loads=0.3, frac_stores=0.1, frac_branches=0.1)
+        assert spec.frac_scalar_alu == pytest.approx(0.5)
+
+    def test_scalar_remainder_never_negative(self):
+        spec = WindowSpec(frac_loads=0.5, frac_stores=0.3, frac_branches=0.2)
+        assert spec.frac_scalar_alu == 0.0
+
+    def test_with_instructions(self):
+        spec = WindowSpec(instructions=100).with_instructions(500)
+        assert spec.instructions == 500
+
+    def test_scaled_pressure_scales_rates(self):
+        spec = WindowSpec(branch_mispredict_rate=0.02, l1_miss_per_load=0.04)
+        scaled = spec.scaled_pressure(2.0)
+        assert scaled.branch_mispredict_rate == pytest.approx(0.04)
+        assert scaled.l1_miss_per_load == pytest.approx(0.08)
+
+    def test_scaled_pressure_clamps_to_one(self):
+        spec = WindowSpec(branch_mispredict_rate=0.8)
+        assert spec.scaled_pressure(10.0).branch_mispredict_rate == 1.0
+
+    def test_scaled_pressure_identity(self):
+        spec = WindowSpec()
+        assert spec.scaled_pressure(1.0) == spec

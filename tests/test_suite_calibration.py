@@ -1,0 +1,44 @@
+"""Suite calibration: every Table I workload lands in its intended category.
+
+This is the reproduction's analog of the paper's Table I color column: the
+Top-Down baseline, run on each workload's full counter totals, must report
+the bottleneck the workload was designed to exhibit.
+"""
+
+import pytest
+
+from repro.pipeline import ExperimentConfig, run_workload
+from repro.uarch import skylake_gold_6126
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="module")
+def calibration_runs():
+    machine = skylake_gold_6126()
+    config = ExperimentConfig(seed=2025)
+    return {
+        w.name: run_workload(w, machine, 120, config) for w in all_workloads()
+    }
+
+
+@pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+def test_workload_hits_expected_category(calibration_runs, name):
+    run = calibration_runs[name]
+    assert run.table1_category == run.workload.expected_bottleneck, (
+        f"{name}: wanted {run.workload.expected_bottleneck}, TMA reports "
+        f"{run.table1_category} (level 1: {run.tma.level1()})"
+    )
+
+
+def test_suite_spans_wide_ipc_range(calibration_runs):
+    ipcs = [run.measured_ipc for run in calibration_runs.values()]
+    assert min(ipcs) < 0.6
+    assert max(ipcs) > 2.5
+
+
+def test_multiplexing_overhead_in_paper_range(calibration_runs):
+    # §IV: 1.6 % average, 4.6 % maximum execution-time overhead.
+    fractions = [r.collection.overhead_fraction for r in calibration_runs.values()]
+    average = sum(fractions) / len(fractions)
+    assert 0.001 < average < 0.08
+    assert max(fractions) < 0.15

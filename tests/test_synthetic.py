@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic sample generators and ground-truth error."""
+
+import random
+
+import pytest
+
+from repro.core.roofline import fit_metric_roofline
+from repro.core.synthetic import (
+    ground_truth_error,
+    negative_metric_curve,
+    plateau_curve,
+    positive_metric_curve,
+    synthetic_samples,
+)
+from repro.errors import DataError
+
+
+class TestCurves:
+    def test_negative_curve_rises_and_saturates(self):
+        curve = negative_metric_curve(peak=4.0, knee=6.0)
+        assert curve(1.0) < curve(10.0) < curve(100.0) < 4.0
+        assert curve(1e6) == pytest.approx(4.0, rel=1e-4)
+
+    def test_positive_curve_falls(self):
+        curve = positive_metric_curve(peak=4.0, knee=3.0)
+        assert curve(1.0) > curve(10.0) > curve(100.0)
+        assert curve(0.0) == pytest.approx(4.0)
+
+    def test_plateau_curve_shape(self):
+        curve = plateau_curve(peak=4.0, rise_knee=2.0, fall_start=50.0)
+        assert curve(1.0) < curve(20.0)
+        assert curve(200.0) < curve(50.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataError):
+            negative_metric_curve(peak=0.0)
+        with pytest.raises(DataError):
+            positive_metric_curve(knee=-1.0)
+        with pytest.raises(DataError):
+            plateau_curve(rise_knee=5.0, fall_start=4.0)
+
+
+class TestSyntheticSamples:
+    def test_samples_respect_the_roof(self):
+        curve = negative_metric_curve()
+        samples = synthetic_samples("m", curve, count=200)
+        for sample in samples:
+            assert sample.throughput <= curve(sample.intensity) + 1e-9
+
+    def test_count_and_metric(self):
+        samples = synthetic_samples("metric_x", negative_metric_curve(), count=50)
+        assert len(samples) == 50
+        assert samples.metrics() == ["metric_x"]
+
+    def test_intensity_range_respected(self):
+        samples = synthetic_samples(
+            "m", negative_metric_curve(), count=200,
+            intensity_range=(2.0, 20.0),
+        )
+        for sample in samples:
+            assert 2.0 - 1e-9 <= sample.intensity <= 20.0 + 1e-9
+
+    def test_log_spacing_covers_decades(self):
+        samples = synthetic_samples(
+            "m", negative_metric_curve(), count=400,
+            intensity_range=(0.1, 1000.0), rng=random.Random(1),
+        )
+        intensities = [s.intensity for s in samples]
+        assert min(intensities) < 1.0
+        assert max(intensities) > 100.0
+
+    def test_deterministic_with_rng(self):
+        a = synthetic_samples("m", negative_metric_curve(), rng=random.Random(5))
+        b = synthetic_samples("m", negative_metric_curve(), rng=random.Random(5))
+        assert a.to_records() == b.to_records()
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            synthetic_samples("m", negative_metric_curve(), count=0)
+        with pytest.raises(DataError):
+            synthetic_samples(
+                "m", negative_metric_curve(), intensity_range=(5.0, 2.0)
+            )
+        with pytest.raises(DataError):
+            synthetic_samples(
+                "m", negative_metric_curve(), efficiency_range=(0.0, 1.0)
+            )
+
+
+class TestGroundTruthError:
+    def test_fit_converges_to_curve(self):
+        curve = negative_metric_curve()
+        rng = random.Random(2)
+        small = fit_metric_roofline(
+            synthetic_samples("m", curve, count=20, rng=rng,
+                              efficiency_range=(0.9, 1.0))
+        )
+        large = fit_metric_roofline(
+            synthetic_samples("m", curve, count=2000, rng=rng,
+                              efficiency_range=(0.9, 1.0))
+        )
+        assert ground_truth_error(large, curve) <= ground_truth_error(small, curve)
+        assert ground_truth_error(large, curve) < 0.15
+
+    def test_positive_metric_fit_tracks_curve(self):
+        curve = positive_metric_curve()
+        roofline = fit_metric_roofline(
+            synthetic_samples(
+                "m", curve, count=1500, rng=random.Random(3),
+                efficiency_range=(0.85, 1.0),
+            )
+        )
+        assert ground_truth_error(roofline, curve) < 0.25
+
+    def test_validation(self):
+        curve = negative_metric_curve()
+        roofline = fit_metric_roofline(
+            synthetic_samples("m", curve, count=50, rng=random.Random(0))
+        )
+        with pytest.raises(DataError):
+            ground_truth_error(roofline, curve, intensity_range=(5.0, 1.0))
+        with pytest.raises(DataError):
+            ground_truth_error(roofline, curve, points=1)

@@ -1,0 +1,150 @@
+"""Unit tests for the Top-Down analysis baseline."""
+
+import random
+
+import pytest
+
+from repro.counters import CollectionConfig, SampleCollector
+from repro.errors import DataError
+from repro.tma import TMA_TREE, TopDownAnalyzer
+from repro.tma.hierarchy import TABLE1_CATEGORIES
+from repro.uarch.spec import WindowSpec
+
+
+def counts_for(machine, core, spec, windows=20, seed=0):
+    collector = SampleCollector(
+        machine, config=CollectionConfig(multiplex=False, windows_per_period=5)
+    )
+    result = collector.collect(core, [spec] * windows, rng=random.Random(seed))
+    return result.full_counts
+
+
+class TestHierarchy:
+    def test_level1_nodes_present(self):
+        for name in ("retiring", "front_end_bound", "bad_speculation",
+                     "back_end_bound"):
+            assert TMA_TREE.find(name) is not None
+
+    def test_level2_backend_split(self):
+        backend = TMA_TREE.find("back_end_bound")
+        names = [child.name for child in backend.children]
+        assert names == ["memory_bound", "core_bound"]
+
+    def test_find_missing(self):
+        assert TMA_TREE.find("quantum_bound") is None
+
+    def test_walk_and_paths(self):
+        names = [n.name for n in TMA_TREE.walk()]
+        assert "dram_bound" in names
+        paths = TMA_TREE.paths()
+        assert ("total", "back_end_bound", "memory_bound", "dram_bound") in paths
+
+    def test_table1_categories(self):
+        assert TABLE1_CATEGORIES == (
+            "Front-End", "Bad Speculation", "Memory", "Core",
+        )
+
+
+class TestAnalyzer:
+    def test_missing_event_rejected(self, machine):
+        with pytest.raises(DataError, match="requires event"):
+            TopDownAnalyzer(machine).analyze({"cpu_clk_unhalted.thread": 1.0})
+
+    def test_zero_cycles_rejected(self, machine, core):
+        counts = counts_for(machine, core, WindowSpec())
+        counts["cpu_clk_unhalted.thread"] = 0.0
+        with pytest.raises(DataError):
+            TopDownAnalyzer(machine).analyze(counts)
+
+    def test_level1_sums_to_one(self, machine, core):
+        counts = counts_for(machine, core, WindowSpec())
+        result = TopDownAnalyzer(machine).analyze(counts)
+        assert sum(result.level1().values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fractions_in_unit_interval(self, machine, core):
+        counts = counts_for(
+            machine, core, WindowSpec(branch_mispredict_rate=0.05, frac_branches=0.2)
+        )
+        result = TopDownAnalyzer(machine).analyze(counts)
+        for name, value in result.fractions.items():
+            assert -1e-9 <= value <= 1.0 + 1e-9, name
+
+    def test_children_sum_to_parent(self, machine, core):
+        counts = counts_for(
+            machine,
+            core,
+            WindowSpec(
+                frac_loads=0.3, l1_miss_per_load=0.05, frac_divides=0.005,
+                lock_load_fraction=0.002,
+            ),
+        )
+        result = TopDownAnalyzer(machine).analyze(counts)
+        f = result.fractions
+        assert f["memory_bound"] + f["core_bound"] == pytest.approx(
+            f["back_end_bound"], abs=1e-9
+        )
+        assert f["fetch_latency"] + f["fetch_bandwidth"] == pytest.approx(
+            f["front_end_bound"], abs=1e-9
+        )
+        assert f["branch_mispredicts"] + f["machine_clears"] == pytest.approx(
+            f["bad_speculation"], abs=1e-9
+        )
+        mem_children = (
+            f["l2_bound"] + f["l3_bound"] + f["dram_bound"] + f["lock_latency"]
+        )
+        assert mem_children == pytest.approx(f["memory_bound"], abs=1e-9)
+        core_children = f["divider"] + f["ports_utilization"] + f["vector_width"]
+        assert core_children == pytest.approx(f["core_bound"], abs=1e-9)
+
+    def test_unknown_category_lookup(self, machine, core):
+        counts = counts_for(machine, core, WindowSpec())
+        result = TopDownAnalyzer(machine).analyze(counts)
+        with pytest.raises(DataError):
+            result.fraction("mystery_bound")
+
+    def test_render_tree(self, machine, core):
+        counts = counts_for(machine, core, WindowSpec())
+        text = TopDownAnalyzer(machine).analyze(counts).render()
+        assert "retiring" in text
+        assert "memory_bound" in text
+        assert "%" in text
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "spec_kwargs,expected",
+        [
+            (dict(branch_mispredict_rate=0.12, frac_branches=0.25, ilp=4.0),
+             "Bad Speculation"),
+            (dict(l1_miss_per_load=0.15, frac_loads=0.4, l2_miss_fraction=0.8,
+                  l3_miss_fraction=0.8, mlp=2.0), "Memory"),
+            (dict(ilp=1.0, frac_divides=0.01), "Core"),
+            (dict(dsb_coverage=0.0, fe_bubble_rate=0.03, ilp=4.0,
+                  uops_per_instruction=1.4), "Front-End"),
+        ],
+    )
+    def test_injected_bottleneck_recovered(self, machine, core, spec_kwargs, expected):
+        counts = counts_for(machine, core, WindowSpec(**spec_kwargs))
+        result = TopDownAnalyzer(machine).analyze(counts)
+        assert result.main_bottleneck() == expected
+
+    def test_dominant_category_allows_retiring(self, machine, core):
+        counts = counts_for(
+            machine,
+            core,
+            WindowSpec(
+                ilp=8.0, dsb_coverage=1.0, branch_mispredict_rate=0.0,
+                l1_miss_per_load=0.0, fe_bubble_rate=0.0,
+                uops_per_instruction=1.0,
+            ),
+        )
+        result = TopDownAnalyzer(machine).analyze(counts)
+        assert result.dominant_category() == "Retiring"
+        assert result.fraction("retiring") > 0.9
+
+    def test_ipc_reported(self, machine, core):
+        counts = counts_for(machine, core, WindowSpec())
+        result = TopDownAnalyzer(machine).analyze(counts)
+        assert result.ipc == pytest.approx(
+            counts["inst_retired.any"] / counts["cpu_clk_unhalted.thread"]
+        )

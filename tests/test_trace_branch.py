@@ -1,0 +1,84 @@
+"""Unit tests for the gshare branch predictor."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.branch import GsharePredictor
+
+
+class TestConstruction:
+    def test_defaults(self):
+        predictor = GsharePredictor()
+        assert predictor.predictions == 0
+        assert predictor.misprediction_rate == 0.0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            GsharePredictor(table_bits=0)
+        with pytest.raises(ConfigError):
+            GsharePredictor(table_bits=4, history_bits=8)
+
+
+class TestLearning:
+    def test_always_taken_branch_learned(self):
+        predictor = GsharePredictor()
+        for _ in range(100):
+            predictor.update(0x400, taken=True)
+        predictor.reset_stats()
+        for _ in range(100):
+            predictor.update(0x400, taken=True)
+        assert predictor.misprediction_rate == 0.0
+
+    def test_loop_pattern_learned(self):
+        # taken 7x then not-taken, like an 8-iteration loop back-edge.
+        predictor = GsharePredictor(history_bits=8)
+        pattern = [True] * 7 + [False]
+        for _ in range(60):
+            for taken in pattern:
+                predictor.update(0x400, taken)
+        predictor.reset_stats()
+        for _ in range(20):
+            for taken in pattern:
+                predictor.update(0x400, taken)
+        assert predictor.misprediction_rate < 0.05
+
+    def test_random_branch_near_half(self):
+        predictor = GsharePredictor()
+        rng = random.Random(0)
+        for _ in range(2000):
+            predictor.update(0x400, rng.random() < 0.5)
+        predictor.reset_stats()
+        for _ in range(4000):
+            predictor.update(0x400, rng.random() < 0.5)
+        assert 0.35 < predictor.misprediction_rate < 0.65
+
+    def test_biased_branch_below_bias(self):
+        predictor = GsharePredictor()
+        rng = random.Random(1)
+        for _ in range(4000):
+            predictor.update(0x400, rng.random() < 0.9)
+        assert predictor.misprediction_rate < 0.25
+
+    def test_different_pcs_use_different_entries(self):
+        predictor = GsharePredictor(history_bits=0)
+        for _ in range(50):
+            predictor.update(0x100, taken=True)
+            predictor.update(0x200, taken=False)
+        predictor.reset_stats()
+        predictor.update(0x100, taken=True)
+        predictor.update(0x200, taken=False)
+        assert predictor.mispredictions == 0
+
+    def test_predict_matches_update_outcome(self):
+        predictor = GsharePredictor()
+        for _ in range(20):
+            predictor.update(0x400, taken=True)
+        assert predictor.predict(0x400) is True
+
+    def test_stats_counting(self):
+        predictor = GsharePredictor()
+        predictor.update(0x400, taken=False)  # initialized weakly taken
+        assert predictor.predictions == 1
+        assert predictor.mispredictions == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the set-associative cache hierarchy."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.cache import CacheHierarchy, SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache("bad", size=0)
+        with pytest.raises(ConfigError):
+            SetAssociativeCache("bad", size=1000, line=64, ways=8)
+
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache("l1", 1024, line=64, ways=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(32) is True  # same line
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_line_granularity(self):
+        cache = SetAssociativeCache("l1", 1024, line=64, ways=2)
+        cache.access(0)
+        assert cache.access(63) is True
+        assert cache.access(64) is False
+
+    def test_lru_eviction(self):
+        # 2-way set: third distinct line in the same set evicts the LRU.
+        cache = SetAssociativeCache("l1", 2 * 64, line=64, ways=2)  # 1 set
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)          # 0 becomes MRU
+        cache.access(128)        # evicts 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_working_set_within_capacity_hits(self):
+        cache = SetAssociativeCache("l1", 32 * 1024, line=64, ways=8)
+        addresses = [i * 64 for i in range(256)]  # 16 KiB
+        for address in addresses:
+            cache.access(address)
+        cache.reset_stats()
+        for _ in range(4):
+            for address in addresses:
+                cache.access(address)
+        assert cache.miss_rate == 0.0
+
+    def test_working_set_beyond_capacity_misses(self):
+        cache = SetAssociativeCache("l1", 32 * 1024, line=64, ways=8)
+        addresses = [i * 64 for i in range(1024)]  # 64 KiB, cyclic = thrash
+        for _ in range(3):
+            for address in addresses:
+                cache.access(address)
+        assert cache.miss_rate > 0.9
+
+    def test_random_accesses_partial_hits(self):
+        cache = SetAssociativeCache("l1", 32 * 1024, line=64, ways=8)
+        rng = random.Random(0)
+        addresses = [rng.randrange(48 * 1024) // 64 * 64 for _ in range(5000)]
+        for address in addresses:
+            cache.access(address)
+        assert 0.0 < cache.miss_rate < 0.9
+
+
+class TestCacheHierarchy:
+    def test_levels_fill_downward(self):
+        hierarchy = CacheHierarchy()
+        first = hierarchy.access(0)
+        assert first.level == "dram"
+        second = hierarchy.access(0)
+        assert second.level == "l1"
+
+    def test_l2_serves_after_l1_eviction(self):
+        hierarchy = CacheHierarchy(l1_size=1024, l2_size=64 * 1024)
+        # Touch a 32 KiB set cyclically: thrashes the 1 KiB L1, lives in L2.
+        addresses = [i * 64 for i in range(512)]
+        for address in addresses:
+            hierarchy.access(address)
+        result = hierarchy.access(addresses[0])
+        assert result.level == "l2"
+
+    def test_latencies_increase_with_depth(self):
+        hierarchy = CacheHierarchy()
+        lat = hierarchy.latencies
+        assert lat["l1"] < lat["l2"] < lat["l3"] < lat["dram"]
+
+    def test_dram_counted(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        hierarchy.access(1 << 30)
+        assert hierarchy.dram_accesses == 2
+
+    def test_reset_stats(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        hierarchy.reset_stats()
+        assert hierarchy.l1.misses == 0
+        assert hierarchy.dram_accesses == 0

@@ -1,0 +1,148 @@
+"""Unit tests for the TraceProgram builder."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace import TraceProgram, TracePipeline
+
+
+class TestBuilding:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceProgram().emit(10)
+
+    def test_emit_length(self):
+        trace = TraceProgram().op("alu", dest="a").emit(123)
+        assert len(trace) == 123
+
+    def test_registers_shared_by_name(self):
+        trace = (
+            TraceProgram()
+            .op("alu", dest="x")
+            .op("alu", dest="y", sources=("x",))
+            .emit(2)
+        )
+        assert trace[1].sources == (trace[0].dest,)
+
+    def test_invalid_op_kind(self):
+        with pytest.raises(ConfigError):
+            TraceProgram().op("load", dest="a")
+        with pytest.raises(ConfigError):
+            TraceProgram().op("teleport", dest="a")
+
+    def test_load_walks_stride(self):
+        trace = TraceProgram().load("x", stride=64).emit(3)
+        addresses = [u.address for u in trace]
+        assert addresses == [64, 128, 192]
+
+    def test_streams_are_independent(self):
+        trace = (
+            TraceProgram()
+            .load("a", stride=64, stream="one")
+            .load("b", stride=128, stream="two")
+            .emit(4)
+        )
+        assert trace[0].address == 64
+        assert trace[1].address == 128
+        assert trace[2].address == 128
+        assert trace[3].address == 256
+
+    def test_dependent_load_serializes(self):
+        trace = TraceProgram().load("p", dependent_on="p").emit(2)
+        assert trace[0].sources == (trace[0].dest,)
+
+    def test_store(self):
+        trace = TraceProgram().op("alu", dest="v").store("v").emit(2)
+        assert trace[1].kind == "store"
+        assert trace[1].address is not None
+
+    def test_branch_loop_pattern(self):
+        trace = TraceProgram().branch(pattern="loop", period=4).emit(8)
+        assert [u.taken for u in trace] == [True, True, True, False] * 2
+
+    def test_branch_random_pattern_seeded(self):
+        a = TraceProgram(seed=3).branch(pattern="random").emit(50)
+        b = TraceProgram(seed=3).branch(pattern="random").emit(50)
+        assert [u.taken for u in a] == [u.taken for u in b]
+
+    def test_every_interval(self):
+        trace = (
+            TraceProgram()
+            .op("alu", dest="a")
+            .every(3, lambda p: p.op("div", dest="a", sources=("a",)))
+            .emit(12)
+        )
+        divs = [u for u in trace if u.kind == "div"]
+        # Iterations 0, 3, 6, 9 contribute a div each within 12 uops.
+        assert 2 <= len(divs) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TraceProgram().load("x", stride=0)
+        with pytest.raises(ConfigError):
+            TraceProgram().branch(pattern="chaotic")
+        with pytest.raises(ConfigError):
+            TraceProgram().branch(pattern="loop", period=1)
+        with pytest.raises(ConfigError):
+            TraceProgram().every(0, lambda p: p)
+        with pytest.raises(ConfigError):
+            TraceProgram(footprint=32)
+
+    def test_emit_reproducible(self):
+        program = TraceProgram(seed=1).load("x").op("alu", dest="y", sources=("x",))
+        assert program.emit(40) == program.emit(40)
+
+
+class TestExecution:
+    def test_custom_chase_is_slow(self):
+        chase = (
+            TraceProgram(seed=0, footprint=64 << 20)
+            .load("p", stride=977 * 64, dependent_on="p")
+            .emit(8_000)
+        )
+        stream = (
+            TraceProgram(seed=0, footprint=64 << 20)
+            .load("x", stride=64)
+            .emit(8_000)
+        )
+        chase_ipc = TracePipeline().execute(chase).ipc
+        stream_ipc = TracePipeline().execute(stream).ipc
+        assert chase_ipc < stream_ipc / 2
+
+    def test_divide_heavy_program_slow(self):
+        clean = TraceProgram().op("alu", dest="a", sources=("a",)).emit(6_000)
+        divy = (
+            TraceProgram()
+            .op("alu", dest="a", sources=("a",))
+            .every(4, lambda p: p.op("div", dest="a", sources=("a",)))
+            .emit(6_000)
+        )
+        assert TracePipeline().execute(divy).ipc < TracePipeline().execute(clean).ipc
+
+    def test_program_feeds_spire_pipeline(self):
+        from repro.core import SpireModel
+        from repro.core.sample import Sample, SampleSet
+
+        program = (
+            TraceProgram(seed=2, footprint=32 << 20)
+            .load("p", stride=977 * 64, dependent_on="p")
+            .op("alu", dest="s", sources=("p",))
+            .branch(pattern="loop", period=8)
+        )
+        pipeline = TracePipeline()
+        samples = SampleSet()
+        previous = pipeline.snapshot()
+        for _ in range(8):
+            pipeline.execute(program.emit(2_000))
+            now = pipeline.snapshot()
+            delta = now.delta_from(previous)
+            previous = now
+            for name, value in delta.items():
+                if name in ("trace.instructions", "trace.cycles"):
+                    continue
+                samples.add(
+                    Sample(name, delta["trace.cycles"],
+                           delta["trace.instructions"], max(0.0, value))
+                )
+        model = SpireModel.train(samples)
+        assert len(model) > 5

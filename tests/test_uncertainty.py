@@ -1,0 +1,100 @@
+"""Unit tests for bootstrap uncertainty on bottleneck estimates."""
+
+import random
+
+import pytest
+
+from repro.core.ensemble import SpireModel
+from repro.core.sample import Sample, SampleSet
+from repro.core.uncertainty import bootstrap_estimates
+from repro.errors import EstimationError
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+@pytest.fixture
+def model(two_metric_sampleset):
+    return SpireModel.train(two_metric_sampleset)
+
+
+@pytest.fixture
+def workload(rng):
+    return SampleSet(
+        [sample("stalls", rng.uniform(2, 6), rng.uniform(0.8, 1.4)) for _ in range(30)]
+        + [
+            sample("dsb_uops", rng.uniform(40, 80), rng.uniform(0.8, 1.4))
+            for _ in range(30)
+        ]
+    )
+
+
+class TestBootstrap:
+    def test_intervals_bracket_point_estimate(self, model, workload):
+        result = bootstrap_estimates(model, workload, resamples=100)
+        for interval in result.intervals:
+            assert interval.lower <= interval.estimate + 1e-9
+            assert interval.upper >= interval.estimate - 1e-9
+
+    def test_point_estimates_match_model(self, model, workload):
+        result = bootstrap_estimates(model, workload, resamples=50)
+        reference = model.estimate(workload).per_metric
+        for interval in result.intervals:
+            assert interval.estimate == pytest.approx(reference[interval.metric])
+
+    def test_first_rank_shares_sum_to_one(self, model, workload):
+        result = bootstrap_estimates(model, workload, resamples=100)
+        total = sum(i.first_rank_share for i in result.intervals)
+        assert total == pytest.approx(1.0)
+
+    def test_pool_contains_minimum(self, model, workload):
+        result = bootstrap_estimates(model, workload, resamples=100)
+        pool = result.pool()
+        assert pool
+        assert pool[0].metric == result.ranked()[0].metric
+
+    def test_deterministic_with_seeded_rng(self, model, workload):
+        a = bootstrap_estimates(model, workload, resamples=50, rng=random.Random(1))
+        b = bootstrap_estimates(model, workload, resamples=50, rng=random.Random(1))
+        for x, y in zip(a.intervals, b.intervals):
+            assert x == y
+
+    def test_more_samples_tighter_intervals(self, model, rng):
+        def workload_of(n):
+            return SampleSet(
+                [
+                    sample("stalls", rng.uniform(2, 20), rng.uniform(0.8, 1.4))
+                    for _ in range(n)
+                ]
+            )
+
+        small = bootstrap_estimates(model, workload_of(10), resamples=200)
+        large = bootstrap_estimates(model, workload_of(400), resamples=200)
+        width_small = small.intervals[0].upper - small.intervals[0].lower
+        width_large = large.intervals[0].upper - large.intervals[0].lower
+        assert width_large < width_small
+
+    def test_render(self, model, workload):
+        text = bootstrap_estimates(model, workload, resamples=20).render()
+        assert "resamples" in text
+        assert "stalls" in text or "dsb_uops" in text
+
+    def test_for_metric_lookup(self, model, workload):
+        result = bootstrap_estimates(model, workload, resamples=20)
+        assert result.for_metric("stalls").metric == "stalls"
+        with pytest.raises(EstimationError):
+            result.for_metric("nope")
+
+    def test_validation(self, model, workload):
+        with pytest.raises(EstimationError):
+            bootstrap_estimates(model, workload, resamples=1)
+        with pytest.raises(EstimationError):
+            bootstrap_estimates(model, workload, confidence=1.5)
+
+    def test_no_overlap_rejected(self, model):
+        other = SampleSet([sample("unknown", 2, 1.0)])
+        with pytest.raises(EstimationError):
+            bootstrap_estimates(model, other)

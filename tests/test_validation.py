@@ -1,0 +1,90 @@
+"""Unit tests for cross-validation and rank-stability utilities."""
+
+import random
+
+import pytest
+
+from repro.core.ensemble import SpireModel
+from repro.core.sample import Sample, SampleSet
+from repro.core.validation import cross_validate, rank_stability
+from repro.errors import EstimationError
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+@pytest.fixture
+def big_set(rng):
+    samples = SampleSet()
+    for _ in range(300):
+        i = rng.uniform(1, 50)
+        samples.add(sample("stalls", i, (4 * i / (i + 6)) * rng.uniform(0.4, 1.0)))
+        i = rng.uniform(1, 100)
+        samples.add(sample("dsb", i, (12 / (3 + i)) * rng.uniform(0.4, 1.0)))
+    return samples
+
+
+class TestCrossValidate:
+    def test_report_shape(self, big_set):
+        report = cross_validate(big_set, k=4)
+        assert len(report.folds) == 4
+        assert all(f.held_out_samples > 0 for f in report.folds)
+
+    def test_violation_statistics_bounded(self, big_set):
+        report = cross_validate(big_set, k=4)
+        assert 0.0 <= report.mean_violation_fraction <= 1.0
+        assert report.mean_violation >= 0.0
+        assert report.max_violation >= report.mean_violation
+
+    def test_violations_are_small_for_dense_data(self, big_set):
+        # With 300 samples per metric the envelope is nearly converged:
+        # held-out violations exist but are tiny relative to throughput.
+        report = cross_validate(big_set, k=5)
+        assert report.mean_violation < 0.5
+
+    def test_deterministic_with_seed(self, big_set):
+        a = cross_validate(big_set, k=3, rng=random.Random(5))
+        b = cross_validate(big_set, k=3, rng=random.Random(5))
+        assert a.folds == b.folds
+
+    def test_k_validation(self, big_set):
+        with pytest.raises(EstimationError):
+            cross_validate(big_set, k=1)
+
+    def test_too_few_samples(self):
+        tiny = SampleSet([sample("m", 1, 1.0)])
+        with pytest.raises(EstimationError):
+            cross_validate(tiny, k=5)
+
+    def test_render(self, big_set):
+        text = cross_validate(big_set, k=3).render()
+        assert "overall" in text
+        assert "violated" in text
+
+
+class TestRankStability:
+    def test_stable_for_clear_bottleneck(self, big_set):
+        model = SpireModel.train(big_set)
+        workload = SampleSet(
+            [sample("stalls", 2.0, 1.0) for _ in range(50)]
+            + [sample("dsb", 5.0, 1.0) for _ in range(50)]
+        )
+        stability = rank_stability(model, workload, top_k=2, resamples=20)
+        assert stability == pytest.approx(1.0)
+
+    def test_in_unit_interval(self, big_set, rng):
+        model = SpireModel.train(big_set)
+        workload = SampleSet(
+            [sample("stalls", rng.uniform(1, 50), 1.0) for _ in range(20)]
+            + [sample("dsb", rng.uniform(1, 100), 1.0) for _ in range(20)]
+        )
+        stability = rank_stability(model, workload, top_k=1, resamples=30)
+        assert 0.0 <= stability <= 1.0
+
+    def test_resample_validation(self, big_set):
+        model = SpireModel.train(big_set)
+        with pytest.raises(EstimationError):
+            rank_stability(model, big_set, resamples=0)

@@ -1,0 +1,110 @@
+"""Unit tests for the ASCII and SVG renderers."""
+
+import math
+
+import pytest
+
+from repro.core.roofline import fit_metric_roofline
+from repro.core.sample import Sample
+from repro.errors import DataError
+from repro.viz.ascii_plot import ascii_roofline, ascii_scatter
+from repro.viz.svg import SvgPlot, render_roofline_svg
+
+
+@pytest.fixture
+def roofline(rng):
+    samples = []
+    for _ in range(100):
+        intensity = rng.uniform(1.0, 100.0)
+        throughput = min(3.0, intensity * 0.2) * rng.uniform(0.4, 1.0)
+        samples.append(
+            Sample("m", time=1000.0 / throughput, work=1000.0,
+                   metric_count=1000.0 / intensity)
+        )
+    return fit_metric_roofline(samples)
+
+
+class TestAsciiScatter:
+    def test_renders_grid(self):
+        text = ascii_scatter([(1.0, 1.0), (10.0, 2.0)], width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 13  # top rule + 10 rows + bottom rule + axis
+        assert any("." in line for line in lines)
+
+    def test_title_included(self):
+        text = ascii_scatter([(1.0, 1.0)], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_log_axis_label(self):
+        text = ascii_scatter([(1.0, 1.0), (100.0, 2.0)], log_x=True)
+        assert "(log)" in text
+
+    def test_linear_axis(self):
+        text = ascii_scatter([(0.0, 1.0), (10.0, 2.0)], log_x=False)
+        assert "(log)" not in text
+
+    def test_overlay_marker_present(self):
+        text = ascii_scatter(
+            [(1.0, 1.0), (100.0, 3.0)],
+            overlay=[(1.0, 3.0), (100.0, 1.0)],
+        )
+        assert "#" in text
+
+    def test_no_plottable_points_rejected(self):
+        with pytest.raises(DataError):
+            ascii_scatter([(-1.0, 1.0)], log_x=True)
+
+    def test_infinite_points_dropped(self):
+        text = ascii_scatter([(1.0, 1.0), (math.inf, 2.0)])
+        assert text  # no crash
+
+
+class TestAsciiRoofline:
+    def test_contains_metric_name(self, roofline):
+        assert "m" in ascii_roofline(roofline).splitlines()[0]
+
+    def test_mentions_apex(self, roofline):
+        assert "apex" in ascii_roofline(roofline)
+
+    def test_downsampling(self, roofline):
+        text = ascii_roofline(roofline, max_points=10)
+        assert "#" in text
+
+
+class TestSvg:
+    def test_render_valid_document(self):
+        plot = SvgPlot(title="t <x>")
+        plot.add_scatter([(1.0, 1.0), (10.0, 2.0)], label="pts")
+        plot.add_line([(1.0, 2.0), (10.0, 1.0)], label="fit")
+        doc = plot.render()
+        assert doc.startswith("<svg")
+        assert doc.endswith("</svg>")
+        assert "circle" in doc and "polyline" in doc
+        assert "&lt;x&gt;" in doc  # escaped title
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(DataError):
+            SvgPlot().render()
+
+    def test_series_without_points_rejected(self):
+        plot = SvgPlot(log_x=True)
+        with pytest.raises(DataError):
+            plot.add_scatter([(-5.0, 1.0)])
+
+    def test_log_y_filters_nonpositive(self):
+        plot = SvgPlot(log_y=True)
+        plot.add_scatter([(1.0, 1.0), (2.0, 0.0)])
+        assert len(plot.series[0].points) == 1
+
+    def test_save(self, tmp_path):
+        plot = SvgPlot()
+        plot.add_scatter([(1.0, 1.0)])
+        out = plot.save(tmp_path / "sub" / "plot.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_render_roofline_svg(self, roofline, tmp_path):
+        out = render_roofline_svg(roofline, tmp_path / "roof.svg")
+        doc = out.read_text()
+        assert "SPIRE roofline" in doc
+        assert "training samples" in doc

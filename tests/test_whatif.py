@@ -1,0 +1,123 @@
+"""Unit tests for what-if speedup projection."""
+
+import pytest
+
+from repro.core.ensemble import SpireModel
+from repro.core.sample import Sample, SampleSet
+from repro.core.whatif import (
+    improve_metric,
+    project_improvement,
+    render_sweep,
+    sensitivity_sweep,
+)
+from repro.errors import EstimationError
+
+
+def sample(metric, intensity, throughput, work=1000.0):
+    return Sample(
+        metric, time=work / throughput, work=work, metric_count=work / intensity
+    )
+
+
+@pytest.fixture
+def model(two_metric_sampleset):
+    return SpireModel.train(two_metric_sampleset)
+
+
+@pytest.fixture
+def workload():
+    # Stalls bind hard (I=2 is deep in the rising region, bound ~1.0);
+    # dsb_uops at I=2 is relaxed (bound ~2.4).
+    return SampleSet(
+        [sample("stalls", 2.0, 0.8), sample("dsb_uops", 2.0, 0.8)]
+    )
+
+
+@pytest.fixture
+def dsb_bound_workload():
+    # dsb_uops at I=20 binds (~0.5); stalls at I=40 is relaxed (~3.5).
+    return SampleSet(
+        [sample("stalls", 40.0, 0.4), sample("dsb_uops", 20.0, 0.4)]
+    )
+
+
+class TestImproveMetric:
+    def test_intensity_scales(self, workload):
+        improved = improve_metric(workload, "stalls", 4.0)
+        original = workload.for_metric("stalls")[0]
+        changed = improved.for_metric("stalls")[0]
+        assert changed.intensity == pytest.approx(4.0 * original.intensity)
+        assert changed.time == original.time
+        assert changed.work == original.work
+
+    def test_other_metrics_untouched(self, workload):
+        improved = improve_metric(workload, "stalls", 4.0)
+        assert improved.for_metric("dsb_uops")[0] == workload.for_metric(
+            "dsb_uops"
+        )[0]
+
+    def test_validation(self, workload):
+        with pytest.raises(EstimationError):
+            improve_metric(workload, "stalls", 0.0)
+        with pytest.raises(EstimationError):
+            improve_metric(workload, "missing", 2.0)
+
+
+class TestProjectImprovement:
+    def test_improving_the_bottleneck_helps(self, model, workload):
+        baseline = model.estimate(workload)
+        assert baseline.limiting_metric == "stalls"
+        result = project_improvement(model, workload, "stalls", factor=4.0)
+        assert result.projected_speedup > 1.0
+
+    def test_improving_a_non_bottleneck_does_nothing(
+        self, model, dsb_bound_workload
+    ):
+        # Reducing stall events while dsb_uops binds changes nothing.
+        result = project_improvement(
+            model, dsb_bound_workload, "stalls", factor=4.0
+        )
+        assert result.projected_speedup == pytest.approx(1.0)
+        assert result.limiting_metric_after == "dsb_uops"
+
+    def test_speedup_monotone_in_factor_until_plateau(self, model, workload):
+        previous = 1.0
+        for factor in (1.5, 2.0, 4.0, 16.0):
+            result = project_improvement(model, workload, "stalls", factor)
+            assert result.projected_speedup >= previous - 1e-9
+            previous = result.projected_speedup
+
+    def test_plateau_detected(self, model, workload):
+        # A huge improvement of the stall metric shifts the binding
+        # constraint onto the other metric eventually.
+        result = project_improvement(model, workload, "stalls", factor=1e6)
+        assert result.plateaued
+        assert result.limiting_metric_after == "dsb_uops"
+
+    def test_not_plateaued_for_small_factor(self, model, workload):
+        result = project_improvement(model, workload, "stalls", factor=1.2)
+        assert result.limiting_metric_after == "stalls"
+        assert not result.plateaued
+
+
+class TestSweep:
+    def test_sweep_covers_factors_and_metrics(self, model, workload):
+        results = sensitivity_sweep(model, workload, factors=(2.0, 4.0), top_k=2)
+        assert len(results) == 4
+        factors = {r.factor for r in results}
+        assert factors == {2.0, 4.0}
+
+    def test_sweep_sorted_by_benefit(self, model, workload):
+        results = sensitivity_sweep(model, workload, factors=(4.0,), top_k=2)
+        bounds = [r.projected_bound for r in results]
+        assert bounds == sorted(bounds, reverse=True)
+        assert results[0].metric == "stalls"
+
+    def test_empty_factors_rejected(self, model, workload):
+        with pytest.raises(EstimationError):
+            sensitivity_sweep(model, workload, factors=())
+
+    def test_render(self, model, workload):
+        text = render_sweep(sensitivity_sweep(model, workload, factors=(2.0,)))
+        assert "speedup" in text
+        assert "stalls" in text

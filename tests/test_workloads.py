@@ -1,0 +1,135 @@
+"""Unit tests for the workload abstraction and suite."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.spec import WindowSpec
+from repro.workloads import (
+    Phase,
+    Workload,
+    all_workloads,
+    random_workload,
+    workload_by_name,
+)
+from repro.workloads import testing_suite as the_testing_suite
+from repro.workloads import training_suite as the_training_suite
+from repro.workloads.generator import random_spec
+
+
+class TestWorkload:
+    @pytest.fixture
+    def two_phase(self):
+        return Workload(
+            name="w",
+            configuration="cfg",
+            expected_bottleneck="Memory",
+            phases=(
+                Phase(WindowSpec(frac_loads=0.4), weight=3.0),
+                Phase(WindowSpec(frac_loads=0.1), weight=1.0),
+            ),
+            pressure_amplitude=0.3,
+        )
+
+    def test_label(self, two_phase):
+        assert two_phase.label == "w (cfg)"
+
+    def test_phase_blocks_proportional_to_weight(self, two_phase):
+        assert two_phase.phase_at(0.0).spec.frac_loads == 0.4
+        assert two_phase.phase_at(0.5).spec.frac_loads == 0.4
+        assert two_phase.phase_at(0.9).spec.frac_loads == 0.1
+        assert two_phase.phase_at(1.0).spec.frac_loads == 0.1
+
+    def test_phase_at_range_checked(self, two_phase):
+        with pytest.raises(ConfigError):
+            two_phase.phase_at(1.5)
+
+    def test_pressure_oscillates_around_one(self, two_phase):
+        values = [two_phase.pressure_at(i / 100) for i in range(101)]
+        assert min(values) < 1.0 < max(values)
+        assert all(abs(v - 1.0) <= two_phase.pressure_amplitude + 1e-9 for v in values)
+
+    def test_specs_materialization(self, two_phase):
+        specs = two_phase.specs(n_windows=8, window_instructions=1234)
+        assert len(specs) == 8
+        assert all(s.instructions == 1234 for s in specs)
+
+    def test_specs_require_windows(self, two_phase):
+        with pytest.raises(ConfigError):
+            two_phase.specs(0, 100)
+
+    def test_no_phases_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload("w", "c", "Core", phases=())
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload(
+                "w", "c", "Core", phases=(Phase(WindowSpec()),), role="other"
+            )
+
+    def test_bad_amplitude_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload(
+                "w", "c", "Core", phases=(Phase(WindowSpec()),),
+                pressure_amplitude=1.0,
+            )
+
+    def test_zero_weight_phase_rejected(self):
+        with pytest.raises(ConfigError):
+            Phase(WindowSpec(), weight=0.0)
+
+
+class TestSuite:
+    def test_counts_match_paper(self):
+        assert len(the_training_suite()) == 23
+        assert len(the_testing_suite()) == 4
+        assert len(all_workloads()) == 27
+
+    def test_roles(self):
+        assert all(w.role == "training" for w in the_training_suite())
+        assert all(w.role == "testing" for w in the_testing_suite())
+
+    def test_unique_names(self):
+        names = [w.name for w in all_workloads()]
+        assert len(set(names)) == len(names)
+
+    def test_test_workloads_cover_four_categories(self):
+        categories = {w.expected_bottleneck for w in the_testing_suite()}
+        assert categories == {"Front-End", "Bad Speculation", "Memory", "Core"}
+
+    def test_training_covers_all_categories(self):
+        categories = {w.expected_bottleneck for w in the_training_suite()}
+        assert {"Front-End", "Bad Speculation", "Memory", "Core"} <= categories
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("tnn").role == "testing"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigError):
+            workload_by_name("doom-eternal")
+
+    def test_tnn_has_paper_dsb_coverage(self):
+        # VTune reported the DSB supplying only 5.4% of uops for TNN.
+        tnn = workload_by_name("tnn")
+        assert tnn.phases[0].spec.dsb_coverage == pytest.approx(0.054)
+
+    def test_all_specs_materialize(self):
+        for workload in all_workloads():
+            specs = workload.specs(10, 1000)
+            assert len(specs) == 10
+
+
+class TestGenerator:
+    def test_random_spec_valid(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            random_spec(rng)  # constructor validates
+
+    def test_random_workload_valid(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            w = random_workload(rng)
+            assert 1 <= len(w.phases) <= 3
+            w.specs(5, 1000)
