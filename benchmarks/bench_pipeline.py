@@ -1,0 +1,102 @@
+"""Pipeline throughput bench: parallel fan-out and the experiment cache.
+
+The paper's evaluation is embarrassingly parallel (§IV): the 23 training
+and 4 testing workloads are simulated independently, and the ensemble is
+the minimum over independently trained per-metric rooflines.  This bench
+measures what the execution runtime buys on the full-scale experiment:
+
+- serial (``jobs=1``) vs parallel (``jobs=4``) wall time, with a
+  bit-identical-output check between the two;
+- cold (simulate + store) vs warm (load) experiment-cache latency.
+
+Results land in ``BENCH_pipeline.json`` to seed the repo's performance
+trajectory.  The speedup is hardware-dependent (this bench records
+whatever the current host provides; a 1-core container shows ~1x), so
+only result *equality* and warm-cache latency are asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+
+from conftest import OUT_DIR, write_artifact
+
+from repro.pipeline import ExperimentConfig, run_experiment
+from repro.runtime import ExperimentCache
+
+PARALLEL_JOBS = 4
+BENCH_CACHE = OUT_DIR / "bench-pipeline-cache"
+
+
+def _analysis_signature(result) -> dict:
+    """Everything Table II / Figure 7 consume, for exact-equality checks."""
+    signature = {}
+    for name in sorted(result.testing_runs):
+        report = result.analyze(name)
+        run = result.testing_runs[name]
+        signature[name] = {
+            "measured_ipc": run.measured_ipc,
+            "tma_category": run.table1_category,
+            "estimated_throughput": report.estimated_throughput,
+            "ranking": [(e.metric, e.estimate) for e in report.ranking],
+        }
+    return signature
+
+
+def test_pipeline_parallel_and_cache(out_dir):
+    config = ExperimentConfig()  # full paper scale
+
+    started = time.perf_counter()
+    serial = run_experiment(config, jobs=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_experiment(config, jobs=PARALLEL_JOBS)
+    parallel_s = time.perf_counter() - started
+
+    # Determinism: the parallel run must be bit-identical to the serial one.
+    assert _analysis_signature(serial) == _analysis_signature(parallel)
+
+    shutil.rmtree(BENCH_CACHE, ignore_errors=True)
+    started = time.perf_counter()
+    cold = run_experiment(config, jobs=1, cache=BENCH_CACHE)
+    cold_s = time.perf_counter() - started
+
+    # A warm load is a pure read; time the best of three to keep the
+    # measurement independent of allocator/GC state left by other benches.
+    warm_times = []
+    for _ in range(3):
+        started = time.perf_counter()
+        warm = run_experiment(config, jobs=1, cache=BENCH_CACHE)
+        warm_times.append(time.perf_counter() - started)
+    warm_s = min(warm_times)
+
+    assert _analysis_signature(cold) == _analysis_signature(warm)
+    assert len(ExperimentCache(BENCH_CACHE)) == 1
+    # The whole point of the cache: a warm load is far cheaper than a
+    # simulation and lands well under a second on current hardware.
+    assert warm_s < serial_s / 3
+    assert warm_s < 1.0
+
+    payload = {
+        "config": {
+            "train_windows": config.train_windows,
+            "test_windows": config.test_windows,
+            "workloads": len(serial.training_runs) + len(serial.testing_runs),
+        },
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "parallel_jobs": PARALLEL_JOBS,
+        "parallel_s": round(parallel_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "cache_cold_s": round(cold_s, 4),
+        "cache_warm_s": round(warm_s, 4),
+        "cache_hit_speedup": round(serial_s / warm_s, 2),
+    }
+    text = json.dumps(payload, indent=2)
+    print()
+    print(text)
+    write_artifact("BENCH_pipeline.json", text)

@@ -66,8 +66,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     pooled = SampleSet()
     for path in args.data:
         pooled.extend(load_samples_csv(path))
-    model = SpireModel.train(pooled)
-    save_model(model, args.model)
+    model = SpireModel.train(pooled, jobs=args.jobs)
+    save_model(model, args.model, include_training=args.full_model)
     print(
         f"trained {len(model)} rooflines from {len(pooled)} samples -> {args.model}"
     )
@@ -171,6 +171,9 @@ def _cmd_plot(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+    import time
+
     from repro.pipeline import run_experiment
 
     config = ExperimentConfig(
@@ -178,11 +181,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
         test_windows=args.test_windows,
         seed=args.seed,
     )
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("SPIRE_CACHE_DIR") or None
     print(
         f"running the full evaluation: 23 training + 4 testing workloads "
-        f"({config.train_windows}/{config.test_windows} windows) ..."
+        f"({config.train_windows}/{config.test_windows} windows, "
+        f"jobs={args.jobs}"
+        + (f", cache={cache_dir}" if cache_dir else ", cache off")
+        + ") ..."
     )
-    result = run_experiment(config)
+    started = time.perf_counter()
+    result = run_experiment(config, jobs=args.jobs, cache=cache_dir)
+    print(f"experiment ready in {time.perf_counter() - started:.2f}s")
     print(f"trained {len(result.model)} rooflines\n")
     matches = 0
     for name, run in result.testing_runs.items():
@@ -277,6 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="spire-model.json")
     p.add_argument("--min-samples", type=int, default=50)
     p.add_argument("--min-decades", type=float, default=1.0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-metric fitting (0 = one per CPU)",
+    )
+    p.add_argument(
+        "--full-model",
+        action="store_true",
+        help="persist training points so `spire plot` can show samples",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -308,6 +330,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2025)
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--archive", default="", help="directory to archive the run")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulations (0 = one per CPU)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default="",
+        help="experiment cache directory (default: $SPIRE_CACHE_DIR if set)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk experiment cache entirely",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(

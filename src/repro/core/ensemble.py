@@ -11,6 +11,8 @@ bottleneck analysis.
 from __future__ import annotations
 
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -18,6 +20,26 @@ from repro.core.analysis import AnalysisReport, MetricEstimate
 from repro.core.roofline import MetricRoofline, RooflineFitOptions, fit_metric_roofline
 from repro.core.sample import Sample, SampleSet
 from repro.errors import EstimationError, FitError
+
+#: Below this many pooled samples the per-metric fits are so cheap that
+#: process startup and sample pickling dominate; training stays serial.
+PARALLEL_FIT_THRESHOLD = 8_192
+
+
+def _fit_metric_group(
+    payload: tuple[list[Sample], RooflineFitOptions],
+) -> MetricRoofline:
+    """Process-pool worker: fit one metric's sample group (picklable)."""
+    group, options = payload
+    return fit_metric_roofline(group, options=options)
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise FitError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,27 +135,56 @@ class SpireModel:
         options: TrainOptions | None = None,
         work_unit: str = "instructions",
         time_unit: str = "cycles",
+        jobs: int = 1,
+        parallel_threshold: int = PARALLEL_FIT_THRESHOLD,
     ) -> "SpireModel":
         """Train an ensemble from a sample set (Figure 3).
 
         Metrics with fewer than ``options.min_samples_per_metric`` samples
         are skipped; the trained model records nothing about them.
+
+        Each metric's roofline is fit independently, so with ``jobs > 1``
+        the per-metric groups are chunk-mapped over a process pool.  Small
+        sample sets (fewer than ``parallel_threshold`` samples in total)
+        always train serially — the fits are cheaper than process startup.
+        The trained model is identical either way.
         """
         opts = options or TrainOptions()
         sample_set = samples if isinstance(samples, SampleSet) else SampleSet(samples)
         if not sample_set:
             raise FitError("cannot train a SPIRE model on an empty sample set")
 
-        rooflines: dict[str, MetricRoofline] = {}
-        for metric, group in sample_set.grouped().items():
-            if len(group) < opts.min_samples_per_metric:
-                continue
-            rooflines[metric] = fit_metric_roofline(group, options=opts.roofline)
-        if not rooflines:
+        groups = [
+            (metric, group)
+            for metric, group in sample_set.grouped().items()
+            if len(group) >= opts.min_samples_per_metric
+        ]
+        if not groups:
             raise FitError(
                 "no metric reached min_samples_per_metric="
                 f"{opts.min_samples_per_metric}"
             )
+
+        n_jobs = _resolve_jobs(jobs)
+        if (
+            n_jobs > 1
+            and len(groups) > 1
+            and len(sample_set) >= max(0, parallel_threshold)
+        ):
+            workers = min(n_jobs, len(groups))
+            chunksize = max(1, len(groups) // (workers * 4))
+            payloads = [(group, opts.roofline) for _, group in groups]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fitted = list(
+                    pool.map(_fit_metric_group, payloads, chunksize=chunksize)
+                )
+        else:
+            fitted = [
+                fit_metric_roofline(group, options=opts.roofline)
+                for _, group in groups
+            ]
+
+        rooflines = {metric: roofline for (metric, _), roofline in zip(groups, fitted)}
         return cls(rooflines, work_unit=work_unit, time_unit=time_unit)
 
     # ------------------------------------------------------------------
@@ -235,11 +286,14 @@ class SpireModel:
     # Serialization
     # ------------------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self, include_training: bool = False) -> dict:
         return {
             "work_unit": self.work_unit,
             "time_unit": self.time_unit,
-            "rooflines": {m: r.to_dict() for m, r in self._rooflines.items()},
+            "rooflines": {
+                m: r.to_dict(include_training=include_training)
+                for m, r in self._rooflines.items()
+            },
         }
 
     @classmethod

@@ -117,8 +117,14 @@ class MetricRoofline:
                 return False
         return True
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, include_training: bool = False) -> dict:
+        """Serialize the roofline.
+
+        ``include_training`` additionally persists the retained training
+        points, which plot/ablation consumers need; the default keeps the
+        compact model format used by :mod:`repro.io.dataset`.
+        """
+        payload = {
             "metric": self.metric,
             "function": self.function.to_dict(),
             "apex": [self.apex.x, self.apex.y],
@@ -126,6 +132,9 @@ class MetricRoofline:
             "infinite_sample_count": self.infinite_sample_count,
             "direction": self.direction,
         }
+        if include_training:
+            payload["training_points"] = [[x, y] for x, y in self.training_points]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "MetricRoofline":
@@ -135,6 +144,10 @@ class MetricRoofline:
             apex=Breakpoint(*payload["apex"]),
             sample_count=int(payload["sample_count"]),
             infinite_sample_count=int(payload.get("infinite_sample_count", 0)),
+            training_points=[
+                (float(x), float(y))
+                for x, y in payload.get("training_points", [])
+            ],
             direction=payload.get("direction", MIXED),
         )
 

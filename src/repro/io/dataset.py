@@ -82,11 +82,19 @@ def load_samples_json(path: str | Path) -> SampleSet:
     return SampleSet.from_records(payload["samples"])
 
 
-def save_model(model: SpireModel, path: str | Path) -> Path:
-    """Serialize a trained ensemble to JSON."""
+def save_model(
+    model: SpireModel, path: str | Path, include_training: bool = False
+) -> Path:
+    """Serialize a trained ensemble to JSON.
+
+    ``include_training`` additionally persists each roofline's retained
+    training points, so a reloaded model can still render sample scatter
+    plots (``spire plot``) at the cost of a much larger file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(model.to_dict(), indent=1), encoding="utf-8")
+    payload = model.to_dict(include_training=include_training)
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
     return path
 
 

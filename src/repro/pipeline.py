@@ -11,23 +11,30 @@ does (§IV):
 4. run the Top-Down baseline on each workload's full (un-multiplexed)
    counter totals for comparison.
 
-Every benchmark and example builds on these functions; results for a given
-parameter set are memoized in-process so the many per-table benchmarks can
-share one simulation pass.
+Every benchmark and example builds on these functions.  Results for a
+given parameter set are memoized in-process *and* optionally persisted to
+a content-addressed disk cache (:mod:`repro.runtime.cache`), and the
+per-workload simulations can be fanned out over a process pool
+(:mod:`repro.runtime.runner`) — serial and parallel runs are
+byte-identical because every workload derives its RNG seed from the
+experiment seed plus its own name.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from functools import lru_cache
+from pathlib import Path
 
 from repro.core import AnalysisReport, SampleSet, SpireModel, TrainOptions
 from repro.counters import CollectionConfig, CollectionResult, SampleCollector
 from repro.counters.events import default_catalog
+from repro.runtime.cache import ExperimentCache, experiment_cache_key
+from repro.runtime.plan import ExecutionPlan
+from repro.runtime.runner import ParallelRunner
 from repro.tma import TMAResult, TopDownAnalyzer
 from repro.uarch import CoreModel, MachineConfig, skylake_gold_6126
-from repro.workloads import Workload, testing_suite, training_suite, workload_by_name
+from repro.workloads import Workload, workload_by_name
 
 
 @dataclass(frozen=True, slots=True)
@@ -125,43 +132,103 @@ def run_experiment(
     config: ExperimentConfig | None = None,
     machine: MachineConfig | None = None,
     train_options: TrainOptions | None = None,
+    *,
+    jobs: int = 1,
+    cache: ExperimentCache | str | Path | None = None,
 ) -> ExperimentResult:
-    """Run the paper's full evaluation: 23 training + 4 testing workloads."""
+    """Run the paper's full evaluation: 23 training + 4 testing workloads.
+
+    ``jobs`` fans the independent workload simulations (and, for large
+    sample sets, the per-metric roofline fits) out over that many worker
+    processes; ``jobs=1`` runs serially and ``jobs=0`` uses every CPU.
+    Results are identical for any job count.
+
+    ``cache`` (an :class:`~repro.runtime.cache.ExperimentCache` or a cache
+    directory) consults and populates the persistent on-disk experiment
+    cache; a hit skips the simulation entirely.
+    """
     cfg = config or ExperimentConfig()
     mach = machine or skylake_gold_6126()
 
+    cache_obj = ExperimentCache.resolve(cache)
+    key = ""
+    if cache_obj is not None:
+        key = experiment_cache_key(cfg, mach, train_options)
+        hit = cache_obj.load(key)
+        if hit is not None:
+            return hit
+
+    plan = ExecutionPlan.for_experiment(cfg, mach)
+    runs = ParallelRunner(jobs=jobs).run(plan)
+
     training_runs: dict[str, WorkloadRun] = {}
-    pooled = SampleSet()
-    for workload in training_suite():
-        run = run_workload(workload, mach, cfg.train_windows, cfg)
-        training_runs[workload.name] = run
-        pooled.extend(run.collection.samples)
-
-    model = SpireModel.train(pooled, options=train_options)
-
     testing_runs: dict[str, WorkloadRun] = {}
-    for workload in testing_suite():
-        testing_runs[workload.name] = run_workload(
-            workload, mach, cfg.test_windows, cfg
-        )
+    pooled = SampleSet()
+    for task, run in zip(plan.tasks, runs):
+        if task.role == "training":
+            training_runs[task.name] = run
+            pooled.extend(run.collection.samples)
+        else:
+            testing_runs[task.name] = run
 
-    return ExperimentResult(
+    model = SpireModel.train(pooled, options=train_options, jobs=jobs)
+
+    result = ExperimentResult(
         machine=mach,
         model=model,
         training_runs=training_runs,
         testing_runs=testing_runs,
         training_samples=pooled,
     )
+    if cache_obj is not None:
+        cache_obj.store(key, result)
+    return result
 
 
-@lru_cache(maxsize=4)
-def _cached_experiment(key: ExperimentConfig) -> ExperimentResult:
-    return run_experiment(config=key)
+# In-process memo for cached_experiment, keyed by the same content hash
+# as the disk cache so non-default machine/train_options get distinct
+# entries (the old lru_cache keyed only on ExperimentConfig).
+_experiment_memo: dict[str, ExperimentResult] = {}
 
 
-def cached_experiment(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Memoized :func:`run_experiment` for benchmarks sharing one pass."""
-    return _cached_experiment(config or ExperimentConfig())
+def cached_experiment(
+    config: ExperimentConfig | None = None,
+    machine: MachineConfig | None = None,
+    train_options: TrainOptions | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> ExperimentResult:
+    """Memoized :func:`run_experiment` for benchmarks sharing one pass.
+
+    The memo key covers *every* experiment input — config, machine, train
+    options and code version — not just the config.  With ``cache_dir``
+    set, results are additionally persisted to (and reloaded from) the
+    on-disk experiment cache, so separate processes share one simulation.
+    """
+    cfg = config or ExperimentConfig()
+    mach = machine or skylake_gold_6126()
+    key = experiment_cache_key(cfg, mach, train_options)
+    result = _experiment_memo.get(key)
+    if result is None:
+        result = run_experiment(
+            cfg,
+            machine=mach,
+            train_options=train_options,
+            jobs=jobs,
+            cache=cache_dir,
+        )
+        _experiment_memo[key] = result
+    return result
+
+
+def clear_caches() -> None:
+    """Drop the in-process experiment memo (for tests).
+
+    Disk cache entries are untouched; use
+    :meth:`repro.runtime.cache.ExperimentCache.clear` for those.
+    """
+    _experiment_memo.clear()
 
 
 def quick_workload_run(

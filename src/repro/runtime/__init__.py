@@ -1,0 +1,40 @@
+"""Execution runtime: parallel workload fan-out and persistent caching.
+
+This subsystem makes the evaluation pipeline fast twice over:
+
+- :class:`ExecutionPlan` / :class:`ParallelRunner` decompose an experiment
+  into independently executable workload tasks and fan them out over a
+  process pool (deterministically — serial and parallel runs are
+  byte-identical);
+- :class:`ExperimentCache` persists finished experiments on disk,
+  content-addressed by a fingerprint of every input, so later processes
+  reload instead of re-simulating.
+
+See ``docs/performance.md`` for the full story.
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    CACHE_FORMAT,
+    ExperimentCache,
+    experiment_cache_key,
+    experiment_fingerprint,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.runtime.plan import ExecutionPlan, WorkloadTask
+from repro.runtime.runner import ParallelRunner, resolve_jobs
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT",
+    "ExecutionPlan",
+    "ExperimentCache",
+    "ParallelRunner",
+    "WorkloadTask",
+    "experiment_cache_key",
+    "experiment_fingerprint",
+    "resolve_jobs",
+    "result_from_payload",
+    "result_to_payload",
+]

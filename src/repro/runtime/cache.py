@@ -1,0 +1,356 @@
+"""Content-addressed on-disk cache for whole experiments.
+
+A full evaluation run (23 training + 4 testing workload simulations plus
+ensemble training) costs seconds of CPU; every bench process, example and
+CI job used to re-pay it.  This cache persists the complete
+:class:`~repro.pipeline.ExperimentResult` — every workload's samples,
+counter totals and Top-Down classification, plus the trained model with
+its retained training points — so a second process reloads the experiment
+in well under a second.
+
+Entries are content-addressed: the key is a SHA-256 over a canonical JSON
+*fingerprint* of everything the result depends on —
+
+- the :class:`~repro.pipeline.ExperimentConfig` (windows, seed, multiplex),
+- the full :class:`~repro.uarch.MachineConfig` (all fields, ports sorted),
+- the ensemble :class:`~repro.core.TrainOptions` (or ``None`` for defaults),
+- the event catalog (names, areas, fixed/programmable split), and
+- the code version (package version + cache format revision).
+
+Changing any input therefore changes the key; stale entries are never
+returned, only orphaned.  A corrupted or unreadable entry is treated as a
+miss: it is discarded and the experiment is re-simulated, never raised.
+
+Layout: one ``<key>.json`` file per entry under the cache directory
+(default ``~/.cache/spire/experiments``, overridable via the
+``SPIRE_CACHE_DIR`` environment variable or an explicit directory).
+Writes are atomic (temp file + rename) so concurrent processes can share
+a cache directory; at worst both simulate and one write wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.core.ensemble import SpireModel, TrainOptions
+from repro.core.sample import SampleSet
+from repro.counters.collector import CollectionResult
+from repro.counters.events import EventCatalog, default_catalog
+from repro.tma.topdown import TMAResult
+from repro.uarch.activity import WindowActivity
+from repro.uarch.config import MachineConfig
+from repro.workloads import Phase, Workload
+from repro.uarch.spec import WindowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline import ExperimentConfig, ExperimentResult, WorkloadRun
+
+CACHE_FORMAT = "spire-expcache/1"
+CACHE_DIR_ENV = "SPIRE_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting (cache keys)
+# ----------------------------------------------------------------------
+
+
+def _catalog_fingerprint(catalog: EventCatalog) -> dict:
+    return {
+        "events": sorted(catalog.names),
+        "programmable": sorted(catalog.programmable_names),
+        "areas": dict(sorted(catalog.areas().items())),
+    }
+
+
+def experiment_fingerprint(
+    config: "ExperimentConfig",
+    machine: MachineConfig,
+    train_options: TrainOptions | None = None,
+    catalog: EventCatalog | None = None,
+) -> dict:
+    """Everything an experiment's result depends on, canonically ordered."""
+    from repro import __version__
+
+    return {
+        "format": CACHE_FORMAT,
+        "code_version": __version__,
+        "config": dataclasses.asdict(config),
+        "machine": machine.to_dict(),
+        "train_options": (
+            None if train_options is None else dataclasses.asdict(train_options)
+        ),
+        "catalog": _catalog_fingerprint(catalog or default_catalog()),
+    }
+
+
+def experiment_cache_key(
+    config: "ExperimentConfig",
+    machine: MachineConfig,
+    train_options: TrainOptions | None = None,
+    catalog: EventCatalog | None = None,
+) -> str:
+    """Stable content hash identifying one experiment parameterization."""
+    fingerprint = experiment_fingerprint(config, machine, train_options, catalog)
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# Serialization of the experiment graph
+# ----------------------------------------------------------------------
+
+
+def _workload_to_dict(workload: Workload) -> dict:
+    return {
+        "name": workload.name,
+        "configuration": workload.configuration,
+        "expected_bottleneck": workload.expected_bottleneck,
+        "pressure_amplitude": workload.pressure_amplitude,
+        "pressure_periods": workload.pressure_periods,
+        "role": workload.role,
+        "phases": [
+            {"weight": phase.weight, "spec": dataclasses.asdict(phase.spec)}
+            for phase in workload.phases
+        ],
+    }
+
+
+def _workload_from_dict(payload: dict) -> Workload:
+    return Workload(
+        name=payload["name"],
+        configuration=payload["configuration"],
+        expected_bottleneck=payload["expected_bottleneck"],
+        phases=tuple(
+            Phase(spec=WindowSpec(**entry["spec"]), weight=entry["weight"])
+            for entry in payload["phases"]
+        ),
+        pressure_amplitude=payload["pressure_amplitude"],
+        pressure_periods=payload["pressure_periods"],
+        role=payload["role"],
+    )
+
+
+def _collection_to_dict(collection: CollectionResult) -> dict:
+    activity = collection.aggregate_activity
+    return {
+        "samples": collection.samples.to_records(),
+        "full_counts": collection.full_counts,
+        "total_cycles": collection.total_cycles,
+        "total_instructions": collection.total_instructions,
+        "overhead_cycles": collection.overhead_cycles,
+        "periods": collection.periods,
+        "aggregate_activity": (
+            None if activity is None else dataclasses.asdict(activity)
+        ),
+    }
+
+
+def _collection_from_dict(payload: dict) -> CollectionResult:
+    activity = payload.get("aggregate_activity")
+    return CollectionResult(
+        samples=SampleSet.from_records(payload["samples"]),
+        full_counts=dict(payload["full_counts"]),
+        total_cycles=payload["total_cycles"],
+        total_instructions=payload["total_instructions"],
+        overhead_cycles=payload["overhead_cycles"],
+        periods=payload["periods"],
+        aggregate_activity=(
+            None if activity is None else WindowActivity(**activity)
+        ),
+    )
+
+
+def _run_to_dict(run: "WorkloadRun") -> dict:
+    return {
+        "workload": _workload_to_dict(run.workload),
+        "collection": _collection_to_dict(run.collection),
+        "tma": {
+            "fractions": run.tma.fractions,
+            "cycles": run.tma.cycles,
+            "instructions": run.tma.instructions,
+        },
+    }
+
+
+def _run_from_dict(payload: dict) -> "WorkloadRun":
+    from repro.pipeline import WorkloadRun
+
+    tma = payload["tma"]
+    return WorkloadRun(
+        workload=_workload_from_dict(payload["workload"]),
+        collection=_collection_from_dict(payload["collection"]),
+        tma=TMAResult(
+            fractions=dict(tma["fractions"]),
+            cycles=tma["cycles"],
+            instructions=tma["instructions"],
+        ),
+    )
+
+
+def result_to_payload(
+    result: "ExperimentResult", fingerprint: dict | None = None
+) -> dict:
+    """Serialize a full experiment to one JSON-friendly document."""
+    return {
+        "format": CACHE_FORMAT,
+        "fingerprint": fingerprint or {},
+        "machine": result.machine.to_dict(),
+        # Training points ride along so plot/ablation consumers see the
+        # same model a fresh training pass would produce.
+        "model": result.model.to_dict(include_training=True),
+        "training_runs": {
+            name: _run_to_dict(run) for name, run in result.training_runs.items()
+        },
+        "testing_runs": {
+            name: _run_to_dict(run) for name, run in result.testing_runs.items()
+        },
+    }
+
+
+def result_from_payload(payload: dict) -> "ExperimentResult":
+    """Inverse of :func:`result_to_payload`."""
+    from repro.errors import DataError
+    from repro.pipeline import ExperimentResult
+
+    if payload.get("format") != CACHE_FORMAT:
+        raise DataError(
+            f"unknown experiment cache format {payload.get('format')!r}"
+        )
+    training_runs = {
+        name: _run_from_dict(entry)
+        for name, entry in payload["training_runs"].items()
+    }
+    testing_runs = {
+        name: _run_from_dict(entry)
+        for name, entry in payload["testing_runs"].items()
+    }
+    # Rebuild the pooled training set in run order — the same order
+    # run_experiment pools in, so downstream consumers see identical data.
+    pooled = SampleSet()
+    for run in training_runs.values():
+        pooled.extend(run.collection.samples)
+    return ExperimentResult(
+        machine=MachineConfig.from_dict(payload["machine"]),
+        model=SpireModel.from_dict(payload["model"]),
+        training_runs=training_runs,
+        testing_runs=testing_runs,
+        training_samples=pooled,
+    )
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+
+
+class ExperimentCache:
+    """A directory of content-addressed experiment results."""
+
+    def __init__(self, directory: str | Path | None = None):
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or (
+                Path.home() / ".cache" / "spire" / "experiments"
+            )
+        self.directory = Path(directory)
+
+    @classmethod
+    def resolve(
+        cls, cache: "ExperimentCache | str | Path | None"
+    ) -> "ExperimentCache | None":
+        """Coerce a user-facing cache argument; ``None`` disables caching."""
+        if cache is None:
+            return None
+        if isinstance(cache, ExperimentCache):
+            return cache
+        return cls(cache)
+
+    def entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self.entry_path(key).exists()
+
+    def keys(self) -> list[str]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def load(self, key: str) -> "ExperimentResult | None":
+        """The cached experiment for ``key``, or ``None`` on miss.
+
+        Any failure — unreadable file, truncated/invalid JSON, wrong
+        format, payload that no longer deserializes — discards the entry
+        and reports a miss, so callers transparently re-simulate instead
+        of crashing on a corrupted cache.
+        """
+        path = self.entry_path(key)
+        if not path.exists():
+            return None
+        # Deserializing a full experiment allocates hundreds of thousands
+        # of small objects at once; cyclic GC passes over them (and over
+        # whatever heap the host process already carries) dominate the
+        # load time, so pause collection for the duration.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return result_from_payload(payload)
+        except Exception:
+            self._discard(path)
+            return None
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def store(
+        self,
+        key: str,
+        result: "ExperimentResult",
+        fingerprint: dict | None = None,
+    ) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = result_to_payload(result, fingerprint=fingerprint)
+        text = json.dumps(payload, separators=(",", ":"))
+        path = self.entry_path(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            self._discard(self.entry_path(key))
+            removed += 1
+        return removed
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:
+        return f"ExperimentCache({str(self.directory)!r}, {len(self)} entries)"

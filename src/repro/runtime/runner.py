@@ -1,0 +1,91 @@
+"""Parallel execution of workload simulations.
+
+The runner fans an :class:`~repro.runtime.plan.ExecutionPlan`'s tasks out
+over a ``ProcessPoolExecutor``.  Three properties make this safe:
+
+- every task is self-contained (workload, machine, windows, config are all
+  picklable dataclasses);
+- per-workload RNG seeds are derived from the experiment seed and the
+  workload *name* (:func:`repro.pipeline._seed_for`), never from shared
+  mutable state, so a task's result does not depend on which process runs
+  it or in what order;
+- results are returned in plan order regardless of completion order.
+
+``jobs=1`` (the default) bypasses the pool entirely and runs in-process —
+the serial path is the parallel path with the executor removed, so the two
+produce identical :class:`~repro.pipeline.WorkloadRun` objects.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.runtime.plan import ExecutionPlan, WorkloadTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline import WorkloadRun
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a job-count knob: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
+
+
+def _execute_task(payload: tuple) -> "WorkloadRun":
+    """Process-pool worker: simulate one workload.
+
+    Imports the pipeline lazily because :mod:`repro.pipeline` imports this
+    package at module load.
+    """
+    workload, machine, n_windows, config = payload
+    from repro.pipeline import run_workload
+
+    return run_workload(workload, machine, n_windows, config)
+
+
+class ParallelRunner:
+    """Executes a plan's tasks, serially or over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` runs in-process; ``0`` or ``None``
+        uses one worker per CPU.
+    chunksize:
+        Tasks submitted to a worker per round-trip.  The default of 1
+        keeps the longest-running workloads from clumping onto one worker.
+    """
+
+    def __init__(self, jobs: int = 1, chunksize: int = 1):
+        self.jobs = resolve_jobs(jobs)
+        if chunksize < 1:
+            raise ConfigError("chunksize must be at least 1")
+        self.chunksize = chunksize
+
+    def run(self, plan: ExecutionPlan) -> list["WorkloadRun"]:
+        """Execute every task; results are in plan order."""
+        payloads = [
+            (task.workload, plan.machine, task.n_windows, plan.config)
+            for task in plan.tasks
+        ]
+        if self.jobs <= 1 or len(payloads) <= 1:
+            return [_execute_task(payload) for payload in payloads]
+        workers = min(self.jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(_execute_task, payloads, chunksize=self.chunksize)
+            )
+
+    def run_tasks(
+        self, tasks: list[WorkloadTask], machine, config
+    ) -> list["WorkloadRun"]:
+        """Convenience wrapper for an ad-hoc task list."""
+        plan = ExecutionPlan(tasks=tuple(tasks), machine=machine, config=config)
+        return self.run(plan)

@@ -1,0 +1,178 @@
+"""Tests for the execution runtime: parallel fan-out + experiment cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SpireModel
+from repro.errors import ConfigError
+from repro.pipeline import (
+    ExperimentConfig,
+    cached_experiment,
+    clear_caches,
+    run_experiment,
+)
+from repro.runtime import (
+    ExecutionPlan,
+    ExperimentCache,
+    ParallelRunner,
+    experiment_cache_key,
+    resolve_jobs,
+)
+from repro.uarch import skylake_gold_6126
+from repro.uarch.config import MachineConfig, little_inorder_core
+
+TINY = ExperimentConfig(train_windows=48, test_windows=24)
+
+
+def _signature(result) -> dict:
+    """Measured IPCs, TMA categories and full analyses for every workload."""
+    runs = {**result.training_runs, **result.testing_runs}
+    out = {
+        name: (run.measured_ipc, run.table1_category) for name, run in runs.items()
+    }
+    for name in result.testing_runs:
+        report = result.analyze(name)
+        out[f"analysis:{name}"] = (
+            report.measured_throughput,
+            report.estimated_throughput,
+            tuple((e.metric, e.estimate) for e in report.ranking),
+        )
+    return out
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_serial(self):
+        serial = run_experiment(TINY, jobs=1)
+        parallel = run_experiment(TINY, jobs=4)
+        assert _signature(serial) == _signature(parallel)
+
+    def test_runner_preserves_plan_order(self):
+        plan = ExecutionPlan.for_experiment(TINY, skylake_gold_6126())
+        runs = ParallelRunner(jobs=2).run(plan)
+        assert [r.workload.name for r in runs] == [t.name for t in plan.tasks]
+
+    def test_parallel_metric_fitting_matches_serial(self):
+        pooled = run_experiment(TINY).training_samples
+        serial = SpireModel.train(pooled)
+        # threshold 0 forces the process-pool path even on tiny data
+        parallel = SpireModel.train(pooled, jobs=2, parallel_threshold=0)
+        assert serial.metrics == parallel.metrics
+        for metric in serial.metrics:
+            a, b = serial.roofline(metric), parallel.roofline(metric)
+            assert a.function.to_dict() == b.function.to_dict()
+            assert a.training_points == b.training_points
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+
+class TestExperimentCache:
+    def test_round_trip_is_equal(self, tmp_path):
+        fresh = run_experiment(TINY, cache=tmp_path)
+        loaded = run_experiment(TINY, cache=tmp_path)
+        assert fresh is not loaded
+        assert _signature(fresh) == _signature(loaded)
+        assert fresh.machine == loaded.machine
+        assert fresh.model.metrics == loaded.model.metrics
+        for metric in fresh.model.metrics:
+            a = fresh.model.roofline(metric)
+            b = loaded.model.roofline(metric)
+            assert a.function.to_dict() == b.function.to_dict()
+            assert a.training_points == b.training_points
+        assert len(fresh.training_samples) == len(loaded.training_samples)
+
+    def test_corrupted_entry_resimulates(self, tmp_path):
+        fresh = run_experiment(TINY, cache=tmp_path)
+        cache = ExperimentCache(tmp_path)
+        key = experiment_cache_key(TINY, skylake_gold_6126())
+        assert cache.has(key)
+        cache.entry_path(key).write_text("{not json", encoding="utf-8")
+        recovered = run_experiment(TINY, cache=tmp_path)
+        assert _signature(recovered) == _signature(fresh)
+        # The re-simulated result was stored back as a valid entry.
+        assert cache.load(key) is not None
+
+    def test_wrong_format_entry_is_a_miss(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        key = experiment_cache_key(TINY, skylake_gold_6126())
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.entry_path(key).write_text(
+            json.dumps({"format": "something-else/9"}), encoding="utf-8"
+        )
+        assert cache.load(key) is None
+        assert not cache.has(key)  # discarded
+
+    def test_key_covers_all_inputs(self):
+        machine = skylake_gold_6126()
+        base = experiment_cache_key(TINY, machine)
+        assert experiment_cache_key(TINY, machine) == base
+        assert experiment_cache_key(
+            ExperimentConfig(train_windows=48, test_windows=24, seed=7), machine
+        ) != base
+        assert experiment_cache_key(TINY, little_inorder_core()) != base
+        from repro.core import TrainOptions
+
+        assert experiment_cache_key(
+            TINY, machine, TrainOptions(min_samples_per_metric=3)
+        ) != base
+
+    def test_clear(self, tmp_path):
+        run_experiment(TINY, cache=tmp_path)
+        cache = ExperimentCache(tmp_path)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestCachedExperiment:
+    def test_memo_identity(self):
+        a = cached_experiment(TINY)
+        assert cached_experiment(TINY) is a
+
+    def test_memo_distinguishes_machine(self):
+        # The old lru_cache keyed only on ExperimentConfig and silently
+        # returned the default-machine result for any machine.
+        a = cached_experiment(TINY)
+        b = cached_experiment(TINY, machine=little_inorder_core())
+        assert a is not b
+        assert b.machine.name == "little-inorder"
+
+    def test_clear_caches_drops_memo(self):
+        a = cached_experiment(TINY)
+        clear_caches()
+        assert cached_experiment(TINY) is not a
+
+    def test_disk_backed_memo_shares_across_processes(self, tmp_path):
+        cached_experiment(TINY, cache_dir=tmp_path)
+        # a "new process": empty memo, same disk cache
+        clear_caches()
+        reloaded = cached_experiment(TINY, cache_dir=tmp_path)
+        assert _signature(reloaded) == _signature(cached_experiment(TINY))
+
+
+class TestMachineConfigSerialization:
+    @pytest.mark.parametrize("factory", [skylake_gold_6126, little_inorder_core])
+    def test_round_trip(self, factory):
+        machine = factory()
+        assert MachineConfig.from_dict(machine.to_dict()) == machine
+
+    def test_dict_is_json_stable(self):
+        machine = skylake_gold_6126()
+        a = json.dumps(machine.to_dict(), sort_keys=True)
+        b = json.dumps(MachineConfig.from_dict(machine.to_dict()).to_dict(),
+                       sort_keys=True)
+        assert a == b
