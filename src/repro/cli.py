@@ -11,6 +11,8 @@ Subcommands mirror the paper's workflow:
 - ``plot``      — render a trained metric roofline (SVG or terminal);
 - ``workloads`` — list the evaluation suite;
 - ``report``    — run the paper's full evaluation (optionally archived);
+- ``faultsim``  — fault-injection smoke: prove the runtime survives
+  crashes, hangs and corrupt samples (see ``docs/robustness.md``);
 - ``coverage``  — §III-A training-data diversity check;
 - ``derived``   — standard counter ratios (IPC, MPKI, DSB coverage, ...);
 - ``whatif``    — projected speedups from improving top metrics;
@@ -174,7 +176,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     import os
     import time
 
-    from repro.pipeline import run_experiment
+    from repro.pipeline import run_experiment_with_report
 
     config = ExperimentConfig(
         train_windows=args.train_windows,
@@ -184,16 +186,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or os.environ.get("SPIRE_CACHE_DIR") or None
+    if args.resume and cache_dir is None:
+        print("warning: --resume has no effect without a cache directory")
     print(
         f"running the full evaluation: 23 training + 4 testing workloads "
         f"({config.train_windows}/{config.test_windows} windows, "
         f"jobs={args.jobs}"
         + (f", cache={cache_dir}" if cache_dir else ", cache off")
+        + (", resume" if args.resume else "")
         + ") ..."
     )
     started = time.perf_counter()
-    result = run_experiment(config, jobs=args.jobs, cache=cache_dir)
+    result, run_report = run_experiment_with_report(
+        config,
+        jobs=args.jobs,
+        cache=cache_dir,
+        resume=args.resume,
+        failure_policy=args.failure_policy,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+    )
     print(f"experiment ready in {time.perf_counter() - started:.2f}s")
+    if run_report.checkpoint_hits:
+        print(
+            f"resumed {len(run_report.checkpoint_hits)} workload(s) "
+            f"from checkpoints"
+        )
+    if not run_report.ok or run_report.faulted_tasks():
+        print(run_report.render())
     print(f"trained {len(result.model)} rooflines\n")
     matches = 0
     for name, run in result.testing_runs.items():
@@ -216,6 +236,88 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
         directory = archive_pipeline_result(args.archive, result)
         print(f"archived model + samples to {directory}")
+    return 0
+
+
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    """Fault-injection smoke: inject failures, prove the runtime survives.
+
+    Exit code 0 means the experiment completed under injection AND the run
+    report accounts for every injected runner-level fault.
+    """
+    import warnings
+
+    from repro.errors import DegradedDataWarning
+    from repro.pipeline import run_experiment_with_report
+    from repro.runtime.faults import RUNNER_KINDS, FaultPlan
+    from repro.workloads import all_workloads
+
+    config = ExperimentConfig(
+        train_windows=args.train_windows,
+        test_windows=args.test_windows,
+        seed=args.seed,
+    )
+    names = [w.name for w in all_workloads()]
+    plan = FaultPlan.random(
+        names,
+        seed=args.fault_seed,
+        crashes=args.crashes,
+        hangs=args.hangs,
+        corrupt_samples=args.corrupt_samples,
+        drop_metrics=args.drop_metrics,
+        checkpoint_failures=args.checkpoint_failures,
+        times=10_000 if args.persistent else 1,
+        hang_seconds=args.hang_seconds,
+    )
+    print(f"fault plan ({len(plan)} fault(s), seed {args.fault_seed}):")
+    for spec in plan.specs:
+        print(f"  {spec.kind:<26} -> {spec.workload} (times={spec.times})")
+    print(
+        f"running {len(names)} workloads with jobs={args.jobs}, "
+        f"task_timeout={args.task_timeout}s, retries={args.retries}, "
+        f"failure_policy={args.failure_policy!r} ..."
+    )
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("always", DegradedDataWarning)
+        result, report = run_experiment_with_report(
+            config,
+            jobs=args.jobs,
+            cache=args.cache_dir or None,
+            failure_policy=args.failure_policy,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            faults=plan,
+        )
+
+    print()
+    print(report.render())
+
+    # Verification: every runner-level fault must have left a trace —
+    # either retried attempts or a recorded terminal failure.
+    missing = []
+    for spec in plan.specs:
+        if spec.kind not in RUNNER_KINDS:
+            continue
+        attempts = report.task_attempts(spec.workload)
+        misbehaved = any(a.outcome != "ok" for a in attempts)
+        if not (misbehaved or spec.workload in report.failures):
+            missing.append(f"{spec.kind} on {spec.workload}")
+    quarantined = sum(
+        len(run.collection.quality.quarantined)
+        for run in (result.training_runs | result.testing_runs).values()
+        if run.collection.quality is not None
+    )
+    survivors = len(result.training_runs) + len(result.testing_runs)
+    print(
+        f"\nsurvived: {survivors}/{len(names)} workloads, "
+        f"{quarantined} quarantined sample(s), "
+        f"{len(report.failures)} skipped"
+    )
+    if missing:
+        print(f"FAIL: injected faults left no trace: {'; '.join(missing)}")
+        return 1
+    print("PASS: experiment completed; every injected fault is accounted for")
     return 0
 
 
@@ -346,7 +448,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the on-disk experiment cache entirely",
     )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore per-workload checkpoints from an interrupted run",
+    )
+    p.add_argument(
+        "--failure-policy",
+        choices=["raise", "skip", "serial_fallback"],
+        default="raise",
+        help="what to do when a workload fails terminally (default: raise)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-workload deadline in seconds (parallel runs only)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per workload after the first (default: 2)",
+    )
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "faultsim",
+        help="inject crashes/hangs/corruption and prove the runtime survives",
+    )
+    p.add_argument("--train-windows", type=int, default=48)
+    p.add_argument("--test-windows", type=int, default=24)
+    p.add_argument("--seed", type=int, default=2025)
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for victim selection (same seed = same fault plan)",
+    )
+    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument("--crashes", type=int, default=1)
+    p.add_argument("--hangs", type=int, default=1)
+    p.add_argument("--corrupt-samples", type=int, default=1)
+    p.add_argument("--drop-metrics", type=int, default=0)
+    p.add_argument("--checkpoint-failures", type=int, default=0)
+    p.add_argument("--hang-seconds", type=float, default=3.0)
+    p.add_argument("--task-timeout", type=float, default=1.0)
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument(
+        "--failure-policy",
+        choices=["raise", "skip", "serial_fallback"],
+        default="skip",
+    )
+    p.add_argument(
+        "--persistent",
+        action="store_true",
+        help="make faults fire on every attempt (retries cannot absorb them)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default="",
+        help="cache dir for checkpoint faults (default: no cache)",
+    )
+    p.set_defaults(func=_cmd_faultsim)
 
     p = sub.add_parser(
         "derived", help="standard counter ratios (IPC, MPKI, ...) for a workload"
@@ -398,9 +562,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except SpireError as exc:
+    except (SpireError, OSError) as exc:
+        # Bad config, unreadable cache dir, missing input file: one line,
+        # exit code 2 — never a traceback.
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -1,0 +1,37 @@
+"""Shared validation for process-pool knobs.
+
+``jobs`` and ``chunksize`` used to be validated twice — once in
+:mod:`repro.runtime.runner` (raising :class:`~repro.errors.ConfigError`)
+and once in :mod:`repro.core.ensemble` (raising
+:class:`~repro.errors.FitError`), with subtly different messages.  Both
+now route through this module so the knobs behave — and fail —
+identically everywhere, and always with a :class:`ConfigError`: a bad
+job count is a configuration problem, not a fitting problem.
+
+This module deliberately imports nothing heavier than :mod:`os` so both
+``repro.core`` and ``repro.runtime`` can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigError
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a job-count knob: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
+
+
+def resolve_chunksize(chunksize: int | None) -> int:
+    """Normalize a pool chunk-size knob: ``None`` means 1."""
+    if chunksize is None:
+        return 1
+    if chunksize < 1:
+        raise ConfigError(f"chunksize must be at least 1, got {chunksize}")
+    return int(chunksize)

@@ -61,6 +61,7 @@ from repro.core.synthetic import (
     synthetic_samples,
 )
 from repro.core.right_fit import RightFitOptions, RightFitResult, fit_right_region
+from repro.core.sanitize import QualityReport, QuarantinedSample, SampleSanitizer
 from repro.core.roofline import (
     MetricRoofline,
     RooflineFitOptions,
@@ -113,7 +114,10 @@ __all__ = [
     "RightFitOptions",
     "RightFitResult",
     "RooflineFitOptions",
+    "QualityReport",
+    "QuarantinedSample",
     "Sample",
+    "SampleSanitizer",
     "SampleSet",
     "SpireModel",
     "TrainOptions",

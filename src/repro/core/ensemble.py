@@ -11,15 +11,17 @@ bottleneck analysis.
 from __future__ import annotations
 
 
-import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.concurrency import resolve_jobs
 from repro.core.analysis import AnalysisReport, MetricEstimate
 from repro.core.roofline import MetricRoofline, RooflineFitOptions, fit_metric_roofline
 from repro.core.sample import Sample, SampleSet
-from repro.errors import EstimationError, FitError
+from repro.core.sanitize import QualityReport, SampleSanitizer
+from repro.errors import DegradedDataWarning, EstimationError, FitError
 
 #: Below this many pooled samples the per-metric fits are so cheap that
 #: process startup and sample pickling dominate; training stays serial.
@@ -32,14 +34,6 @@ def _fit_metric_group(
     """Process-pool worker: fit one metric's sample group (picklable)."""
     group, options = payload
     return fit_metric_roofline(group, options=options)
-
-
-def _resolve_jobs(jobs: int | None) -> int:
-    if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise FitError(f"jobs must be >= 0, got {jobs}")
-    return int(jobs)
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,11 +131,18 @@ class SpireModel:
         time_unit: str = "cycles",
         jobs: int = 1,
         parallel_threshold: int = PARALLEL_FIT_THRESHOLD,
+        quality: QualityReport | None = None,
     ) -> "SpireModel":
         """Train an ensemble from a sample set (Figure 3).
 
-        Metrics with fewer than ``options.min_samples_per_metric`` samples
-        are skipped; the trained model records nothing about them.
+        Input is screened through a :class:`SampleSanitizer`: samples with
+        NaN/Inf/negative values (possible when feeding raw records from
+        degraded collections) are quarantined, and metrics with fewer than
+        ``options.min_samples_per_metric`` surviving samples are dropped.
+        Neither raises — a :class:`~repro.errors.DegradedDataWarning` is
+        emitted and the details land in ``quality`` when the caller passes
+        a report to fill.  Only an input with *no* trainable metric at all
+        still raises :class:`FitError`.
 
         Each metric's roofline is fit independently, so with ``jobs > 1``
         the per-metric groups are chunk-mapped over a process pool.  Small
@@ -150,22 +151,32 @@ class SpireModel:
         The trained model is identical either way.
         """
         opts = options or TrainOptions()
-        sample_set = samples if isinstance(samples, SampleSet) else SampleSet(samples)
-        if not sample_set:
+        source = samples if isinstance(samples, SampleSet) else list(samples)
+        if not source:
             raise FitError("cannot train a SPIRE model on an empty sample set")
 
-        groups = [
-            (metric, group)
-            for metric, group in sample_set.grouped().items()
-            if len(group) >= opts.min_samples_per_metric
-        ]
-        if not groups:
-            raise FitError(
-                "no metric reached min_samples_per_metric="
-                f"{opts.min_samples_per_metric}"
+        sanitizer = SampleSanitizer(
+            min_samples_per_metric=opts.min_samples_per_metric
+        )
+        sample_set, report = sanitizer.sanitize(source)
+        if quality is not None:
+            quality.merge(report)
+        if not report.ok:
+            warnings.warn(
+                f"training data degraded: {report.summary()}",
+                DegradedDataWarning,
+                stacklevel=2,
             )
+        if not sample_set:
+            if report.dropped_metrics:
+                raise FitError(
+                    "no metric reached min_samples_per_metric="
+                    f"{opts.min_samples_per_metric}"
+                )
+            raise FitError("every training sample was quarantined")
 
-        n_jobs = _resolve_jobs(jobs)
+        groups = list(sample_set.grouped().items())
+        n_jobs = resolve_jobs(jobs)
         if (
             n_jobs > 1
             and len(groups) > 1

@@ -1,0 +1,187 @@
+"""Degraded-data hardening: quarantine bad samples instead of raising.
+
+Counter data from real hardware arrives noisy and incomplete: multiplexed
+runs drop counter groups, ``perf`` emits ``<not counted>`` rows, and a
+corrupted sample shows up as a NaN or a negative count.  The strict
+:class:`~repro.core.sample.Sample` constructor rejects such values with
+:class:`~repro.errors.DataError` — correct for clean pipelines, fatal for
+a 27-workload campaign where one bad period would discard the run.
+
+:class:`SampleSanitizer` is the forgiving front door: it inspects raw
+values *before* sample construction, quarantines anything invalid into a
+structured :class:`QualityReport`, and returns a clean
+:class:`~repro.core.sample.SampleSet`.  The collector pathway and
+:meth:`SpireModel.train <repro.core.ensemble.SpireModel.train>` both
+route degraded input through it, emitting
+:class:`~repro.errors.DegradedDataWarning` rather than dying.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigError
+from repro.core.sample import Sample, SampleSet
+
+__all__ = ["QualityReport", "QuarantinedSample", "SampleSanitizer"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedSample:
+    """One rejected measurement and why it was rejected."""
+
+    metric: str
+    reason: str
+    time: float = float("nan")
+    work: float = float("nan")
+    metric_count: float = float("nan")
+
+
+@dataclass
+class QualityReport:
+    """What a sanitization pass kept, quarantined and dropped."""
+
+    total: int = 0
+    kept: int = 0
+    quarantined: list[QuarantinedSample] = field(default_factory=list)
+    dropped_metrics: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined and not self.dropped_metrics
+
+    @property
+    def quarantine_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return len(self.quarantined) / self.total
+
+    def merge(self, other: "QualityReport") -> None:
+        self.total += other.total
+        self.kept += other.kept
+        self.quarantined.extend(other.quarantined)
+        self.dropped_metrics.update(other.dropped_metrics)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"all {self.total} samples clean"
+        parts = [f"{self.kept}/{self.total} samples kept"]
+        if self.quarantined:
+            by_reason: dict[str, int] = {}
+            for entry in self.quarantined:
+                by_reason[entry.reason] = by_reason.get(entry.reason, 0) + 1
+            detail = ", ".join(
+                f"{count}x {reason}" for reason, count in sorted(by_reason.items())
+            )
+            parts.append(f"{len(self.quarantined)} quarantined ({detail})")
+        if self.dropped_metrics:
+            parts.append(
+                f"{len(self.dropped_metrics)} metric(s) dropped: "
+                + ", ".join(sorted(self.dropped_metrics))
+            )
+        return "; ".join(parts)
+
+
+def _check_values(time: float, work: float, metric_count: float) -> str | None:
+    """The reason these values are unusable, or ``None`` if clean."""
+    for name, value in (("time", time), ("work", work), ("metric_count", metric_count)):
+        if not isinstance(value, (int, float)):
+            return f"non-numeric {name}"
+        if math.isnan(value):
+            return f"NaN {name}"
+        if math.isinf(value):
+            return f"infinite {name}"
+    if time <= 0:
+        return "non-positive time"
+    if work < 0:
+        return "negative work"
+    if metric_count < 0:
+        return "negative metric_count"
+    return None
+
+
+class SampleSanitizer:
+    """Screens raw measurements into a clean sample set plus a report.
+
+    Parameters
+    ----------
+    min_samples_per_metric:
+        Metrics whose surviving sample count falls below this floor are
+        dropped entirely (recorded in the report, not raised) — a partial
+        metric cannot support a roofline fit.
+
+    The sanitizer never raises on data *content*; callers decide what a
+    high ``report.quarantine_fraction`` means for them.
+    """
+
+    def __init__(self, min_samples_per_metric: int = 1):
+        if min_samples_per_metric < 1:
+            raise ConfigError("min_samples_per_metric must be at least 1")
+        self.min_samples_per_metric = min_samples_per_metric
+
+    def check(self, time: float, work: float, metric_count: float) -> str | None:
+        """Validate one measurement's values; the rejection reason or None."""
+        return _check_values(time, work, metric_count)
+
+    def sanitize(
+        self, samples: SampleSet | Iterable[Sample | Mapping]
+    ) -> tuple[SampleSet, QualityReport]:
+        """Split input into (clean sample set, quality report).
+
+        Accepts constructed :class:`Sample` objects or raw mapping records
+        (``{"metric": ..., "time": ..., "work": ..., "metric_count": ...}``);
+        records with invalid values are quarantined instead of raising the
+        strict constructor's ``DataError``.
+        """
+        report = QualityReport()
+        survivors: list[Sample] = []
+        for item in samples:
+            report.total += 1
+            if isinstance(item, Sample):
+                metric, t, w, m = item.metric, item.time, item.work, item.metric_count
+            else:
+                metric = str(item.get("metric", "") or "")
+                try:
+                    t = float(item.get("time", float("nan")))
+                    w = float(item.get("work", float("nan")))
+                    m = float(item.get("metric_count", float("nan")))
+                except (TypeError, ValueError):
+                    t = w = m = float("nan")
+            if not metric:
+                report.quarantined.append(
+                    QuarantinedSample(metric="", reason="empty metric name")
+                )
+                continue
+            reason = _check_values(t, w, m)
+            if reason is not None:
+                report.quarantined.append(
+                    QuarantinedSample(
+                        metric=metric, reason=reason, time=t, work=w, metric_count=m
+                    )
+                )
+                continue
+            survivors.append(
+                item
+                if isinstance(item, Sample)
+                else Sample(metric=metric, time=t, work=w, metric_count=m)
+            )
+
+        # Metric floor: partial metrics cannot support a fit.
+        by_metric: dict[str, int] = {}
+        for sample in survivors:
+            by_metric[sample.metric] = by_metric.get(sample.metric, 0) + 1
+        starved = {
+            metric
+            for metric, count in by_metric.items()
+            if count < self.min_samples_per_metric
+        }
+        for metric in sorted(starved):
+            report.dropped_metrics[metric] = (
+                f"{by_metric[metric]} sample(s) < "
+                f"min_samples_per_metric={self.min_samples_per_metric}"
+            )
+        clean = SampleSet(s for s in survivors if s.metric not in starved)
+        report.kept = len(clean)
+        return clean, report

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.sample import Sample, SampleSet
+from repro.core.sanitize import QualityReport, QuarantinedSample, SampleSanitizer
 from repro.counters.events import EventCatalog, default_catalog
 from repro.counters.pmu import PMU
 from repro.counters.scheduling import (
@@ -65,6 +66,9 @@ class CollectionResult:
     overhead_cycles: float = 0.0
     aggregate_activity: WindowActivity | None = None
     periods: int = 0
+    # Degraded-data accounting: what the sanitizer quarantined or dropped
+    # (always present; ``quality.ok`` on a clean run).
+    quality: QualityReport | None = None
 
     @property
     def measured_ipc(self) -> float:
@@ -124,17 +128,41 @@ class SampleCollector:
         core: CoreModel,
         specs: Iterable[WindowSpec],
         rng: random.Random | None = None,
+        faults: Sequence = (),
     ) -> CollectionResult:
         """Run the workload and emit one sample per event per period.
 
         ``specs`` defines the workload's windows in order; each window is
         one multiplexing slice.  With ``config.multiplex`` off, every event
         observes every window (an idealized PMU with unlimited counters).
+
+        Every emitted measurement is screened by a
+        :class:`~repro.core.sanitize.SampleSanitizer`: invalid values —
+        whether from an injected ``corrupt-sample``/``drop-metric`` fault
+        in ``faults`` (see :mod:`repro.runtime.faults`) or a genuinely
+        degraded source — are quarantined into ``result.quality`` instead
+        of raising :class:`~repro.errors.DataError` mid-campaign.
         """
         if core.machine is not self.machine and core.machine != self.machine:
             raise ConfigError("collector and core must share a machine config")
         groups = self._event_groups()
         pmu = PMU(self.machine, self.catalog)
+
+        sanitizer = SampleSanitizer()
+        quality = QualityReport()
+        corrupt_indices = {
+            f.sample_index for f in faults if f.kind == "corrupt-sample"
+        }
+        dropped_metrics: set[str] = set()
+        for f in faults:
+            if f.kind == "drop-metric":
+                # Deterministic default victim: the first programmable event.
+                dropped_metrics.add(
+                    f.metric or min(self.catalog.programmable_names)
+                )
+        for metric in sorted(dropped_metrics):
+            quality.dropped_metrics[metric] = "injected drop-metric fault"
+        emit_index = 0
 
         samples = SampleSet()
         full_counts: dict[str, float] = {name: 0.0 for name in self.catalog.names}
@@ -153,13 +181,33 @@ class SampleCollector:
         group_cursor = 0
 
         def flush_period() -> None:
-            nonlocal accumulators, window_in_period, periods
+            nonlocal accumulators, window_in_period, periods, emit_index
             emitted = False
             for (tw, metric_counts) in accumulators:
                 t, w = tw
                 if t <= 0:
                     continue
                 for name, count in metric_counts.items():
+                    quality.total += 1
+                    if name in dropped_metrics:
+                        # The multiplexing analog of a lost counter group:
+                        # the metric simply never reports.
+                        continue
+                    if emit_index in corrupt_indices:
+                        count = float("nan")
+                    emit_index += 1
+                    reason = sanitizer.check(t, w, count)
+                    if reason is not None:
+                        quality.quarantined.append(
+                            QuarantinedSample(
+                                metric=name,
+                                reason=reason,
+                                time=t,
+                                work=w,
+                                metric_count=count,
+                            )
+                        )
+                        continue
                     samples.add(
                         Sample(metric=name, time=t, work=w, metric_count=count)
                     )
@@ -208,6 +256,7 @@ class SampleCollector:
                 flush_period()
 
         flush_period()
+        quality.kept = len(samples)
         return CollectionResult(
             samples=samples,
             full_counts=full_counts,
@@ -216,4 +265,5 @@ class SampleCollector:
             overhead_cycles=overhead,
             aggregate_activity=aggregate,
             periods=periods,
+            quality=quality,
         )

@@ -25,3 +25,21 @@ class ConfigError(SpireError):
 
 class ParseError(DataError):
     """Raised when external tool output (e.g. ``perf stat``) cannot be parsed."""
+
+
+class TaskTimeoutError(SpireError):
+    """Raised when a workload task exceeds its per-task deadline."""
+
+
+class WorkerCrashError(SpireError):
+    """Raised when a worker process died (or a crash was injected) mid-task."""
+
+
+class DegradedDataWarning(UserWarning):
+    """Emitted when the pipeline continues on incomplete or quarantined data.
+
+    Raised as a *warning*, never an exception: the fault-tolerant runtime
+    degrades gracefully (skipped workloads, quarantined samples, dropped
+    metrics, failed checkpoint writes) and uses this category to make the
+    degradation visible and filterable.
+    """

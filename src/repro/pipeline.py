@@ -23,15 +23,19 @@ experiment seed plus its own name.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence
 
 from repro.core import AnalysisReport, SampleSet, SpireModel, TrainOptions
 from repro.counters import CollectionConfig, CollectionResult, SampleCollector
 from repro.counters.events import default_catalog
+from repro.errors import DegradedDataWarning, SpireError
 from repro.runtime.cache import ExperimentCache, experiment_cache_key
-from repro.runtime.plan import ExecutionPlan
-from repro.runtime.runner import ParallelRunner
+from repro.runtime.faults import FaultPlan
+from repro.runtime.plan import ExecutionPlan, WorkloadTask
+from repro.runtime.runner import ParallelRunner, RunnerOptions, RunReport
 from repro.tma import TMAResult, TopDownAnalyzer
 from repro.uarch import CoreModel, MachineConfig, skylake_gold_6126
 from repro.workloads import Workload, workload_by_name
@@ -117,13 +121,20 @@ def run_workload(
     machine: MachineConfig,
     n_windows: int,
     config: ExperimentConfig,
+    faults: Sequence = (),
 ) -> WorkloadRun:
-    """Simulate one workload and collect samples plus the TMA baseline."""
+    """Simulate one workload and collect samples plus the TMA baseline.
+
+    ``faults`` optionally carries collector-level fault specs
+    (corrupt-sample / drop-metric) from a
+    :class:`~repro.runtime.faults.FaultPlan`; degraded samples are
+    quarantined into ``run.collection.quality`` rather than raised.
+    """
     core = CoreModel(machine)
     collector = SampleCollector(machine, config=config.collection())
     rng = random.Random(_seed_for(config.seed, workload.name))
     specs = workload.specs(n_windows, config.window_instructions)
-    collection = collector.collect(core, specs, rng=rng)
+    collection = collector.collect(core, specs, rng=rng, faults=faults)
     tma = TopDownAnalyzer(machine).analyze(collection.full_counts)
     return WorkloadRun(workload=workload, collection=collection, tma=tma)
 
@@ -135,6 +146,12 @@ def run_experiment(
     *,
     jobs: int = 1,
     cache: ExperimentCache | str | Path | None = None,
+    resume: bool = False,
+    failure_policy: str = "raise",
+    task_timeout: float | None = None,
+    retries: int = 2,
+    runner_options: RunnerOptions | None = None,
+    faults: FaultPlan | None = None,
 ) -> ExperimentResult:
     """Run the paper's full evaluation: 23 training + 4 testing workloads.
 
@@ -145,7 +162,53 @@ def run_experiment(
 
     ``cache`` (an :class:`~repro.runtime.cache.ExperimentCache` or a cache
     directory) consults and populates the persistent on-disk experiment
-    cache; a hit skips the simulation entirely.
+    cache; a hit skips the simulation entirely.  With a cache set, every
+    completed workload is also checkpointed as it finishes; ``resume=True``
+    restores those checkpoints so an interrupted run re-simulates only the
+    incomplete workloads.
+
+    ``failure_policy``, ``task_timeout`` and ``retries`` configure the
+    fault-tolerance envelope (see
+    :class:`~repro.runtime.runner.RunnerOptions`; ``runner_options``
+    overrides all three); ``faults`` injects a deterministic
+    :class:`~repro.runtime.faults.FaultPlan` for testing the envelope.
+    See ``docs/robustness.md``.
+    """
+    result, _ = run_experiment_with_report(
+        config,
+        machine,
+        train_options,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        failure_policy=failure_policy,
+        task_timeout=task_timeout,
+        retries=retries,
+        runner_options=runner_options,
+        faults=faults,
+    )
+    return result
+
+
+def run_experiment_with_report(
+    config: ExperimentConfig | None = None,
+    machine: MachineConfig | None = None,
+    train_options: TrainOptions | None = None,
+    *,
+    jobs: int = 1,
+    cache: ExperimentCache | str | Path | None = None,
+    resume: bool = False,
+    failure_policy: str = "raise",
+    task_timeout: float | None = None,
+    retries: int = 2,
+    runner_options: RunnerOptions | None = None,
+    faults: FaultPlan | None = None,
+) -> tuple[ExperimentResult, RunReport]:
+    """:func:`run_experiment` plus the :class:`RunReport` of what happened.
+
+    The report records every task attempt (latency, outcome), terminal
+    failures, pool rebuilds, checkpoint hits and checkpoint write errors.
+    A full-cache hit returns an empty report (nothing was executed).
     """
     cfg = config or ExperimentConfig()
     mach = machine or skylake_gold_6126()
@@ -156,20 +219,61 @@ def run_experiment(
         key = experiment_cache_key(cfg, mach, train_options)
         hit = cache_obj.load(key)
         if hit is not None:
-            return hit
+            return hit, RunReport()
 
     plan = ExecutionPlan.for_experiment(cfg, mach)
-    runs = ParallelRunner(jobs=jobs).run(plan)
+    options = runner_options or RunnerOptions(
+        failure_policy=failure_policy,
+        task_timeout=task_timeout,
+        retries=retries,
+    )
+    runner = ParallelRunner(jobs=jobs, options=options, faults=faults)
+
+    completed: dict[str, WorkloadRun] = {}
+    on_result = None
+    if cache_obj is not None:
+        if resume:
+            completed = cache_obj.load_checkpoints(key)
+
+        def on_result(task: WorkloadTask, run: WorkloadRun) -> None:
+            if faults is not None and faults.checkpoint_fault(task.name):
+                raise OSError(
+                    f"injected checkpoint write failure for {task.name!r}"
+                )
+            cache_obj.store_checkpoint(key, task.name, run)
+
+    runs, report = runner.run_with_report(
+        plan, completed=completed, on_result=on_result
+    )
 
     training_runs: dict[str, WorkloadRun] = {}
     testing_runs: dict[str, WorkloadRun] = {}
     pooled = SampleSet()
     for task, run in zip(plan.tasks, runs):
+        if run is None:
+            continue  # terminally failed under failure_policy="skip"
         if task.role == "training":
             training_runs[task.name] = run
             pooled.extend(run.collection.samples)
         else:
             testing_runs[task.name] = run
+
+    if report.failures:
+        # Only reachable under failure_policy="skip" (the "raise" policy
+        # raised inside the runner; "serial_fallback" either recovered or
+        # raised).  Train on what survived, loudly.
+        warnings.warn(
+            f"{len(report.failures)} workload(s) failed terminally and were "
+            f"skipped: {', '.join(sorted(report.failures))}; training on "
+            f"{len(training_runs)} surviving training workload(s)",
+            DegradedDataWarning,
+            stacklevel=2,
+        )
+    if not training_runs:
+        raise SpireError(
+            "no training workload survived the run; cannot train a model "
+            f"(failures: {', '.join(sorted(report.failures)) or 'none'})"
+        )
 
     model = SpireModel.train(pooled, options=train_options, jobs=jobs)
 
@@ -181,8 +285,12 @@ def run_experiment(
         training_samples=pooled,
     )
     if cache_obj is not None:
-        cache_obj.store(key, result)
-    return result
+        # Only a *complete* run is a valid cache entry; a degraded one
+        # would silently serve skipped workloads to later consumers.
+        if not report.failures:
+            cache_obj.store(key, result)
+            cache_obj.discard_checkpoints(key)
+    return result, report
 
 
 # In-process memo for cached_experiment, keyed by the same content hash

@@ -1,36 +1,60 @@
-"""Execution runtime: parallel workload fan-out and persistent caching.
+"""Execution runtime: parallel fan-out, fault tolerance, persistent caching.
 
-This subsystem makes the evaluation pipeline fast twice over:
+This subsystem makes the evaluation pipeline fast *and* survivable:
 
 - :class:`ExecutionPlan` / :class:`ParallelRunner` decompose an experiment
   into independently executable workload tasks and fan them out over a
   process pool (deterministically — serial and parallel runs are
-  byte-identical);
+  byte-identical), with per-task timeouts, bounded retries, broken-pool
+  recovery and a configurable failure policy (:class:`RunnerOptions`);
+  every run yields a :class:`RunReport` of what actually happened;
 - :class:`ExperimentCache` persists finished experiments on disk,
-  content-addressed by a fingerprint of every input, so later processes
-  reload instead of re-simulating.
+  content-addressed by a fingerprint of every input, plus per-workload
+  checkpoints so an interrupted run resumes instead of restarting;
+- :class:`FaultPlan` injects deterministic failures (worker crash, hang,
+  corrupt sample, dropped metric, checkpoint write error) to prove all of
+  the above works — see ``spire faultsim``.
 
-See ``docs/performance.md`` for the full story.
+See ``docs/performance.md`` and ``docs/robustness.md`` for the full story.
 """
 
 from repro.runtime.cache import (
     CACHE_DIR_ENV,
     CACHE_FORMAT,
+    CACHE_MAX_ENTRIES_ENV,
+    CHECKPOINT_FORMAT,
     ExperimentCache,
     experiment_cache_key,
     experiment_fingerprint,
     result_from_payload,
     result_to_payload,
 )
+from repro.runtime.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.runtime.plan import ExecutionPlan, WorkloadTask
-from repro.runtime.runner import ParallelRunner, resolve_jobs
+from repro.runtime.runner import (
+    FAILURE_POLICIES,
+    ParallelRunner,
+    RunReport,
+    RunnerOptions,
+    TaskAttempt,
+    resolve_jobs,
+)
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_FORMAT",
+    "CACHE_MAX_ENTRIES_ENV",
+    "CHECKPOINT_FORMAT",
+    "FAILURE_POLICIES",
+    "FAULT_KINDS",
     "ExecutionPlan",
     "ExperimentCache",
+    "FaultPlan",
+    "FaultSpec",
     "ParallelRunner",
+    "RunReport",
+    "RunnerOptions",
+    "TaskAttempt",
     "WorkloadTask",
     "experiment_cache_key",
     "experiment_fingerprint",

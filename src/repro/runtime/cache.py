@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.ensemble import SpireModel, TrainOptions
 from repro.core.sample import SampleSet
+from repro.core.sanitize import QualityReport, QuarantinedSample
 from repro.counters.collector import CollectionResult
 from repro.counters.events import EventCatalog, default_catalog
 from repro.tma.topdown import TMAResult
@@ -53,7 +54,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pipeline import ExperimentConfig, ExperimentResult, WorkloadRun
 
 CACHE_FORMAT = "spire-expcache/1"
+CHECKPOINT_FORMAT = "spire-ckpt/1"
 CACHE_DIR_ENV = "SPIRE_CACHE_DIR"
+CACHE_MAX_ENTRIES_ENV = "SPIRE_CACHE_MAX_ENTRIES"
 
 
 # ----------------------------------------------------------------------
@@ -137,6 +140,35 @@ def _workload_from_dict(payload: dict) -> Workload:
     )
 
 
+def _quality_to_dict(quality: QualityReport | None) -> dict | None:
+    if quality is None:
+        return None
+    # Quarantined sample *values* can be NaN/Inf; persist only the metric
+    # and reason so the payload stays strict JSON.
+    return {
+        "total": quality.total,
+        "kept": quality.kept,
+        "quarantined": [
+            {"metric": q.metric, "reason": q.reason} for q in quality.quarantined
+        ],
+        "dropped_metrics": dict(quality.dropped_metrics),
+    }
+
+
+def _quality_from_dict(payload: dict | None) -> QualityReport | None:
+    if payload is None:
+        return None
+    return QualityReport(
+        total=payload.get("total", 0),
+        kept=payload.get("kept", 0),
+        quarantined=[
+            QuarantinedSample(metric=q["metric"], reason=q["reason"])
+            for q in payload.get("quarantined", ())
+        ],
+        dropped_metrics=dict(payload.get("dropped_metrics", {})),
+    )
+
+
 def _collection_to_dict(collection: CollectionResult) -> dict:
     activity = collection.aggregate_activity
     return {
@@ -149,6 +181,7 @@ def _collection_to_dict(collection: CollectionResult) -> dict:
         "aggregate_activity": (
             None if activity is None else dataclasses.asdict(activity)
         ),
+        "quality": _quality_to_dict(collection.quality),
     }
 
 
@@ -164,6 +197,7 @@ def _collection_from_dict(payload: dict) -> CollectionResult:
         aggregate_activity=(
             None if activity is None else WindowActivity(**activity)
         ),
+        quality=_quality_from_dict(payload.get("quality")),
     )
 
 
@@ -251,14 +285,32 @@ def result_from_payload(payload: dict) -> "ExperimentResult":
 
 
 class ExperimentCache:
-    """A directory of content-addressed experiment results."""
+    """A directory of content-addressed experiment results.
 
-    def __init__(self, directory: str | Path | None = None):
+    ``max_entries`` bounds the number of full experiment entries kept on
+    disk: every :meth:`store` evicts the oldest entries (by mtime) beyond
+    the bound, LRU-style — loads refresh an entry's mtime.  The default is
+    unlimited; the ``SPIRE_CACHE_MAX_ENTRIES`` environment variable
+    overrides it (``0`` or unset means unlimited).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_entries: int | None = None,
+    ):
         if directory is None:
             directory = os.environ.get(CACHE_DIR_ENV) or (
                 Path.home() / ".cache" / "spire" / "experiments"
             )
         self.directory = Path(directory)
+        if max_entries is None:
+            raw = os.environ.get(CACHE_MAX_ENTRIES_ENV, "")
+            try:
+                max_entries = int(raw) if raw else None
+            except ValueError:
+                max_entries = None
+        self.max_entries = max_entries if max_entries and max_entries > 0 else None
 
     @classmethod
     def resolve(
@@ -301,13 +353,19 @@ class ExperimentCache:
         gc.disable()
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            return result_from_payload(payload)
+            result = result_from_payload(payload)
         except Exception:
             self._discard(path)
             return None
         finally:
             if gc_was_enabled:
                 gc.enable()
+        try:
+            # LRU touch: a hit makes the entry "recently used" for pruning.
+            os.utime(path)
+        except OSError:
+            pass
+        return result
 
     def store(
         self,
@@ -333,13 +391,128 @@ class ExperimentCache:
             except OSError:
                 pass
             raise
+        self._prune()
         return path
 
+    def _prune(self) -> int:
+        """Evict the oldest entries beyond ``max_entries``; count removed."""
+        if self.max_entries is None:
+            return 0
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # raced with a concurrent eviction
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return 0
+        entries.sort()  # oldest mtime first
+        removed = 0
+        for _, path in entries[:excess]:
+            self._discard(path)
+            self.discard_checkpoints(path.stem)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Per-workload checkpoints (for interrupted-run resume)
+    # ------------------------------------------------------------------
+    #
+    # While an experiment runs, each finished WorkloadRun is persisted
+    # under ``<key>.ckpt/<workload>.json`` — keyed by the same fingerprint
+    # as the full entry, so a checkpoint can never be replayed into a
+    # differently-parameterized experiment.  Once the complete result is
+    # stored, the checkpoint directory is discarded.
+
+    def checkpoint_dir(self, key: str) -> Path:
+        return self.directory / f"{key}.ckpt"
+
+    def _checkpoint_path(self, key: str, workload_name: str) -> Path:
+        safe = workload_name.replace(os.sep, "_").replace("\0", "_")
+        return self.checkpoint_dir(key) / f"{safe}.json"
+
+    def store_checkpoint(
+        self, key: str, workload_name: str, run: "WorkloadRun"
+    ) -> Path:
+        """Atomically persist one completed workload run under ``key``."""
+        directory = self.checkpoint_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "workload": workload_name,
+            "run": _run_to_dict(run),
+        }
+        text = json.dumps(payload, separators=(",", ":"))
+        path = self._checkpoint_path(key, workload_name)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_checkpoints(self, key: str) -> dict[str, "WorkloadRun"]:
+        """Every readable checkpoint for ``key``, by workload name.
+
+        A corrupted checkpoint (interrupted write, wrong format) is
+        discarded and simply missing from the result — its workload gets
+        re-simulated, never raised over.
+        """
+        runs: dict[str, "WorkloadRun"] = {}
+        for path in self._checkpoint_files(key):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if payload.get("format") != CHECKPOINT_FORMAT:
+                    raise ValueError(f"bad checkpoint format {payload.get('format')!r}")
+                runs[payload["workload"]] = _run_from_dict(payload["run"])
+            except Exception:
+                self._discard(path)
+        return runs
+
+    def _checkpoint_files(self, key: str) -> list[Path]:
+        """Checkpoint paths for ``key``, tolerating a concurrent discard.
+
+        Another process that just finished the same experiment may remove
+        the whole ``.ckpt`` directory while we scan it; that is a benign
+        race, not an error.
+        """
+        directory = self.checkpoint_dir(key)
+        try:
+            return sorted(p for p in directory.glob("*.json"))
+        except OSError:
+            return []
+
+    def checkpoint_names(self, key: str) -> list[str]:
+        """Workload names with a checkpoint on disk (no deserialization)."""
+        return [p.stem for p in self._checkpoint_files(key)]
+
+    def discard_checkpoints(self, key: str) -> int:
+        """Remove every checkpoint for ``key``; returns the number removed."""
+        removed = 0
+        for path in self._checkpoint_files(key):
+            self._discard(path)
+            removed += 1
+        try:
+            self.checkpoint_dir(key).rmdir()
+        except OSError:
+            pass  # leftover temp files, a concurrent writer, or already gone
+        return removed
+
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry (and its checkpoints); returns entries removed."""
         removed = 0
         for key in self.keys():
             self._discard(self.entry_path(key))
+            self.discard_checkpoints(key)
             removed += 1
         return removed
 

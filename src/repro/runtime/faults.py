@@ -1,0 +1,258 @@
+"""Deterministic fault injection for the experiment runtime.
+
+Real counter campaigns fail in recurring ways: a ``perf`` child dies, a
+workload wedges, multiplexing drops a counter group, a sample arrives
+corrupted, a checkpoint write hits a full disk.  This module gives each
+failure mode a first-class, *seed-driven* representation so the
+fault-tolerance layer (:mod:`repro.runtime.runner`,
+:mod:`repro.counters.collector`, :mod:`repro.pipeline`) can be exercised
+deterministically in tests and in the ``spire faultsim`` CLI smoke.
+
+A :class:`FaultPlan` is a picklable set of :class:`FaultSpec` entries,
+each targeting one workload by name:
+
+========================  ====================================================
+``crash``                 the worker process executing the task dies
+                          (``os._exit`` in a pool worker; a raised
+                          :class:`~repro.errors.WorkerCrashError` in-process)
+``hang``                  the task stalls past its deadline
+``corrupt-sample``        one collected sample's fields turn NaN
+``drop-metric``           one metric's counts vanish from the collection
+``checkpoint-write-failure``  the per-workload checkpoint write raises OSError
+========================  ====================================================
+
+Faults are *transient by default* (``times=1``): they fire on the first
+``times`` executions of the target and then stop, which is exactly the
+shape retries are meant to absorb.  Set ``times`` large to model a
+persistent failure that must be skipped instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.errors import ConfigError, TaskTimeoutError, WorkerCrashError
+
+CRASH = "crash"
+HANG = "hang"
+CORRUPT_SAMPLE = "corrupt-sample"
+DROP_METRIC = "drop-metric"
+CHECKPOINT_WRITE_FAILURE = "checkpoint-write-failure"
+
+FAULT_KINDS = (CRASH, HANG, CORRUPT_SAMPLE, DROP_METRIC, CHECKPOINT_WRITE_FAILURE)
+
+#: Fault kinds handled by the runner (they abort the whole task attempt).
+RUNNER_KINDS = (CRASH, HANG)
+#: Fault kinds handled inside the collector (they degrade the data).
+COLLECTOR_KINDS = (CORRUPT_SAMPLE, DROP_METRIC)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One injected failure, targeting one workload."""
+
+    workload: str
+    kind: str
+    times: int = 1              # number of executions the fault affects
+    hang_seconds: float = 30.0  # sleep length for ``hang``
+    metric: str | None = None   # target metric for ``drop-metric``
+    sample_index: int = 0       # which emitted sample ``corrupt-sample`` hits
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not self.workload:
+            raise ConfigError("a fault spec must target a workload by name")
+        if self.times < 1:
+            raise ConfigError("a fault must fire at least once (times >= 1)")
+        if self.hang_seconds < 0:
+            raise ConfigError("hang_seconds cannot be negative")
+
+    def active(self, execution: int) -> bool:
+        """Whether the fault fires on the ``execution``-th run (1-based)."""
+        return execution <= self.times
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A picklable, deterministic set of faults for one experiment run."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # One runner-level fault per workload keeps attempt accounting
+        # unambiguous (a task that both crashes and hangs has no defined
+        # order); collector faults may stack freely.
+        runner_targets = [
+            s.workload for s in self.specs if s.kind in RUNNER_KINDS
+        ]
+        if len(set(runner_targets)) != len(runner_targets):
+            raise ConfigError(
+                "at most one crash/hang fault per workload is supported"
+            )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def for_workload(self, name: str) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.workload == name)
+
+    def runner_fault(self, name: str) -> FaultSpec | None:
+        """The crash/hang fault targeting ``name``, if any."""
+        for spec in self.specs:
+            if spec.workload == name and spec.kind in RUNNER_KINDS:
+                return spec
+        return None
+
+    def collector_faults(self, name: str) -> tuple[FaultSpec, ...]:
+        return tuple(
+            s
+            for s in self.specs
+            if s.workload == name and s.kind in COLLECTOR_KINDS
+        )
+
+    def checkpoint_fault(self, name: str, execution: int = 1) -> bool:
+        """Whether the checkpoint write for ``name`` should fail."""
+        return any(
+            s.workload == name
+            and s.kind == CHECKPOINT_WRITE_FAILURE
+            and s.active(execution)
+            for s in self.specs
+        )
+
+    def injected_workloads(self) -> list[str]:
+        """Targets of runner/collector faults, in spec order, deduplicated."""
+        seen: dict[str, None] = {}
+        for spec in self.specs:
+            seen.setdefault(spec.workload, None)
+        return list(seen)
+
+    @classmethod
+    def random(
+        cls,
+        workloads: Sequence[str],
+        seed: int = 0,
+        crashes: int = 0,
+        hangs: int = 0,
+        corrupt_samples: int = 0,
+        drop_metrics: int = 0,
+        checkpoint_failures: int = 0,
+        times: int = 1,
+        hang_seconds: float = 30.0,
+        metrics: Sequence[str] = (),
+    ) -> "FaultPlan":
+        """A seed-driven plan over distinct victims drawn from ``workloads``.
+
+        The same ``(workloads, seed, counts)`` always yields the same plan,
+        so a fault simulation is reproducible down to the victim names.
+        Runner-level faults (crash, hang) get distinct victims; data-level
+        faults may overlap with them and with each other.
+        """
+        names = list(workloads)
+        wanted_runner = crashes + hangs
+        if wanted_runner > len(names):
+            raise ConfigError(
+                f"cannot place {wanted_runner} crash/hang faults over "
+                f"{len(names)} workloads"
+            )
+        rng = Random(seed)
+        runner_victims = rng.sample(names, wanted_runner) if wanted_runner else []
+        specs: list[FaultSpec] = []
+        for victim in runner_victims[:crashes]:
+            specs.append(FaultSpec(workload=victim, kind=CRASH, times=times))
+        for victim in runner_victims[crashes:]:
+            specs.append(
+                FaultSpec(
+                    workload=victim,
+                    kind=HANG,
+                    times=times,
+                    hang_seconds=hang_seconds,
+                )
+            )
+
+        def data_victims(count: int) -> list[str]:
+            return [rng.choice(names) for _ in range(count)] if names else []
+
+        for victim in data_victims(corrupt_samples):
+            specs.append(
+                FaultSpec(
+                    workload=victim,
+                    kind=CORRUPT_SAMPLE,
+                    times=times,
+                    sample_index=rng.randrange(0, 8),
+                )
+            )
+        for victim in data_victims(drop_metrics):
+            metric = rng.choice(list(metrics)) if metrics else None
+            specs.append(
+                FaultSpec(
+                    workload=victim, kind=DROP_METRIC, times=times, metric=metric
+                )
+            )
+        for victim in data_victims(checkpoint_failures):
+            specs.append(
+                FaultSpec(
+                    workload=victim, kind=CHECKPOINT_WRITE_FAILURE, times=times
+                )
+            )
+        return cls(specs=tuple(specs))
+
+
+def trip_runner_fault(
+    spec: FaultSpec | None,
+    execution: int,
+    in_process: bool,
+    deadline: float | None,
+) -> None:
+    """Fire a crash/hang fault inside a task execution, if active.
+
+    ``crash`` kills the worker process outright when running in a pool
+    (exercising ``BrokenProcessPool`` recovery) and raises
+    :class:`WorkerCrashError` when in-process, where ``os._exit`` would
+    take the whole interpreter down.  ``hang`` sleeps past the deadline in
+    a pool worker; in-process — where nothing can preempt the sleep — it
+    raises :class:`TaskTimeoutError` directly when a deadline is set, so
+    the timeout accounting stays observable on the serial path.
+    """
+    if spec is None or spec.kind not in RUNNER_KINDS:
+        return
+    if not spec.active(execution):
+        return
+    if spec.kind == CRASH:
+        if in_process:
+            raise WorkerCrashError(
+                f"injected crash in workload {spec.workload!r} "
+                f"(execution {execution})"
+            )
+        os._exit(87)  # hard death: no atexit, no cleanup — like a SIGKILL
+    # HANG
+    if in_process and deadline is not None:
+        raise TaskTimeoutError(
+            f"injected hang in workload {spec.workload!r} exceeded the "
+            f"{deadline:.3g}s task deadline (execution {execution})"
+        )
+    time.sleep(spec.hang_seconds)
+
+
+__all__ = [
+    "CHECKPOINT_WRITE_FAILURE",
+    "COLLECTOR_KINDS",
+    "CORRUPT_SAMPLE",
+    "CRASH",
+    "DROP_METRIC",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "HANG",
+    "RUNNER_KINDS",
+    "trip_runner_fault",
+]

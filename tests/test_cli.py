@@ -41,7 +41,7 @@ class TestSimulate:
 
     def test_unknown_workload_fails_cleanly(self, tmp_path, capsys):
         code = main(["simulate", "not-a-workload", "--out", str(tmp_path / "x.csv")])
-        assert code == 1
+        assert code == 2
         assert "error:" in capsys.readouterr().err
 
 
@@ -72,7 +72,8 @@ class TestTrainAnalyze:
         code = main(
             ["analyze", "--model", str(tmp_path / "no.json"), "--data", str(sample_csv)]
         )
-        assert code == 1
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestTma:
@@ -132,7 +133,7 @@ class TestPlot:
         model_path = tmp_path / "model.json"
         main(["train", str(sample_csv), "--model", str(model_path)])
         assert (
-            main(["plot", "--model", str(model_path), "--metric", "nope"]) == 1
+            main(["plot", "--model", str(model_path), "--metric", "nope"]) == 2
         )
 
 
@@ -227,7 +228,7 @@ class TestTrace:
         assert "Memory" in out or "trace." in out
 
     def test_unknown_kernel(self, capsys):
-        assert main(["trace", "quantum"]) == 1
+        assert main(["trace", "quantum"]) == 2
 
 
 class TestCoverage:
@@ -274,6 +275,69 @@ class TestReportArchive:
 
         archive = load_experiment(archive_dir)
         assert len(archive.workloads()) == 27
+
+
+class TestFaultsim:
+    def test_faultsim_serial_crash_passes(self, capsys):
+        # jobs=1 keeps the smoke cheap: the injected crash raises
+        # WorkerCrashError in-process and the retry absorbs it.
+        assert (
+            main(
+                ["faultsim", "--train-windows", "48", "--test-windows", "24",
+                 "--jobs", "1", "--crashes", "1", "--hangs", "0",
+                 "--corrupt-samples", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "PASS" in out
+
+    def test_faultsim_no_faults_passes(self, capsys):
+        assert (
+            main(
+                ["faultsim", "--train-windows", "48", "--test-windows", "24",
+                 "--jobs", "1", "--crashes", "0", "--hangs", "0",
+                 "--corrupt-samples", "0"]
+            )
+            == 0
+        )
+
+
+class TestReportResilienceFlags:
+    def test_report_accepts_resilience_flags(self, capsys):
+        assert (
+            main(
+                ["report", "--train-windows", "48", "--test-windows", "24",
+                 "--top", "3", "--retries", "1", "--failure-policy", "skip"]
+            )
+            == 0
+        )
+        assert "agreement:" in capsys.readouterr().out
+
+    def test_report_resume_from_checkpoints(self, tmp_path, capsys):
+        from repro.pipeline import ExperimentConfig, run_workload
+        from repro.runtime import ExperimentCache, experiment_cache_key
+        from repro.uarch import skylake_gold_6126
+        from repro.workloads import workload_by_name
+
+        # Pre-seed one checkpoint, as an interrupted run would have.
+        config = ExperimentConfig(train_windows=48, test_windows=24)
+        machine = skylake_gold_6126()
+        cache = ExperimentCache(tmp_path)
+        key = experiment_cache_key(config, machine)
+        run = run_workload(workload_by_name("graph500"), machine, 48, config)
+        cache.store_checkpoint(key, "graph500", run)
+
+        assert (
+            main(
+                ["report", "--train-windows", "48", "--test-windows", "24",
+                 "--top", "3", "--cache-dir", str(tmp_path), "--resume"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resumed 1 workload(s) from checkpoints" in out
 
 
 class TestDerived:

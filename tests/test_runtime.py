@@ -164,6 +164,154 @@ class TestCachedExperiment:
         assert _signature(reloaded) == _signature(cached_experiment(TINY))
 
 
+def _rival_store(cache_dir: str, done: "object") -> None:
+    """Child-process worker: miss the cache, simulate, store the entry."""
+    import repro.pipeline as pipeline
+
+    pipeline.clear_caches()  # forked memo would defeat the point
+    pipeline.run_experiment(TINY, cache=cache_dir)
+    done.put("stored")
+
+
+class TestConcurrentCacheWrites:
+    def test_two_processes_race_on_one_key(self, tmp_path):
+        # Both processes miss, both simulate, both store the same key via
+        # the atomic tempfile+rename path: one rename wins, neither fails,
+        # and the surviving entry is complete and loadable.
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        done = ctx.Queue()
+        workers = [
+            ctx.Process(target=_rival_store, args=(str(tmp_path), done))
+            for _ in range(2)
+        ]
+        for p in workers:
+            p.start()
+        for p in workers:
+            p.join(timeout=120)
+        assert all(p.exitcode == 0 for p in workers)
+        assert done.get(timeout=5) == "stored"
+        assert done.get(timeout=5) == "stored"
+
+        cache = ExperimentCache(tmp_path)
+        assert len(cache) == 1
+        key = experiment_cache_key(TINY, skylake_gold_6126())
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert _signature(loaded) == _signature(run_experiment(TINY))
+        # No leaked temp files from the losing writer.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_threaded_store_hammer_never_corrupts(self, tmp_path):
+        # Many rename races on one key: a reader must never observe a
+        # truncated or partially written entry.
+        from concurrent.futures import ThreadPoolExecutor
+
+        result = run_experiment(TINY)
+        cache = ExperimentCache(tmp_path)
+        key = experiment_cache_key(TINY, skylake_gold_6126())
+
+        def store_once(_):
+            cache.store(key, result)
+            payload = json.loads(cache.entry_path(key).read_text())
+            return payload["format"]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            formats = list(pool.map(store_once, range(16)))
+        assert set(formats) == {"spire-expcache/1"}
+        assert cache.load(key) is not None
+
+
+class TestCacheLRUPruning:
+    def _aged_entries(self, cache, result, count):
+        """Store ``count`` entries with strictly increasing mtimes."""
+        import os
+        import time
+
+        base = time.time() - 1000
+        for i in range(count):
+            path = cache.store(f"key{i:02d}", result)
+            os.utime(path, (base + i, base + i))
+
+    def test_store_evicts_oldest_beyond_bound(self, tmp_path):
+        result = run_experiment(TINY)
+        cache = ExperimentCache(tmp_path, max_entries=2)
+        self._aged_entries(cache, result, 2)
+        cache.store("key99", result)
+        assert cache.keys() == ["key01", "key99"]  # key00 was oldest
+
+    def test_load_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        result = run_experiment(TINY)
+        cache = ExperimentCache(tmp_path, max_entries=2)
+        self._aged_entries(cache, result, 2)
+        # A hit on the older entry makes it most-recently-used...
+        assert cache.load("key00") is not None
+        os.utime(cache.entry_path("key00"), None)  # explicit "now"
+        stale = time.time() - 500
+        os.utime(cache.entry_path("key01"), (stale, stale))
+        cache.store("key99", result)
+        # ...so the *other* entry is the eviction victim.
+        assert cache.keys() == ["key00", "key99"]
+
+    def test_eviction_takes_checkpoints_along(self, tmp_path):
+        result = run_experiment(TINY)
+        run = next(iter(result.training_runs.values()))
+        cache = ExperimentCache(tmp_path, max_entries=1)
+        self._aged_entries(cache, result, 1)
+        cache.store_checkpoint("key00", "graph500", run)
+        cache.store("key99", result)
+        assert cache.keys() == ["key99"]
+        assert cache.checkpoint_names("key00") == []
+
+    def test_unlimited_by_default(self, tmp_path):
+        result = run_experiment(TINY)
+        cache = ExperimentCache(tmp_path)
+        assert cache.max_entries is None
+        self._aged_entries(cache, result, 3)
+        assert len(cache) == 3
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        from repro.runtime import CACHE_MAX_ENTRIES_ENV
+
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "1")
+        assert ExperimentCache(tmp_path).max_entries == 1
+        # Explicit argument beats the environment.
+        assert ExperimentCache(tmp_path, max_entries=5).max_entries == 5
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "0")
+        assert ExperimentCache(tmp_path).max_entries is None
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "a-lot")
+        assert ExperimentCache(tmp_path).max_entries is None
+
+
+class TestCheckpoints:
+    def test_round_trip(self, tmp_path):
+        result = run_experiment(TINY)
+        cache = ExperimentCache(tmp_path)
+        key = experiment_cache_key(TINY, skylake_gold_6126())
+        name, run = next(iter(result.training_runs.items()))
+        cache.store_checkpoint(key, name, run)
+        assert cache.checkpoint_names(key) == [name]
+        restored = cache.load_checkpoints(key)[name]
+        assert restored.workload == run.workload
+        assert restored.measured_ipc == run.measured_ipc
+        assert restored.collection.samples.to_records() == \
+            run.collection.samples.to_records()
+        assert restored.tma.fractions == run.tma.fractions
+
+    def test_discard(self, tmp_path):
+        result = run_experiment(TINY)
+        cache = ExperimentCache(tmp_path)
+        name, run = next(iter(result.training_runs.items()))
+        cache.store_checkpoint("k", name, run)
+        assert cache.discard_checkpoints("k") == 1
+        assert cache.checkpoint_names("k") == []
+        assert not cache.checkpoint_dir("k").exists()
+
+
 class TestMachineConfigSerialization:
     @pytest.mark.parametrize("factory", [skylake_gold_6126, little_inorder_core])
     def test_round_trip(self, factory):
