@@ -401,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="persist training points so `spire plot` can show samples",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative hotspots",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -470,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="extra attempts per workload after the first (default: 2)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative hotspots",
     )
     p.set_defaults(func=_cmd_report)
 
@@ -557,10 +567,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_profiled(args: argparse.Namespace) -> int:
+    """Run a subcommand under cProfile; print top-20 cumulative to stderr."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(args.func, args)
+    finally:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "profile", False):
+            return _run_profiled(args)
         return args.func(args)
     except (SpireError, OSError) as exc:
         # Bad config, unreadable cache dir, missing input file: one line,

@@ -67,6 +67,12 @@ from repro.core.roofline import (
     RooflineFitOptions,
     fit_metric_roofline,
 )
+from repro.core.columns import (
+    SampleArray,
+    as_sample_array,
+    scalar_fallback_enabled,
+    time_weighted_mean,
+)
 from repro.core.sample import Sample, SampleSet, time_weighted_average
 
 __all__ = [
@@ -117,8 +123,12 @@ __all__ = [
     "QualityReport",
     "QuarantinedSample",
     "Sample",
+    "SampleArray",
     "SampleSanitizer",
     "SampleSet",
+    "as_sample_array",
+    "scalar_fallback_enabled",
+    "time_weighted_mean",
     "SpireModel",
     "TrainOptions",
     "fit_left_region",

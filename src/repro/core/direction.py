@@ -21,9 +21,69 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
+from repro.fastpath import scalar_fallback_enabled
+
 NEGATIVE_METRIC = "negative"   # throughput increases with I_x (e.g. stalls)
 POSITIVE_METRIC = "positive"   # throughput decreases with I_x (e.g. DSB hits)
 MIXED = "mixed"                # no clear monotone trend
+
+
+def _ranks_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_ranks`: average ranks with ties sharing the mean."""
+    v = np.asarray(values, dtype=np.float64)
+    order = np.argsort(v, kind="stable")
+    sv = v[order]
+    starts = np.empty(len(v), dtype=bool)
+    starts[0] = True
+    starts[1:] = sv[1:] != sv[:-1]
+    start_indices = np.flatnonzero(starts)
+    ends = np.append(start_indices[1:], len(v)) - 1
+    # Run [i, j] gets the mean rank (i + j) / 2 + 1, matching the scalar loop.
+    run_ranks = (start_indices + ends) / 2.0 + 1.0
+    counts = ends - start_indices + 1
+    ranks = np.empty(len(v))
+    ranks[order] = np.repeat(run_ranks, counts)
+    return ranks
+
+
+def spearman_arrays(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Vectorized :func:`spearman` over coordinate columns."""
+    if len(xs) != len(ys):
+        raise ValueError("length mismatch")
+    n = len(xs)
+    if n < 3:
+        return 0.0
+    rank_x = _ranks_array(xs)
+    rank_y = _ranks_array(ys)
+    mean = (n + 1) / 2.0
+    dx = rank_x - mean
+    dy = rank_y - mean
+    var_x = float(np.dot(dx, dx))
+    var_y = float(np.dot(dy, dy))
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return float(np.dot(dx, dy)) / math.sqrt(var_x * var_y)
+
+
+def detect_direction_arrays(
+    intensity: np.ndarray,
+    throughput: np.ndarray,
+    threshold: float = 0.4,
+) -> str:
+    """Vectorized :func:`detect_direction` over ``(I_x, P)`` columns."""
+    x = np.asarray(intensity, dtype=np.float64)
+    y = np.asarray(throughput, dtype=np.float64)
+    finite = np.isfinite(x)
+    if int(finite.sum()) < 3:
+        return MIXED
+    correlation = spearman_arrays(x[finite], y[finite])
+    if correlation >= threshold:
+        return NEGATIVE_METRIC
+    if correlation <= -threshold:
+        return POSITIVE_METRIC
+    return MIXED
 
 
 def _ranks(values: Sequence[float]) -> list[float]:
@@ -70,6 +130,13 @@ def detect_direction(
     :data:`MIXED`.  ``threshold`` is the absolute Spearman correlation
     required to commit to a monotone direction.
     """
+    if not scalar_fallback_enabled():
+        pts = list(points)
+        return detect_direction_arrays(
+            np.asarray([p[0] for p in pts], dtype=np.float64),
+            np.asarray([p[1] for p in pts], dtype=np.float64),
+            threshold=threshold,
+        )
     finite = [(x, y) for x, y in points if math.isfinite(x)]
     if len(finite) < 3:
         return MIXED

@@ -16,22 +16,35 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.concurrency import resolve_jobs
 from repro.core.analysis import AnalysisReport, MetricEstimate
-from repro.core.roofline import MetricRoofline, RooflineFitOptions, fit_metric_roofline
+from repro.core.columns import SampleArray, time_weighted_mean
+from repro.core.roofline import (
+    MetricRoofline,
+    RooflineFitOptions,
+    fit_metric_roofline,
+    fit_metric_roofline_arrays,
+)
 from repro.core.sample import Sample, SampleSet
 from repro.core.sanitize import QualityReport, SampleSanitizer
 from repro.errors import DegradedDataWarning, EstimationError, FitError
+from repro.fastpath import scalar_fallback_enabled
 
 #: Below this many pooled samples the per-metric fits are so cheap that
 #: process startup and sample pickling dominate; training stays serial.
 PARALLEL_FIT_THRESHOLD = 8_192
 
 
-def _fit_metric_group(
-    payload: tuple[list[Sample], RooflineFitOptions],
-) -> MetricRoofline:
-    """Process-pool worker: fit one metric's sample group (picklable)."""
+def _fit_metric_group(payload) -> MetricRoofline:
+    """Process-pool worker: fit one metric's sample group (picklable).
+
+    The group is either a list of :class:`Sample` objects (scalar path) or
+    a columnar :class:`~repro.core.columns.SampleArray` slice, which ships
+    between processes as three float arrays instead of thousands of frozen
+    dataclasses.
+    """
     group, options = payload
     return fit_metric_roofline(group, options=options)
 
@@ -151,7 +164,10 @@ class SpireModel:
         The trained model is identical either way.
         """
         opts = options or TrainOptions()
-        source = samples if isinstance(samples, SampleSet) else list(samples)
+        if isinstance(samples, (SampleSet, SampleArray)):
+            source = samples
+        else:
+            source = list(samples)
         if not source:
             raise FitError("cannot train a SPIRE model on an empty sample set")
 
@@ -175,7 +191,16 @@ class SpireModel:
                 )
             raise FitError("every training sample was quarantined")
 
-        groups = list(sample_set.grouped().items())
+        fallback = scalar_fallback_enabled()
+        if fallback:
+            groups = list(sample_set.grouped().items())
+            array = None
+        else:
+            # Columnar grouping: per-metric row slices of the clean array,
+            # never materializing Sample objects.  Group order matches
+            # grouped() (first-seen), so the trained model is identical.
+            array = sample_set.columns()
+            groups = list(array.group_indices().items())
         n_jobs = resolve_jobs(jobs)
         if (
             n_jobs > 1
@@ -184,15 +209,33 @@ class SpireModel:
         ):
             workers = min(n_jobs, len(groups))
             chunksize = max(1, len(groups) // (workers * 4))
-            payloads = [(group, opts.roofline) for _, group in groups]
+            if fallback:
+                payloads = [(group, opts.roofline) for _, group in groups]
+            else:
+                payloads = [
+                    (array.select(rows), opts.roofline) for _, rows in groups
+                ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 fitted = list(
                     pool.map(_fit_metric_group, payloads, chunksize=chunksize)
                 )
-        else:
+        elif fallback:
             fitted = [
                 fit_metric_roofline(group, options=opts.roofline)
                 for _, group in groups
+            ]
+        else:
+            # Serial columnar fits slice the pooled intensity/throughput
+            # columns directly — no per-group SampleArray construction.
+            intensity, throughput = array.intensity, array.throughput
+            fitted = [
+                fit_metric_roofline_arrays(
+                    metric,
+                    intensity[rows],
+                    throughput[rows],
+                    options=opts.roofline,
+                )
+                for metric, rows in groups
             ]
 
         rooflines = {metric: roofline for (metric, _), roofline in zip(groups, fitted)}
@@ -241,24 +284,46 @@ class SpireModel:
         in ``skipped_metrics``) unless ``strict`` is set, in which case
         they raise :class:`EstimationError`.
         """
-        sample_set = samples if isinstance(samples, SampleSet) else SampleSet(samples)
+        sample_set = _as_sample_set(samples)
         if not sample_set:
             raise EstimationError("cannot estimate from an empty sample set")
 
         per_metric: dict[str, float] = {}
         counts: dict[str, int] = {}
         skipped: list[str] = []
-        for metric, group in sample_set.grouped().items():
-            roofline = self._rooflines.get(metric)
-            if roofline is None:
-                if strict:
-                    raise EstimationError(
-                        f"model has no roofline for metric {metric!r}"
-                    )
-                skipped.append(metric)
-                continue
-            per_metric[metric] = roofline.estimate_samples(group)
-            counts[metric] = len(group)
+        if scalar_fallback_enabled():
+            for metric, group in sample_set.grouped().items():
+                roofline = self._rooflines.get(metric)
+                if roofline is None:
+                    if strict:
+                        raise EstimationError(
+                            f"model has no roofline for metric {metric!r}"
+                        )
+                    skipped.append(metric)
+                    continue
+                per_metric[metric] = roofline.estimate_samples(group)
+                counts[metric] = len(group)
+        else:
+            # Columnar estimation: one batch roofline evaluation plus one
+            # time-weighted array reduction per metric (Eq. 1).
+            array = sample_set.columns()
+            intensity = array.intensity
+            for metric, rows in array.group_indices().items():
+                roofline = self._rooflines.get(metric)
+                if roofline is None:
+                    if strict:
+                        raise EstimationError(
+                            f"model has no roofline for metric {metric!r}"
+                        )
+                    skipped.append(metric)
+                    continue
+                estimates = roofline.estimate_batch(
+                    intensity[rows], validated=True
+                )
+                per_metric[metric] = time_weighted_mean(
+                    estimates, array.time[rows]
+                )
+                counts[metric] = len(rows)
         if not per_metric:
             raise EstimationError(
                 "none of the sample metrics are covered by this model"
@@ -279,7 +344,7 @@ class SpireModel:
         ``metric_areas`` optionally maps metric names to microarchitecture
         areas (e.g. TMA top-level categories) for agreement reporting.
         """
-        sample_set = samples if isinstance(samples, SampleSet) else SampleSet(samples)
+        sample_set = _as_sample_set(samples)
         estimate = self.estimate(sample_set)
         measured = sample_set.measured_throughput()
         return AnalysisReport(
@@ -320,6 +385,15 @@ class SpireModel:
         )
 
 
+def _as_sample_set(samples) -> SampleSet:
+    """Coerce estimate/analyze input into a (possibly lazy) SampleSet."""
+    if isinstance(samples, SampleSet):
+        return samples
+    if isinstance(samples, SampleArray):
+        return samples.to_sample_set()
+    return SampleSet(samples)
+
+
 def mean_absolute_bound_violation(
     model: SpireModel, samples: SampleSet
 ) -> float:
@@ -329,6 +403,26 @@ def mean_absolute_bound_violation(
     positive values on held-out data quantify how often reality beat the
     learned bound.  Used by the ablation benchmarks.
     """
+    if not scalar_fallback_enabled():
+        array = samples.columns()
+        intensity = array.intensity
+        throughput = array.throughput
+        total = 0.0
+        count = 0
+        for metric, rows in array.group_indices().items():
+            if metric not in model:
+                continue
+            bounds = model.roofline(metric).estimate_batch(
+                intensity[rows], validated=True
+            )
+            excess = np.clip(throughput[rows] - bounds, 0.0, None)
+            total += float(np.sum(excess))
+            count += len(rows)
+        if not count:
+            raise EstimationError(
+                "no overlapping metrics between model and samples"
+            )
+        return total / count
     violations: list[float] = []
     for metric, group in samples.grouped().items():
         if metric not in model:

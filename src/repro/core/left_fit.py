@@ -12,9 +12,54 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import FitError
-from repro.geometry.hull import upper_concave_chain
+from repro.geometry.hull import upper_concave_chain, upper_concave_chain_arrays
 from repro.geometry.piecewise import Breakpoint
+
+
+def fit_left_region_arrays(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    apex: tuple[float, float],
+) -> list[Breakpoint]:
+    """Vectorized :func:`fit_left_region` over ``(I_x, P)`` columns.
+
+    Same contract: validation errors report the first offending point in
+    row order, and the returned chain is identical.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    apex_x, apex_y = float(apex[0]), float(apex[1])
+    if apex_x < 0 or apex_y < 0:
+        raise FitError(f"apex must lie in the first quadrant, got {apex}")
+    beyond_x = x > apex_x
+    beyond_y = y > apex_y
+    if beyond_x.any() or beyond_y.any():
+        # The scalar loop reports the first offending point in row order,
+        # checking x before y per point.
+        first = int(np.argmax(beyond_x | beyond_y))
+        px, py = float(x[first]), float(y[first])
+        if px > apex_x:
+            raise FitError(
+                f"left-region point ({px}, {py}) lies right of the apex x={apex_x}"
+            )
+        raise FitError(
+            f"left-region point ({px}, {py}) exceeds the apex throughput {apex_y}"
+        )
+
+    if apex_x == 0:
+        # Degenerate column of samples at I = 0; the "chain" is the single
+        # vertical step from the origin to the apex.
+        if apex_y == 0:
+            return [Breakpoint(0.0, 0.0)]
+        return [Breakpoint(0.0, 0.0), Breakpoint(0.0, apex_y)]
+
+    chain = upper_concave_chain_arrays(
+        x, y, anchor=(0.0, 0.0), target=(apex_x, apex_y)
+    )
+    return [Breakpoint(px, py) for px, py in chain]
 
 
 def fit_left_region(

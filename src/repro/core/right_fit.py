@@ -43,7 +43,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import FitError
-from repro.geometry.pareto import pareto_front
+from repro.fastpath import scalar_fallback_enabled
+from repro.geometry.pareto import pareto_front, pareto_front_arrays
 from repro.geometry.piecewise import Breakpoint
 from repro.geometry.shortest_path import Graph, dijkstra
 
@@ -130,6 +131,61 @@ def fit_right_region(
     # The apex has the maximum throughput, so the last front element is the
     # apex itself or an equal-throughput sample further right.
     front = pareto_front(finite + [(apex_x, apex_y)])
+    return _fit_from_front(front, inf_levels, opts)
+
+
+def fit_right_region_arrays(
+    intensity: np.ndarray,
+    throughput: np.ndarray,
+    apex: tuple[float, float],
+    infinite_throughputs: np.ndarray | None = None,
+    options: RightFitOptions | None = None,
+) -> RightFitResult:
+    """Vectorized :func:`fit_right_region` over ``(I_x, P)`` columns.
+
+    Identical contract; validation errors report the first offending point
+    in row order with the scalar per-point check priority (finiteness,
+    then apex-x, then apex-y).
+    """
+    opts = options or RightFitOptions()
+    apex_x, apex_y = float(apex[0]), float(apex[1])
+    x = np.asarray(intensity, dtype=np.float64)
+    y = np.asarray(throughput, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        bad = ~np.isfinite(x) | ~np.isfinite(y) | (x < apex_x) | (y > apex_y)
+    if bad.any():
+        px, py = float(x[int(np.argmax(bad))]), float(y[int(np.argmax(bad))])
+        if not (math.isfinite(px) and math.isfinite(py)):
+            raise FitError(f"right-region point ({px}, {py}) must be finite")
+        if px < apex_x:
+            raise FitError(
+                f"right-region point ({px}, {py}) lies left of the apex x={apex_x}"
+            )
+        raise FitError(
+            f"right-region point ({px}, {py}) exceeds the apex throughput {apex_y}"
+        )
+    if infinite_throughputs is None:
+        inf_arr = np.empty(0)
+    else:
+        inf_arr = np.asarray(infinite_throughputs, dtype=np.float64)
+    above = inf_arr > apex_y
+    if above.any():
+        level = float(inf_arr[int(np.argmax(above))])
+        raise FitError(
+            f"infinite-intensity throughput {level} exceeds the apex {apex_y}"
+        )
+
+    fx, fy = pareto_front_arrays(np.append(x, apex_x), np.append(y, apex_y))
+    front = list(zip(fx.tolist(), fy.tolist()))
+    return _fit_from_front(front, inf_arr.tolist(), opts)
+
+
+def _fit_from_front(
+    front: list[tuple[float, float]],
+    inf_levels: list[float],
+    opts: RightFitOptions,
+) -> RightFitResult:
+    """Shared back half of the fit: segment graph over a Pareto front."""
     m = len(front)
 
     if m == 1:
@@ -192,6 +248,8 @@ def _build_graph(
     front index ``i`` (right) to ``j`` (left), with ``i < j`` in list
     order because the front is sorted right to left.
     """
+    if not scalar_fallback_enabled():
+        return _build_graph_fast(front, endpoint_indices, inf_levels, opts)
     graph = Graph()
     graph.add_node(_START)
     graph.add_node(_END)
@@ -264,6 +322,107 @@ def _build_graph(
         graph.add_edge(("tail", i), _END, horizontal_error(i))
     for i, j in valid:
         graph.add_edge((i, j), _END, horizontal_error(j))
+
+    return graph
+
+
+def _build_graph_fast(
+    front: Sequence[tuple[float, float]],
+    endpoint_indices: Sequence[int],
+    inf_levels: Sequence[float],
+    opts: RightFitOptions,
+) -> Graph:
+    """:func:`_build_graph` for the vectorized pipeline.
+
+    Pareto fronts are tiny — rarely more than a few dozen points — so
+    plain float arithmetic beats array kernels on call overhead here.
+    Only the infinite-level tail term, the one input that scales with the
+    sample count, is reduced with numpy.  Edge insertion order and the
+    per-term arithmetic match the scalar builder, keeping downstream
+    Dijkstra tie-breaking stable.
+    """
+    graph = Graph()
+    graph.add_node(_START)
+    graph.add_node(_END)
+    last = len(front) - 1
+    apex_level = front[last][1]
+    min_tail_level = max(inf_levels, default=-math.inf)
+
+    xs = [p[0] for p in front]
+    ys = [p[1] for p in front]
+    validity_tolerance = opts.validity_tolerance
+    tol = [validity_tolerance * max(1.0, abs(value)) for value in ys]
+
+    # Pairwise segment validity and error over interior front points.
+    # Zero-gap terms contribute exactly 0.0 in the scalar reduction, so
+    # skipping them preserves exact-zero edge weights (and ties).
+    valid: dict[tuple[int, int], float] = {}
+    slopes: dict[tuple[int, int], float] = {}
+    for ii, i in enumerate(endpoint_indices):
+        ax, ay = front[i]
+        for j in endpoint_indices[ii + 1 :]:
+            bx, by = front[j]
+            slope = (by - ay) / (bx - ax)
+            error = 0.0
+            ok = True
+            for k in range(i + 1, j):
+                gap = (ay + (xs[k] - ax) * slope) - ys[k]
+                if gap < -tol[k]:
+                    ok = False
+                    break
+                if gap > 0.0:
+                    error += gap * gap
+            if ok:
+                valid[(i, j)] = error
+                slopes[(i, j)] = slope
+
+    tail_floor = min_tail_level - 1e-12 * max(1.0, abs(min_tail_level))
+    inf_arr = np.asarray(inf_levels, dtype=np.float64) if inf_levels else None
+
+    def tail_error(i: int) -> float:
+        # Same two-part sum as _flat_tail_error; the front part stays a
+        # sequential Python accumulation, the (potentially large)
+        # infinite-level part reduces as one array kernel.
+        level = ys[i]
+        error = 0.0
+        for k in range(i):
+            gap = level - ys[k]
+            error += gap * gap
+        if inf_arr is not None:
+            error += float(np.sum(np.square(level - inf_arr)))
+        return error
+
+    for i in endpoint_indices:
+        if ys[i] >= tail_floor:
+            graph.add_edge(_START, ("tail", i), tail_error(i))
+
+    for (i, j), error in valid.items():
+        if ys[i] >= tail_floor:
+            graph.add_edge(("tail", i), (i, j), error)
+
+    by_right_end: dict[int, list[tuple[int, int]]] = {}
+    for i, j in valid:
+        by_right_end.setdefault(i, []).append((i, j))
+    slope_tolerance = opts.slope_tolerance
+    for i, j in valid:
+        limit = slopes[(i, j)] + slope_tolerance
+        for node in by_right_end.get(j, ()):
+            if slopes[node] <= limit:
+                graph.add_edge((i, j), node, valid[node])
+
+    # suffix[k] = squared horizontal-exception gap over front points
+    # k .. last-1, accumulated right to left.
+    suffix = [0.0] * (last + 1)
+    acc = 0.0
+    for k in range(last - 1, -1, -1):
+        gap = apex_level - ys[k]
+        acc += gap * gap
+        suffix[k] = acc
+
+    for i in endpoint_indices:
+        graph.add_edge(("tail", i), _END, suffix[i + 1] if i < last else 0.0)
+    for i, j in valid:
+        graph.add_edge((i, j), _END, suffix[j + 1] if j < last else 0.0)
 
     return graph
 

@@ -14,16 +14,25 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.direction import (
     MIXED,
     NEGATIVE_METRIC,
     POSITIVE_METRIC,
     detect_direction,
+    detect_direction_arrays,
 )
-from repro.core.left_fit import fit_left_region
-from repro.core.right_fit import RightFitOptions, RightFitResult, fit_right_region
+from repro.core.left_fit import fit_left_region, fit_left_region_arrays
+from repro.core.right_fit import (
+    RightFitOptions,
+    RightFitResult,
+    fit_right_region,
+    fit_right_region_arrays,
+)
 from repro.core.sample import Sample, time_weighted_average
 from repro.errors import FitError
+from repro.fastpath import scalar_fallback_enabled
 from repro.geometry.piecewise import Breakpoint, PiecewiseLinear
 
 
@@ -88,6 +97,40 @@ class MetricRoofline:
         if math.isinf(intensity):
             return self.function.breakpoints[-1].y
         return self.function(intensity)
+
+    def estimate_batch(self, intensities, *, validated: bool = False) -> np.ndarray:
+        """Vectorized :meth:`estimate` over an intensity array.
+
+        Identical contract: NaN or negative intensities raise
+        :class:`FitError` for the first offending value in array order;
+        ``inf`` evaluates to the roofline's flat tail.  ``validated=True``
+        skips the NaN/negative screen — callers passing intensities from a
+        validated :class:`~repro.core.columns.SampleArray` (never NaN,
+        never negative by construction) use it to avoid paying the check
+        per batch.
+        """
+        values = np.asarray(intensities, dtype=np.float64)
+        if validated:
+            bad = None
+        else:
+            with np.errstate(invalid="ignore"):
+                bad = np.isnan(values) | (values < 0)
+        if bad is not None and bad.any():
+            offender = float(values[int(np.argmax(bad))])
+            if math.isnan(offender):
+                raise FitError(f"intensity for metric {self.metric!r} is NaN")
+            raise FitError(
+                f"intensity for metric {self.metric!r} must be non-negative, "
+                f"got {offender}"
+            )
+        infinite = np.isinf(values)
+        if infinite.any():
+            result = np.empty(values.shape, dtype=np.float64)
+            result[infinite] = self.function.breakpoints[-1].y
+            finite = ~infinite
+            result[finite] = self.function.evaluate_array(values[finite])
+            return result
+        return self.function.evaluate_array(values)
 
     def estimate_sample(self, sample: Sample) -> float:
         """Estimate for one sample of this roofline's metric."""
@@ -158,11 +201,38 @@ def fit_metric_roofline(
 ) -> MetricRoofline:
     """Train one metric roofline from its group of samples (Figure 3).
 
+    Accepts an iterable of :class:`Sample` objects or a columnar
+    :class:`~repro.core.columns.SampleArray`; the vectorized kernels run
+    unless ``SPIRE_SCALAR_FALLBACK`` forces the scalar reference path.
+
     Raises :class:`FitError` when the group is empty or the samples belong
     to more than one metric.
     """
+    from repro.core.columns import SampleArray
+
     opts = options or RooflineFitOptions()
-    sample_list = list(samples)
+    if isinstance(samples, SampleArray):
+        if not len(samples):
+            raise FitError("cannot fit a roofline to zero samples")
+        first = int(samples.metric_ids[0])
+        mixed = samples.metric_ids != first
+        if mixed.any():
+            other = samples.metric_names[int(samples.metric_ids[int(np.argmax(mixed))])]
+            raise FitError(
+                f"mixed metrics in one roofline group: "
+                f"{samples.metric_names[first]!r} and {other!r}"
+            )
+        if scalar_fallback_enabled():
+            sample_list = list(samples.iter_samples())
+        else:
+            return fit_metric_roofline_arrays(
+                samples.metric_names[first],
+                samples.intensity,
+                samples.throughput,
+                options=opts,
+            )
+    else:
+        sample_list = list(samples)
     if not sample_list:
         raise FitError("cannot fit a roofline to zero samples")
     metric = sample_list[0].metric
@@ -172,6 +242,13 @@ def fit_metric_roofline(
                 f"mixed metrics in one roofline group: {metric!r} and "
                 f"{sample.metric!r}"
             )
+    if not scalar_fallback_enabled():
+        return fit_metric_roofline_arrays(
+            metric,
+            np.asarray([s.intensity for s in sample_list], dtype=np.float64),
+            np.asarray([s.throughput for s in sample_list], dtype=np.float64),
+            options=opts,
+        )
 
     points = [s.as_point() for s in sample_list]
     finite = [(x, y) for x, y in points if math.isfinite(x)]
@@ -247,5 +324,111 @@ def fit_metric_roofline(
         infinite_sample_count=len(infinite_levels),
         right_fit=right,
         training_points=points if opts.keep_samples else [],
+        direction=direction,
+    )
+
+
+def fit_metric_roofline_arrays(
+    metric: str,
+    intensity: np.ndarray,
+    throughput: np.ndarray,
+    options: RooflineFitOptions | None = None,
+) -> MetricRoofline:
+    """Vectorized :func:`fit_metric_roofline` over ``(I_x, P)`` columns.
+
+    ``intensity`` may contain ``inf`` (periods in which the metric never
+    fired); both columns must be row-aligned for one metric.
+    """
+    opts = options or RooflineFitOptions()
+    x = np.asarray(intensity, dtype=np.float64)
+    y = np.asarray(throughput, dtype=np.float64)
+    if not len(x):
+        raise FitError("cannot fit a roofline to zero samples")
+
+    finite_mask = np.isfinite(x)
+    fin_x, fin_y = x[finite_mask], y[finite_mask]
+    infinite_levels = y[~finite_mask]
+
+    if opts.keep_samples:
+        points = list(zip(x.tolist(), y.tolist()))
+    else:
+        points = []
+
+    if not len(fin_x):
+        # The metric never fired in any training period; the only defensible
+        # bound is a constant at the best observed throughput.
+        level = float(infinite_levels.max())
+        apex = Breakpoint(0.0, level)
+        function = PiecewiseLinear([apex])
+        return MetricRoofline(
+            metric=metric,
+            function=function,
+            apex=apex,
+            sample_count=len(x),
+            infinite_sample_count=len(infinite_levels),
+            training_points=points,
+        )
+
+    # The apex is the highest-throughput sample; ties break toward the
+    # smallest intensity so that equal-throughput samples further right are
+    # handled by the right region's Pareto front (a flat top).
+    peak = fin_y.max()
+    apex_x = float(fin_x[fin_y == peak].min())
+    apex_y = float(peak)
+    apex = Breakpoint(apex_x, apex_y)
+
+    direction = detect_direction_arrays(
+        fin_x, fin_y, threshold=opts.direction_threshold
+    )
+    use_trend = opts.direction_mode == "trend"
+
+    left_mask = fin_x <= apex_x
+    right_mask = fin_x >= apex_x
+
+    if use_trend and direction == POSITIVE_METRIC:
+        # A clearly positive metric: the rising left region is confounded
+        # (paper §V, DB.2), so bound it flat at the apex level instead.
+        left = [Breakpoint(0.0, apex_y), Breakpoint(apex_x, apex_y)]
+    else:
+        left = fit_left_region_arrays(
+            fin_x[left_mask], fin_y[left_mask], (apex_x, apex_y)
+        )
+
+    best_infinite = float(infinite_levels.max()) if len(infinite_levels) else -math.inf
+    if use_trend and direction == NEGATIVE_METRIC:
+        # A clearly negative metric: never let the right fitting algorithm
+        # pull the bound down past the apex (paper §V, BP.1 defect).
+        right = RightFitResult(
+            breakpoints=[apex], front=[(apex_x, apex_y)], total_error=0.0
+        )
+    else:
+        right = fit_right_region_arrays(
+            fin_x[right_mask],
+            fin_y[right_mask],
+            (apex_x, apex_y),
+            infinite_throughputs=np.minimum(infinite_levels, apex_y),
+            options=opts.right,
+        )
+
+    breakpoints = list(left)
+    for bp in right.breakpoints:
+        if breakpoints and bp == breakpoints[-1]:
+            continue
+        breakpoints.append(bp)
+    if best_infinite > apex_y:
+        # Rare corner: the best-performing periods never fired the metric at
+        # all.  Keep the tail at that level so the function remains an upper
+        # bound of every sample, at the cost of one upward step.
+        tail_x = breakpoints[-1].x
+        breakpoints.append(Breakpoint(tail_x, best_infinite))
+
+    return MetricRoofline(
+        metric=metric,
+        function=PiecewiseLinear(breakpoints),
+        apex=apex,
+        sample_count=len(x),
+        infinite_sample_count=len(infinite_levels),
+        right_fit=right,
+        training_points=points,
         direction=direction,
     )

@@ -98,16 +98,79 @@ class SampleSet:
     The grouping mirrors both the training flow (paper Figure 3: samples
     grouped by metric, one roofline per group) and the estimation flow
     (Figure 4: per-metric time-weighted averages).
+
+    Two storage layers coexist:
+
+    - the classic object layer (``Sample`` instances, per-metric lists);
+    - a columnar mirror (:class:`~repro.core.columns.SampleArray`),
+      exposed through :meth:`columns`, that the vectorized kernels use.
+
+    A set built through :meth:`from_columns` is *lazy*: ``Sample`` objects
+    materialize only when object-level access (iteration, ``grouped()``,
+    ``for_metric``) is requested, so the hot path — collect, train,
+    estimate — never pays for them.
     """
 
     def __init__(self, samples: Iterable[Sample] = ()):
         self._samples: list[Sample] = []
         self._by_metric: dict[str, list[Sample]] = defaultdict(list)
+        self._columns = None          # cached SampleArray mirror
+        self._grouped = None          # cached grouped() mapping
+        self._lazy = None             # SampleArray not yet materialized
         self.extend(samples)
+
+    # ------------------------------------------------------------------
+    # Columnar interop
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, array) -> "SampleSet":
+        """Wrap a :class:`~repro.core.columns.SampleArray` without
+        materializing ``Sample`` objects.
+
+        The array must hold values that satisfy the strict :class:`Sample`
+        invariants (the collector sanitizes before building columns;
+        loaders validate) — materialization reconstructs objects through
+        the checking constructor and would raise otherwise.
+        """
+        instance = cls.__new__(cls)
+        instance._samples = []
+        instance._by_metric = defaultdict(list)
+        instance._columns = array
+        instance._grouped = None
+        instance._lazy = array
+        return instance
+
+    def columns(self):
+        """This set as a :class:`~repro.core.columns.SampleArray` (cached)."""
+        if self._columns is None:
+            from repro.core.columns import SampleArray
+
+            self._columns = SampleArray.from_samples(self._samples)
+        return self._columns
+
+    def _materialize(self) -> None:
+        """Build the object layer from pending columns, once."""
+        if self._lazy is None:
+            return
+        array, self._lazy = self._lazy, None
+        for sample in array.iter_samples():
+            self._samples.append(sample)
+            self._by_metric[sample.metric].append(sample)
+
+    def _invalidate(self) -> None:
+        self._columns = None
+        self._grouped = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
 
     def add(self, sample: Sample) -> None:
         if not isinstance(sample, Sample):
             raise DataError(f"expected a Sample, got {type(sample).__name__}")
+        self._materialize()
+        self._invalidate()
         self._samples.append(sample)
         self._by_metric[sample.metric].append(sample)
 
@@ -115,32 +178,55 @@ class SampleSet:
         for sample in samples:
             self.add(sample)
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
     def __len__(self) -> int:
+        if self._lazy is not None:
+            return len(self._lazy)
         return len(self._samples)
 
     def __iter__(self) -> Iterator[Sample]:
+        self._materialize()
         return iter(self._samples)
 
     def __bool__(self) -> bool:
-        return bool(self._samples)
+        return len(self) > 0
 
     def __repr__(self) -> str:
         return f"SampleSet({len(self)} samples, {len(self.metrics())} metrics)"
 
     def metrics(self) -> list[str]:
         """Metric names present in this set, in first-seen order."""
+        if self._lazy is not None:
+            return self._lazy.metrics()
         return list(self._by_metric.keys())
 
     def for_metric(self, metric: str) -> list[Sample]:
         """All samples of one metric (empty list if absent)."""
+        self._materialize()
         return list(self._by_metric.get(metric, ()))
 
     def grouped(self) -> dict[str, list[Sample]]:
-        """Mapping of metric name to its samples."""
-        return {metric: list(samples) for metric, samples in self._by_metric.items()}
+        """Mapping of metric name to its samples (cached until mutation).
+
+        The same immutable samples are regrouped by training, estimation,
+        sanitization and validation passes, so the grouping is computed
+        once and reused; the returned lists are shared with the cache —
+        treat them as read-only.
+        """
+        if self._grouped is None:
+            self._materialize()
+            self._grouped = {
+                metric: list(samples)
+                for metric, samples in self._by_metric.items()
+            }
+        return dict(self._grouped)
 
     def filtered(self, predicate: Callable[[Sample], bool]) -> "SampleSet":
         """A new set containing only samples for which ``predicate`` holds."""
+        self._materialize()
         return SampleSet(s for s in self._samples if predicate(s))
 
     def restricted_to(self, metrics: Iterable[str]) -> "SampleSet":
@@ -150,12 +236,15 @@ class SampleSet:
 
     def merged_with(self, other: "SampleSet") -> "SampleSet":
         """A new set with this set's samples followed by ``other``'s."""
+        self._materialize()
         result = SampleSet(self._samples)
         result.extend(other)
         return result
 
     def total_time(self, metric: str | None = None) -> float:
         """Sum of sample periods, optionally restricted to one metric."""
+        if self._lazy is not None:
+            return self._lazy.total_time(metric)
         samples = self._samples if metric is None else self._by_metric.get(metric, ())
         return sum(s.time for s in samples)
 
@@ -167,6 +256,8 @@ class SampleSet:
         used; the optional filter supports multiplexed collections where
         each metric observed different slices of the run.
         """
+        if self._lazy is not None:
+            return self._lazy.measured_throughput(metric)
         samples = self._samples if metric is None else self._by_metric.get(metric, ())
         total_time = sum(s.time for s in samples)
         if total_time == 0:
@@ -174,11 +265,40 @@ class SampleSet:
         return sum(s.work for s in samples) / total_time
 
     def to_records(self) -> list[dict]:
+        if self._lazy is not None:
+            return self._lazy.to_records()
         return [s.to_dict() for s in self._samples]
 
     @classmethod
     def from_records(cls, records: Iterable[Mapping]) -> "SampleSet":
-        return cls(Sample.from_dict(r) for r in records)
+        from repro.core.columns import SampleArray, scalar_fallback_enabled
+
+        if scalar_fallback_enabled():
+            return cls(Sample.from_dict(r) for r in records)
+        return cls.from_columns(SampleArray.from_records(records, validate=True))
+
+    # ------------------------------------------------------------------
+    # Pickling: ship columns when the object layer was never built
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        if self._lazy is not None:
+            return {"lazy": self._lazy}
+        return {"samples": self._samples}
+
+    def __setstate__(self, state):
+        self._samples = []
+        self._by_metric = defaultdict(list)
+        self._columns = None
+        self._grouped = None
+        self._lazy = None
+        if "lazy" in state:
+            self._columns = state["lazy"]
+            self._lazy = state["lazy"]
+        else:
+            for sample in state["samples"]:
+                self._samples.append(sample)
+                self._by_metric[sample.metric].append(sample)
 
 
 def time_weighted_average(values: Sequence[float], times: Sequence[float]) -> float:

@@ -22,7 +22,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.errors import ConfigError
+from repro.core.columns import SampleArray, scalar_fallback_enabled
 from repro.core.sample import Sample, SampleSet
 
 __all__ = ["QualityReport", "QuarantinedSample", "SampleSanitizer"]
@@ -126,7 +129,7 @@ class SampleSanitizer:
         return _check_values(time, work, metric_count)
 
     def sanitize(
-        self, samples: SampleSet | Iterable[Sample | Mapping]
+        self, samples: SampleSet | SampleArray | Iterable[Sample | Mapping]
     ) -> tuple[SampleSet, QualityReport]:
         """Split input into (clean sample set, quality report).
 
@@ -134,7 +137,23 @@ class SampleSanitizer:
         (``{"metric": ..., "time": ..., "work": ..., "metric_count": ...}``);
         records with invalid values are quarantined instead of raising the
         strict constructor's ``DataError``.
+
+        Columnar input (:class:`~repro.core.columns.SampleArray`, or a
+        :class:`SampleSet` whose columns are available) takes the
+        vectorized path — identical report, no per-sample Python — unless
+        ``SPIRE_SCALAR_FALLBACK`` forces the scalar reference loop.
         """
+        if isinstance(samples, SampleArray):
+            if scalar_fallback_enabled():
+                # Dirty rows must quarantine, not raise, so feed the scalar
+                # loop mapping records rather than strict Sample objects.
+                samples = samples.to_records()
+            else:
+                clean, report = self.sanitize_array(samples)
+                return clean.to_sample_set(), report
+        elif isinstance(samples, SampleSet) and not scalar_fallback_enabled():
+            clean, report = self.sanitize_array(samples.columns())
+            return clean.to_sample_set(), report
         report = QualityReport()
         survivors: list[Sample] = []
         for item in samples:
@@ -185,3 +204,83 @@ class SampleSanitizer:
         clean = SampleSet(s for s in survivors if s.metric not in starved)
         report.kept = len(clean)
         return clean, report
+
+    def sanitize_array(
+        self, array: SampleArray
+    ) -> tuple[SampleArray, QualityReport]:
+        """Vectorized :meth:`sanitize` over columnar measurements.
+
+        Accepts a possibly-dirty :class:`~repro.core.columns.SampleArray`
+        (NaN/Inf/negative values allowed) and returns a clean array plus
+        the same :class:`QualityReport` the scalar loop would produce:
+        quarantine entries in row order with identical reason strings, and
+        identical metric-floor drops.
+        """
+        report = QualityReport()
+        report.total = len(array)
+        if not len(array):
+            return array, report
+
+        t, w, m = array.time, array.work, array.metric_count
+        value_bad = (
+            np.isnan(t) | np.isnan(w) | np.isnan(m)
+            | np.isinf(t) | np.isinf(w) | np.isinf(m)
+            | (t <= 0) | (w < 0) | (m < 0)
+        )
+        empty_name = [not name for name in array.metric_names]
+        if any(empty_name):
+            name_bad = np.asarray(empty_name, dtype=bool)[array.metric_ids]
+        else:
+            name_bad = np.zeros(len(array), dtype=bool)
+        bad = value_bad | name_bad
+
+        if bad.any():
+            # Quarantine entries are rare; resolve their reasons through
+            # the scalar checker so the report text matches exactly.
+            names = array.metric_names
+            for index in np.flatnonzero(bad):
+                metric = names[int(array.metric_ids[index])]
+                ti = float(t[index])
+                wi = float(w[index])
+                mi = float(m[index])
+                if not metric:
+                    report.quarantined.append(
+                        QuarantinedSample(metric="", reason="empty metric name")
+                    )
+                    continue
+                reason = _check_values(ti, wi, mi)
+                report.quarantined.append(
+                    QuarantinedSample(
+                        metric=metric, reason=reason, time=ti, work=wi,
+                        metric_count=mi,
+                    )
+                )
+            survivors = array.select(~bad)
+        else:
+            survivors = array
+
+        # Metric floor: partial metrics cannot support a fit.
+        counts = np.bincount(
+            survivors.metric_ids,
+            minlength=max(len(survivors.metric_names), 1),
+        )
+        starved_ids = {
+            ident
+            for ident in np.unique(survivors.metric_ids)
+            if counts[ident] < self.min_samples_per_metric
+        }
+        if starved_ids:
+            for ident in sorted(
+                starved_ids, key=lambda i: survivors.metric_names[int(i)]
+            ):
+                metric = survivors.metric_names[int(ident)]
+                report.dropped_metrics[metric] = (
+                    f"{int(counts[ident])} sample(s) < "
+                    f"min_samples_per_metric={self.min_samples_per_metric}"
+                )
+            starved_mask = np.isin(
+                survivors.metric_ids, np.fromiter(starved_ids, dtype=np.int64)
+            )
+            survivors = survivors.select(~starved_mask)
+        report.kept = len(survivors)
+        return survivors, report

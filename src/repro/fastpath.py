@@ -1,0 +1,26 @@
+"""Dispatch control for the vectorized hot path.
+
+Every vectorized kernel (columnar sampling, batch piecewise evaluation,
+array-based fitting and estimation) keeps its original scalar
+implementation alive as a reference oracle.  Setting
+``SPIRE_SCALAR_FALLBACK=1`` in the environment forces every dispatch
+point back onto the scalar path — the escape hatch used by the hot-path
+benchmark and by anyone bisecting a numerical discrepancy.  The flag is
+read at call time so a single process can compare both paths.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["scalar_fallback_enabled"]
+
+_FALLBACK_OFF = ("", "0", "false", "no", "off")
+
+
+def scalar_fallback_enabled() -> bool:
+    """True when ``SPIRE_SCALAR_FALLBACK`` forces the scalar reference path."""
+    return (
+        os.environ.get("SPIRE_SCALAR_FALLBACK", "").strip().lower()
+        not in _FALLBACK_OFF
+    )

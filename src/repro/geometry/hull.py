@@ -9,12 +9,19 @@ and target, i.e. an increasing, concave-down chain that lies on or above
 every input point.
 
 The algorithm is Jarvis' march [Jarvis 1973] restricted to the upper-left
-hull, exactly as the paper describes.
+hull, exactly as the paper describes.  The vectorized variant evaluates
+each wrapping step as one slope-array reduction instead of a Python
+``max`` over tuples; the walk itself stays sequential because every step
+depends on the previous vertex.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
+
+import numpy as np
+
+from repro.fastpath import scalar_fallback_enabled
 
 
 def _slope(origin: tuple[float, float], point: tuple[float, float]) -> float:
@@ -22,6 +29,76 @@ def _slope(origin: tuple[float, float], point: tuple[float, float]) -> float:
     if dx <= 0:
         raise ValueError("slope target must lie strictly to the right of origin")
     return (point[1] - origin[1]) / dx
+
+
+def upper_concave_chain_arrays(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    anchor: tuple[float, float] = (0.0, 0.0),
+    target: tuple[float, float] | None = None,
+) -> list[tuple[float, float]]:
+    """Vectorized :func:`upper_concave_chain` over coordinate columns.
+
+    Identical contract and tie-breaking: each wrapping step picks the
+    highest slope from the current vertex, ties broken toward the largest
+    ``x``.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if target is None:
+        if not len(x):
+            raise ValueError("cannot infer a target from an empty point set")
+        top = np.flatnonzero(y == y.max())
+        pick = top[np.argmin(x[top])]
+        target = (float(x[pick]), float(y[pick]))
+    target = (float(target[0]), float(target[1]))
+    anchor = (float(anchor[0]), float(anchor[1]))
+    if target[0] < anchor[0]:
+        raise ValueError("target must not lie left of the anchor")
+    if target[0] == anchor[0]:
+        # Degenerate: the chain is a single (possibly vertical) step.
+        if target == anchor:
+            return [anchor]
+        return [anchor, target]
+
+    # Candidates strictly between anchor and target in x, plus the target;
+    # sorted by x so each step's viable set is a suffix.
+    mask = (x > anchor[0]) & (x <= target[0])
+    cx, cy = x[mask], y[mask]
+    if not ((cx == target[0]) & (cy == target[1])).any():
+        cx = np.append(cx, target[0])
+        cy = np.append(cy, target[1])
+    order = np.argsort(cx, kind="stable")
+    cx, cy = cx[order], cy[order]
+
+    chain = [anchor]
+    current = anchor
+    while current != target:
+        start = int(np.searchsorted(cx, current[0], side="right"))
+        if start == len(cx):
+            # Can only happen if the target shares x with current; close the
+            # chain with a vertical step.
+            chain.append(target)
+            break
+        slopes = (cy[start:] - current[1]) / (cx[start:] - current[0])
+        ties = np.flatnonzero(slopes == slopes.max())
+        # Highest slope wins; ties broken toward the farthest point (the
+        # last tie in x-ascending order) so the chain uses as few vertices
+        # as possible.
+        pick = start + int(ties[-1])
+        best = (float(cx[pick]), float(cy[pick]))
+        chain.append(best)
+        current = best
+        if current[0] >= target[0] and current != target:
+            # A point above the target at the same x terminated the walk.
+            # The paper's algorithm walks until the highest-throughput
+            # sample, which by construction is the global maximum, so this
+            # indicates the caller passed an inconsistent target.
+            raise ValueError(
+                "chain reached a point at or beyond the target that is not the target; "
+                "the target must be the maximum-y point of its column"
+            )
+    return chain
 
 
 def upper_concave_chain(
@@ -50,6 +127,14 @@ def upper_concave_chain(
         slopes are non-increasing (concave-down) and every input point in
         the covered x range lies on or below the chain.
     """
+    if not scalar_fallback_enabled():
+        pts = list(points)
+        return upper_concave_chain_arrays(
+            np.asarray([p[0] for p in pts], dtype=np.float64),
+            np.asarray([p[1] for p in pts], dtype=np.float64),
+            anchor=anchor,
+            target=target,
+        )
     pts = [(float(x), float(y)) for x, y in points]
     if target is None:
         if not pts:

@@ -11,6 +11,41 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
+from repro.fastpath import scalar_fallback_enabled
+
+
+def pareto_front_arrays(
+    xs: np.ndarray, ys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`pareto_front` over coordinate columns.
+
+    Returns the front as ``(x, y)`` arrays sorted by decreasing ``x``
+    (increasing ``y``), deduplicated — exactly the scalar ordering.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if not len(x):
+        return np.empty(0), np.empty(0)
+    # Lexicographic ascending sort by (x, y) then neighbor-dedup — the
+    # same row order np.unique(axis=0) produces, without its void-view
+    # detour; reversing yields decreasing x with decreasing y inside each
+    # x column — the scalar sort order.
+    order = np.lexsort((y, x))
+    x, y = x[order], y[order]
+    if len(x) > 1:
+        fresh = np.empty(len(x), dtype=bool)
+        fresh[0] = True
+        fresh[1:] = (x[1:] != x[:-1]) | (y[1:] != y[:-1])
+        x, y = x[fresh], y[fresh]
+    x, y = x[::-1], y[::-1]
+    best_before = np.empty(len(y))
+    best_before[0] = -np.inf
+    np.maximum.accumulate(y[:-1], out=best_before[1:])
+    keep = y > best_before
+    return np.ascontiguousarray(x[keep]), np.ascontiguousarray(y[keep])
+
 
 def pareto_front(
     points: Sequence[tuple[float, float]],
@@ -25,6 +60,15 @@ def pareto_front(
 
     Duplicate points are collapsed to a single representative.
     """
+    if not scalar_fallback_enabled():
+        pts = list(points)
+        if not pts:
+            return []
+        fx, fy = pareto_front_arrays(
+            np.asarray([p[0] for p in pts], dtype=np.float64),
+            np.asarray([p[1] for p in pts], dtype=np.float64),
+        )
+        return list(zip(fx.tolist(), fy.tolist()))
     unique = sorted({(float(x), float(y)) for x, y in points}, key=lambda p: (-p[0], -p[1]))
     front: list[tuple[float, float]] = []
     best_y = float("-inf")

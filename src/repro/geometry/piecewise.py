@@ -15,6 +15,8 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 
 @dataclass(frozen=True, slots=True)
 class Breakpoint:
@@ -56,6 +58,7 @@ class PiecewiseLinear:
                 )
         self._points = points
         self._xs = [p.x for p in points]
+        self._arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @property
     def breakpoints(self) -> Sequence[Breakpoint]:
@@ -106,9 +109,79 @@ class PiecewiseLinear:
         frac = (x - left.x) / (right.x - left.x)
         return left.y + frac * (right.y - left.y)
 
+    def _evaluation_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(x, y, run_min_y)`` arrays for batch evaluation.
+
+        ``run_min_y[p]`` is the minimum ``y`` over the run of breakpoints
+        sharing ``x`` with position ``p`` — the value a step discontinuity
+        evaluates to when hit exactly.
+        """
+        if self._arrays is None:
+            bx = np.asarray(self._xs, dtype=np.float64)
+            by = np.asarray([p.y for p in self._points], dtype=np.float64)
+            starts = np.empty(len(bx), dtype=bool)
+            starts[0] = True
+            starts[1:] = bx[1:] != bx[:-1]
+            start_indices = np.flatnonzero(starts)
+            run_mins = np.minimum.reduceat(by, start_indices)
+            counts = np.diff(np.append(start_indices, len(bx)))
+            run_min_y = np.repeat(run_mins, counts)
+            self._arrays = (bx, by, run_min_y)
+        return self._arrays
+
+    def evaluate_array(self, xs) -> np.ndarray:
+        """Vectorized evaluation via ``np.searchsorted`` interpolation.
+
+        Matches :meth:`__call__` exactly: constant extrapolation outside
+        the breakpoint range, and the tighter (smaller) value at a step
+        discontinuity's shared ``x``.
+        """
+        x = np.asarray(xs, dtype=np.float64)
+        if np.isnan(x).any():
+            raise ValueError("cannot evaluate a piecewise function at NaN")
+        bx, by, run_min_y = self._evaluation_arrays()
+        result = np.empty(x.shape, dtype=np.float64)
+        # Boundary clamps take precedence, exactly as in __call__: at the
+        # extreme coordinates the boundary breakpoint's own y wins even if
+        # a step discontinuity shares its x.
+        low = x <= bx[0]
+        high = x >= bx[-1]
+        result[low] = by[0]
+        result[high] = by[-1]
+        interior = ~(low | high)
+        if interior.any():
+            xi = x[interior]
+            lo = np.searchsorted(bx, xi, side="left")
+            hi = np.searchsorted(bx, xi, side="right")
+            values = np.empty(xi.shape, dtype=np.float64)
+            exact = lo != hi
+            if exact.any():
+                # x coincides with one or more breakpoints: the tightest
+                # (smallest) value among them.  searchsorted('left') lands
+                # on the first breakpoint of the equal-x run.
+                values[exact] = run_min_y[lo[exact]]
+            interp = ~exact
+            if interp.any():
+                i = lo[interp]
+                left_x = bx[i - 1]
+                right_x = bx[i]
+                left_y = by[i - 1]
+                frac = (xi[interp] - left_x) / (right_x - left_x)
+                values[interp] = left_y + frac * (by[i] - left_y)
+            result[interior] = values
+        return result
+
     def evaluate_many(self, xs: Iterable[float]) -> list[float]:
-        """Evaluate the function at each value in ``xs``."""
-        return [self(x) for x in xs]
+        """Evaluate the function at each value in ``xs``.
+
+        Routed through :meth:`evaluate_array`; the scalar loop remains
+        available as the reference oracle via ``SPIRE_SCALAR_FALLBACK``.
+        """
+        from repro.fastpath import scalar_fallback_enabled
+
+        if scalar_fallback_enabled():
+            return [self(x) for x in xs]
+        return self.evaluate_array(np.asarray(list(xs), dtype=np.float64)).tolist()
 
     def segments(self) -> list[tuple[Breakpoint, Breakpoint]]:
         """Return the (possibly degenerate) segments between breakpoints."""

@@ -29,6 +29,8 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core import AnalysisReport, SampleSet, SpireModel, TrainOptions
+from repro.core.columns import SampleArray
+from repro.fastpath import scalar_fallback_enabled
 from repro.counters import CollectionConfig, CollectionResult, SampleCollector
 from repro.counters.events import default_catalog
 from repro.errors import DegradedDataWarning, SpireError
@@ -248,15 +250,26 @@ def run_experiment_with_report(
 
     training_runs: dict[str, WorkloadRun] = {}
     testing_runs: dict[str, WorkloadRun] = {}
-    pooled = SampleSet()
+    training_sets: list[SampleSet] = []
     for task, run in zip(plan.tasks, runs):
         if run is None:
             continue  # terminally failed under failure_policy="skip"
         if task.role == "training":
             training_runs[task.name] = run
-            pooled.extend(run.collection.samples)
+            training_sets.append(run.collection.samples)
         else:
             testing_runs[task.name] = run
+
+    if scalar_fallback_enabled():
+        pooled = SampleSet()
+        for sample_set in training_sets:
+            pooled.extend(sample_set)
+    else:
+        # Pool columns, not objects: one concatenation of per-run arrays
+        # replaces hundreds of thousands of Sample constructions.
+        pooled = SampleSet.from_columns(
+            SampleArray.concat([s.columns() for s in training_sets])
+        )
 
     if report.failures:
         # Only reachable under failure_policy="skip" (the "raise" policy

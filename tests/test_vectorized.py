@@ -1,0 +1,242 @@
+"""Scalar-vs-vectorized parity: the NumPy kernels against the reference path.
+
+Every kernel behind ``SPIRE_SCALAR_FALLBACK`` must reproduce the scalar
+implementation: same breakpoints, same estimates, same rejection reasons.
+These tests run each operation twice — once per path — and compare to
+1e-9 (bit-identical in practice), plus the edge cases where the two
+implementations are most likely to drift: empty groups, single-breakpoint
+functions, duplicate-x Pareto columns, all-infinite-intensity metrics,
+and NaN rejection in the sanitizers.
+"""
+
+import math
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.columns import SampleArray
+from repro.core.direction import detect_direction, spearman, spearman_arrays
+from repro.core.ensemble import SpireModel
+from repro.core.roofline import fit_metric_roofline
+from repro.core.sample import Sample, SampleSet
+from repro.core.sanitize import SampleSanitizer
+from repro.errors import FitError
+from repro.geometry.pareto import pareto_front
+from repro.geometry.piecewise import Breakpoint, PiecewiseLinear
+
+TOLERANCE = 1e-9
+
+
+@contextmanager
+def forced_fallback(monkeypatch_env: dict, enabled: bool):
+    previous = monkeypatch_env.get("SPIRE_SCALAR_FALLBACK")
+    try:
+        if enabled:
+            monkeypatch_env["SPIRE_SCALAR_FALLBACK"] = "1"
+        else:
+            monkeypatch_env.pop("SPIRE_SCALAR_FALLBACK", None)
+        yield
+    finally:
+        monkeypatch_env.pop("SPIRE_SCALAR_FALLBACK", None)
+        if previous is not None:
+            monkeypatch_env["SPIRE_SCALAR_FALLBACK"] = previous
+
+
+def both_paths(operation):
+    """Run ``operation`` under the scalar and vectorized paths."""
+    import os
+
+    results = []
+    for enabled in (True, False):
+        with forced_fallback(os.environ, enabled):
+            results.append(operation())
+    return results
+
+
+def close(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= TOLERANCE * max(1.0, abs(a), abs(b))
+
+
+def assert_model_parity(scalar: SpireModel, vectorized: SpireModel) -> None:
+    assert scalar.metrics == vectorized.metrics
+    for metric in scalar.metrics:
+        s_bps = scalar.roofline(metric).function.breakpoints
+        v_bps = vectorized.roofline(metric).function.breakpoints
+        assert len(s_bps) == len(v_bps), metric
+        for s_bp, v_bp in zip(s_bps, v_bps):
+            assert close(s_bp.x, v_bp.x), metric
+            assert close(s_bp.y, v_bp.y), metric
+
+
+@st.composite
+def sample_cloud(draw):
+    metrics = draw(st.sampled_from([("m",), ("m", "n")]))
+    samples = []
+    for metric in metrics:
+        n = draw(st.integers(min_value=2, max_value=25))
+        for _ in range(n):
+            work = draw(st.floats(min_value=1.0, max_value=1e6))
+            time = draw(st.floats(min_value=1.0, max_value=1e6))
+            count = draw(
+                st.one_of(
+                    st.just(0.0), st.floats(min_value=1e-3, max_value=1e6)
+                )
+            )
+            samples.append(
+                Sample(metric, time=time, work=work, metric_count=count)
+            )
+    return samples
+
+
+@settings(max_examples=40, deadline=None)
+@given(sample_cloud())
+def test_train_and_estimate_parity(samples):
+    scalar, vectorized = both_paths(
+        lambda: SpireModel.train(SampleSet(samples), jobs=1)
+    )
+    assert_model_parity(scalar, vectorized)
+
+    s_est, v_est = both_paths(lambda: scalar.estimate(SampleSet(samples)))
+    assert s_est.per_metric.keys() == v_est.per_metric.keys()
+    for metric, value in s_est.per_metric.items():
+        assert close(value, v_est.per_metric[metric])
+    assert s_est.sample_counts == v_est.sample_counts
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.lists(
+        st.floats(min_value=-10.0, max_value=110.0), min_size=1, max_size=20
+    ),
+)
+def test_piecewise_evaluation_parity(points, queries):
+    xs = sorted({round(x, 3) for x, _ in points})
+    bps = [Breakpoint(x, y) for x, (_, y) in zip(xs, points)]
+    function = PiecewiseLinear(bps)
+    scalar = [function(q) for q in queries]
+    batch = function.evaluate_many(queries)
+    assert len(scalar) == len(batch)
+    for a, b in zip(scalar, batch):
+        assert close(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([1.0, 2.0, 2.0, 3.0, 5.0]),  # duplicate-x heavy
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_pareto_front_parity_with_duplicate_x(points):
+    scalar, vectorized = both_paths(lambda: pareto_front(points))
+    assert scalar == vectorized
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100.0),
+            st.floats(min_value=0.1, max_value=100.0),
+        ),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_direction_parity(pairs):
+    scalar, vectorized = both_paths(lambda: detect_direction(pairs))
+    assert scalar == vectorized
+    if len(pairs) >= 3:
+        xs = [x for x, _ in pairs]
+        ys = [y for _, y in pairs]
+        assert close(
+            spearman(xs, ys),
+            spearman_arrays(np.asarray(xs), np.asarray(ys)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+
+
+def test_empty_sample_group_raises_on_both_paths():
+    for result in both_paths(
+        lambda: pytest.raises(FitError, fit_metric_roofline, [])
+    ):
+        assert "zero samples" in str(result.value)
+
+
+def test_single_breakpoint_function_batch_evaluation():
+    function = PiecewiseLinear([Breakpoint(2.0, 5.0)])
+    assert function.evaluate_many([0.0, 2.0, 10.0]) == [5.0, 5.0, 5.0]
+    assert function(math.inf) == 5.0
+
+
+def test_all_infinite_intensity_metric_parity():
+    # The metric never fires: every sample has metric_count == 0.
+    samples = [
+        Sample("m", time=1.0, work=float(w), metric_count=0.0)
+        for w in (3, 7, 5)
+    ]
+    scalar, vectorized = both_paths(lambda: fit_metric_roofline(samples))
+    assert_model_parity(
+        SpireModel({"m": scalar}), SpireModel({"m": vectorized})
+    )
+    # A constant at the best observed throughput.
+    assert len(vectorized.function.breakpoints) == 1
+    assert vectorized.function(123.0) == 7.0
+    s_est, v_est = both_paths(
+        lambda: SpireModel({"m": scalar}).estimate(SampleSet(samples))
+    )
+    assert close(s_est.per_metric["m"], v_est.per_metric["m"])
+
+
+def test_sanitizer_rejection_parity():
+    records = [
+        {"metric": "m", "time": 1.0, "work": 2.0, "metric_count": 3.0},
+        {"metric": "m", "time": float("nan"), "work": 2.0, "metric_count": 3.0},
+        {"metric": "m", "time": 1.0, "work": -2.0, "metric_count": 3.0},
+        {"metric": "m", "time": 1.0, "work": 2.0, "metric_count": float("inf")},
+        {"metric": "m", "time": 0.0, "work": 2.0, "metric_count": 3.0},
+        {"metric": "m", "time": 1.0, "work": 2.0, "metric_count": 3.0},
+    ]
+
+    def run():
+        # from_records(validate=False) admits the dirty rows; the sanitizer
+        # then routes the array through the vectorized screen or, under the
+        # fallback, the scalar record loop.
+        array = SampleArray.from_records(records, validate=False)
+        return SampleSanitizer().sanitize(array)
+
+    (s_clean, s_report), (v_clean, v_report) = both_paths(run)
+    assert len(s_clean) == len(v_clean) == 2
+    assert s_report.total == v_report.total
+    assert s_report.kept == v_report.kept
+    assert [q.reason for q in s_report.quarantined] == [
+        q.reason for q in v_report.quarantined
+    ]
+    assert [q.reason for q in v_report.quarantined] == [
+        "NaN time",
+        "negative work",
+        "infinite metric_count",
+        "non-positive time",
+    ]
