@@ -1,0 +1,143 @@
+"""Simulation-substrate bench: scalar per-uop loop vs columnar kernels.
+
+The vectorized simulation substrate (``repro.trace.trace_array`` plus the
+array kernels behind ``TracePipeline.execute_array`` and the batched
+``CoreModel.simulate_run``) claims cold trace simulation without changing
+a single counter.  This bench measures both claims:
+
+- the scalar reference path (``SPIRE_SCALAR_FALLBACK=1``) and the
+  vectorized default run ``collect_trace_samples`` cold (fresh pipeline,
+  fresh trace) over every kernel, small scale and full paper scale;
+- both paths must agree **bit-exactly**: identical final counters and
+  identical sample records for every kernel, plus identical
+  ``simulate_run`` activities from the statistical substrate.
+
+Results land in ``BENCH_sim.json``.  Speedups are recorded, not asserted
+— wall-clock gates flake across hosts (see ``bench_pipeline``); the CI
+sim-bench job runs the small scale purely for the equivalence check.
+
+Environment knobs:
+
+- ``SPIRE_BENCH_SIM_FULL=0`` — skip the full-scale measurement (CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import fields
+
+from conftest import write_artifact
+
+from repro.trace.kernels import KERNELS
+from repro.trace.sampling import collect_trace_samples
+from repro.uarch.activity import WindowActivity
+from repro.uarch.config import skylake_gold_6126
+from repro.uarch.core import CoreModel
+from repro.workloads import all_workloads
+
+from bench_hotpath import scalar_fallback
+
+_ACTIVITY_FIELDS = tuple(spec.name for spec in fields(WindowActivity))
+
+
+def _run_kernels(n_uops: int, window_uops: int):
+    """Cold ``collect_trace_samples`` over every kernel; returns results."""
+    results = {}
+    started = time.perf_counter()
+    for kernel in KERNELS:
+        results[kernel] = collect_trace_samples(
+            kernel, n_uops=n_uops, window_uops=window_uops, seed=3
+        )
+    elapsed = time.perf_counter() - started
+    return results, elapsed
+
+
+def _assert_trace_equivalent(scalar_runs, vector_runs) -> None:
+    """Bit-exact: final counters and every sample record must match."""
+    assert scalar_runs.keys() == vector_runs.keys()
+    for kernel in scalar_runs:
+        scalar_run = scalar_runs[kernel]
+        vector_run = vector_runs[kernel]
+        assert scalar_run.final_counters == vector_run.final_counters, kernel
+        assert scalar_run.instructions == vector_run.instructions, kernel
+        assert scalar_run.cycles == vector_run.cycles, kernel
+        scalar_records = scalar_run.samples.to_records()
+        vector_records = vector_run.samples.to_records()
+        assert scalar_records == vector_records, kernel
+
+
+def _run_uarch(repeats: int):
+    """Batched ``simulate_run`` over every suite workload's phase specs."""
+    core = CoreModel(skylake_gold_6126())
+    specs = [
+        phase.spec if hasattr(phase, "spec") else phase
+        for workload in all_workloads()
+        for phase in workload.phases
+    ] * repeats
+    rng = random.Random(17)
+    started = time.perf_counter()
+    activities = core.simulate_run(specs, rng)
+    elapsed = time.perf_counter() - started
+    return activities, elapsed
+
+
+def _assert_uarch_equivalent(scalar_acts, vector_acts) -> None:
+    assert len(scalar_acts) == len(vector_acts)
+    for scalar_act, vector_act in zip(scalar_acts, vector_acts):
+        for name in _ACTIVITY_FIELDS:
+            assert getattr(scalar_act, name) == getattr(vector_act, name), name
+
+
+def _measure(n_uops: int, window_uops: int, uarch_repeats: int) -> dict:
+    runs = {}
+    activities = {}
+    timings = {}
+    for label, enabled in (("scalar", True), ("vectorized", False)):
+        with scalar_fallback(enabled):
+            kernel_runs, trace_s = _run_kernels(n_uops, window_uops)
+            acts, uarch_s = _run_uarch(uarch_repeats)
+        runs[label] = kernel_runs
+        activities[label] = acts
+        timings[label] = {
+            "trace_s": round(trace_s, 4),
+            "uarch_s": round(uarch_s, 4),
+        }
+    _assert_trace_equivalent(runs["scalar"], runs["vectorized"])
+    _assert_uarch_equivalent(activities["scalar"], activities["vectorized"])
+
+    return {
+        "kernels": len(KERNELS),
+        "n_uops": n_uops,
+        "window_uops": window_uops,
+        "uarch_windows": len(activities["vectorized"]),
+        **timings,
+        "speedup_trace": round(
+            timings["scalar"]["trace_s"] / timings["vectorized"]["trace_s"], 2
+        ),
+        "speedup_uarch": round(
+            timings["scalar"]["uarch_s"] / timings["vectorized"]["uarch_s"], 2
+        ),
+    }
+
+
+def test_sim_scalar_vs_vectorized(out_dir):
+    # Small scale: always runs (this is what the CI sim-bench job
+    # executes for the equivalence gate).
+    small = _measure(n_uops=8_000, window_uops=1_000, uarch_repeats=5)
+
+    payload = {"cpu_count": os.cpu_count(), "small": small}
+
+    # Full paper scale: the default collect_trace_samples geometry
+    # (60k uops x 5 intensities, 4k-uop windows) on every kernel.
+    if os.environ.get("SPIRE_BENCH_SIM_FULL", "1") != "0":
+        payload["full"] = _measure(
+            n_uops=60_000, window_uops=4_000, uarch_repeats=40
+        )
+
+    text = json.dumps(payload, indent=2)
+    print()
+    print(text)
+    write_artifact("BENCH_sim.json", text)

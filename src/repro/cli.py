@@ -520,6 +520,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="cache dir for checkpoint faults (default: no cache)",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative hotspots",
+    )
     p.set_defaults(func=_cmd_faultsim)
 
     p = sub.add_parser(
@@ -567,8 +572,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# Which repro modules belong to which profiling phase: producing counter
+# samples (simulation) vs learning rooflines from them (fitting).
+_SIMULATION_PHASE_PATTERN = r"repro[/\\](uarch|trace|counters|workloads|runtime)"
+_FIT_PHASE_PATTERN = r"repro[/\\](core|geometry)"
+
+
+def _phase_tottime(stats, pattern: str) -> float:
+    """Total self-time across all profiled functions in matching files."""
+    import re
+
+    matcher = re.compile(pattern)
+    return sum(
+        timings[2]
+        for (filename, _, _), timings in stats.stats.items()
+        if matcher.search(filename)
+    )
+
+
 def _run_profiled(args: argparse.Namespace) -> int:
-    """Run a subcommand under cProfile; print top-20 cumulative to stderr."""
+    """Run a subcommand under cProfile; print top-20 cumulative to stderr.
+
+    The overall top-20 is followed by two labeled top-20 sections that
+    attribute time to the simulation phase (trace/uarch substrates,
+    counter collection, workload generation, the experiment runtime) and
+    the fit phase (roofline fitting and geometry) separately, plus a
+    one-line self-time summary for each.
+    """
     import cProfile
     import pstats
 
@@ -578,6 +608,18 @@ def _run_profiled(args: argparse.Namespace) -> int:
     finally:
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(20)
+        sim_seconds = _phase_tottime(stats, _SIMULATION_PHASE_PATTERN)
+        fit_seconds = _phase_tottime(stats, _FIT_PHASE_PATTERN)
+        print(
+            "=== phase summary (self time): "
+            f"simulation {sim_seconds:.3f}s, fit {fit_seconds:.3f}s ===",
+            file=sys.stderr,
+        )
+        print("=== simulation phase (uarch/trace/counters/workloads/runtime) ===",
+              file=sys.stderr)
+        stats.print_stats(_SIMULATION_PHASE_PATTERN, 20)
+        print("=== fit phase (core/geometry) ===", file=sys.stderr)
+        stats.print_stats(_FIT_PHASE_PATTERN, 20)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -239,8 +239,9 @@ class SampleCollector:
             accumulators = fresh_accumulators()
             window_in_period = 0
 
-        for spec in specs:
-            activity = core.simulate_window(spec, rng)
+        # One batched call per run: CoreModel vectorizes the whole spec
+        # column internally (bit-identical to per-window simulate_window).
+        for activity in core.simulate_run(list(specs), rng):
             aggregate = activity if aggregate is None else aggregate.merged_with(activity)
             total_cycles += activity.cycles
             total_instructions += activity.instructions

@@ -14,14 +14,22 @@ rates.
 
 from repro.trace.branch import GsharePredictor
 from repro.trace.cache import CacheHierarchy, SetAssociativeCache
-from repro.trace.kernels import KERNELS, kernel_by_name, make_kernel_trace
+from repro.trace.kernels import (
+    KERNELS,
+    array_builder_by_name,
+    kernel_by_name,
+    make_kernel_trace,
+    make_kernel_trace_array,
+)
 from repro.trace.pipeline import PipelineConfig, PipelineCounters, TracePipeline
 from repro.trace.program import TraceProgram
 from repro.trace.sampling import TRACE_EVENT_AREAS, collect_trace_samples
+from repro.trace.trace_array import KIND_CODES, TraceArray
 from repro.trace.uops import MicroOp
 
 __all__ = [
     "KERNELS",
+    "KIND_CODES",
     "CacheHierarchy",
     "GsharePredictor",
     "MicroOp",
@@ -29,9 +37,12 @@ __all__ = [
     "PipelineCounters",
     "SetAssociativeCache",
     "TRACE_EVENT_AREAS",
+    "TraceArray",
     "TracePipeline",
     "TraceProgram",
+    "array_builder_by_name",
     "collect_trace_samples",
     "kernel_by_name",
     "make_kernel_trace",
+    "make_kernel_trace_array",
 ]

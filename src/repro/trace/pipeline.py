@@ -24,13 +24,28 @@ from :mod:`repro.uarch`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ConfigError
+from repro.fastpath import scalar_fallback_enabled
 from repro.trace.branch import GsharePredictor
 from repro.trace.cache import CacheHierarchy
-from repro.trace.uops import MicroOp
+from repro.trace.uops import KINDS, MicroOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.trace_array import TraceArray
+
+_DIV_CODE = KINDS.index("div")
+_LOAD_CODE = KINDS.index("load")
+_BRANCH_CODE = KINDS.index("branch")
+
+# Initial span of the per-kind FU occupancy rings (slots, power of two).
+# The live scheduling window — cycles between the current dispatch and the
+# furthest booked FU slot — is bounded by dependence latencies and
+# contention, typically a few hundred cycles; rings double on the rare
+# occasion a live entry would be overwritten.
+_FU_RING_SIZE = 1 << 12
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,29 +107,17 @@ class PipelineCounters:
 
     def as_dict(self) -> dict[str, float]:
         return {
-            "trace.instructions": float(self.instructions),
-            "trace.cycles": float(self.cycles),
-            "trace.branches": float(self.branches),
-            "trace.branch_mispredicts": float(self.branch_mispredicts),
-            "trace.loads": float(self.loads),
-            "trace.l1_misses": float(self.l1_misses),
-            "trace.l2_misses": float(self.l2_misses),
-            "trace.l3_misses": float(self.l3_misses),
-            "trace.divides": float(self.divides),
-            "trace.divider_busy_cycles": float(self.divider_busy_cycles),
-            "trace.redirect_stall_cycles": float(self.redirect_stall_cycles),
-            "trace.rob_stall_cycles": float(self.rob_stall_cycles),
-            "trace.icache_misses": float(self.icache_misses),
-            "trace.icache_stall_cycles": float(self.icache_stall_cycles),
-            "trace.operand_wait_cycles": float(self.operand_wait_cycles),
-            "trace.fu_contention_cycles": float(self.fu_contention_cycles),
-            "trace.memory_wait_cycles": float(self.memory_wait_cycles),
+            key: float(getattr(self, name))
+            for key, name in zip(_COUNTER_KEYS, _COUNTER_FIELDS)
         }
 
     def delta_from(self, earlier: "PipelineCounters") -> dict[str, float]:
-        now = self.as_dict()
-        before = earlier.as_dict()
-        return {name: now[name] - before[name] for name in now}
+        # Field-wise, without materializing two intermediate dicts — this
+        # runs once per sampling window on the hot path.
+        return {
+            key: float(getattr(self, name) - getattr(earlier, name))
+            for key, name in zip(_COUNTER_KEYS, _COUNTER_FIELDS)
+        }
 
     def copy(self) -> "PipelineCounters":
         return PipelineCounters(**vars(self))
@@ -122,6 +125,10 @@ class PipelineCounters:
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+
+_COUNTER_FIELDS = tuple(spec.name for spec in fields(PipelineCounters))
+_COUNTER_KEYS = tuple("trace." + name for name in _COUNTER_FIELDS)
 
 
 class TracePipeline:
@@ -147,7 +154,14 @@ class TracePipeline:
         self._register_ready: dict[int, int] = {}
         self._fetch_ready = 0          # next cycle fetch can deliver
         self._fetched_this_cycle = 0
-        self._fu_usage: dict[tuple[str, int], int] = {}
+        # Per-kind FU occupancy as rolling ring buffers: slot = cycle
+        # masked into the ring, valid only when the stamp matches.  Every
+        # probe starts at or after the current dispatch cycle, which is
+        # nondecreasing, so slots stamped before `_dispatch_floor` are
+        # dead and can be reused without clearing.
+        self._fu_ring_size = _FU_RING_SIZE
+        self._fu_rings: dict[str, tuple[list[int], list[int]]] = {}
+        self._dispatch_floor = 0
         self._divider_free = 0
         self._rob: deque[int] = deque()          # retire cycles, oldest first
         self._retire_times: deque[int] = deque()  # last `width` retire cycles
@@ -172,11 +186,60 @@ class TracePipeline:
             self.counters.divider_busy_cycles += self.config.divider_occupancy
             return start
         limit = self.config.throughput[kind]
+        ring = self._fu_rings.get(kind)
+        if ring is None:
+            size = self._fu_ring_size
+            ring = self._fu_rings[kind] = ([0] * size, [-1] * size)
+        counts, stamps = ring
+        mask = self._fu_ring_size - 1
+        floor = self._dispatch_floor
         cycle = earliest
-        while self._fu_usage.get((kind, cycle), 0) >= limit:
+        while True:
+            slot = cycle & mask
+            stamp = stamps[slot]
+            if stamp != cycle:
+                if stamp >= floor:
+                    # A live booking from another cycle shares this slot:
+                    # the scheduling window outgrew the ring.
+                    self._grow_fu_rings()
+                    return self._fu_start(kind, earliest)
+                stamps[slot] = cycle
+                counts[slot] = 1
+                return cycle
+            if counts[slot] < limit:
+                counts[slot] = counts[slot] + 1
+                return cycle
             cycle += 1
-        self._fu_usage[(kind, cycle)] = self._fu_usage.get((kind, cycle), 0) + 1
-        return cycle
+
+    def _grow_fu_rings(self) -> None:
+        """Double the FU rings until no two live bookings share a slot."""
+        floor = self._dispatch_floor
+        live = {
+            kind: [
+                (stamp, count)
+                for stamp, count in zip(stamps, counts)
+                if stamp >= floor
+            ]
+            for kind, (counts, stamps) in self._fu_rings.items()
+        }
+        size = self._fu_ring_size
+        while True:
+            size *= 2
+            mask = size - 1
+            if all(
+                len({stamp & mask for stamp, _ in entries}) == len(entries)
+                for entries in live.values()
+            ):
+                break
+        self._fu_ring_size = size
+        self._fu_rings = {}
+        for kind, entries in live.items():
+            counts = [0] * size
+            stamps = [-1] * size
+            for stamp, count in entries:
+                stamps[stamp & mask] = stamp
+                counts[stamp & mask] = count
+            self._fu_rings[kind] = (counts, stamps)
 
     def _rob_admit(self, fetch_cycle: int) -> int:
         """Dispatch cycle respecting ROB capacity; counts ROB stalls.
@@ -224,6 +287,7 @@ class TracePipeline:
                 self._fetched_this_cycle = 0
             fetch = self._fetch_cycle()
             dispatch = self._rob_admit(fetch)
+            self._dispatch_floor = dispatch
 
             ready = dispatch
             for source in uop.sources:
@@ -270,16 +334,276 @@ class TracePipeline:
             retire = self._retire(finish)
             counters.instructions += 1
             counters.cycles = max(counters.cycles, retire)
-
-            # Garbage-collect stale FU bookkeeping to bound memory.
-            if counters.instructions % 4096 == 0:
-                horizon = dispatch - 64
-                self._fu_usage = {
-                    key: value
-                    for key, value in self._fu_usage.items()
-                    if key[1] >= horizon
-                }
         return counters
+
+    def execute_array(self, trace: "TraceArray", block_size: int = 16384) -> PipelineCounters:
+        """Run a columnar trace fragment; bit-exact vs :meth:`execute`.
+
+        The trace is processed in blocks: per block, the order-determined
+        components — icache lookups, branch prediction, and the data-cache
+        hierarchy, all of which the scalar loop touches in trace order
+        regardless of pipeline timing — are resolved by the vectorized
+        batch kernels, then a tight scalar loop over pre-extracted columns
+        runs the fetch/ROB/dependence/FU/retire recurrence.
+
+        State persists across calls and is shared with :meth:`execute`,
+        so scalar and columnar windows can be mixed freely.  With
+        ``SPIRE_SCALAR_FALLBACK=1`` the trace is bridged to ``MicroOp``
+        objects and replayed through the scalar oracle instead.
+        """
+        if scalar_fallback_enabled():
+            return self.execute(trace.to_microops())
+        n = len(trace)
+        for start in range(0, n, block_size):
+            self._execute_block(trace.slice(start, min(start + block_size, n)))
+        return self.counters
+
+    def _execute_block(self, block: "TraceArray") -> None:
+        cfg = self.config
+        counters = self.counters
+        n = len(block)
+        if n == 0:
+            return
+        kind_column = block.kind
+
+        # Vectorized pre-pass.  These three components consume the trace
+        # in program order independent of scheduling, so batching them is
+        # exact: the icache sees every pc, the predictor every branch, and
+        # the hierarchy every load address, each in trace order.
+        icache_hit = self.icache.access_batch(block.pc)
+        icache_misses = int(n - icache_hit.sum())
+        branch_mask = kind_column == _BRANCH_CODE
+        n_branches = int(branch_mask.sum())
+        if n_branches:
+            correct = self.predictor.update_batch(
+                block.pc[branch_mask], block.taken[branch_mask]
+            ).tolist()
+        else:
+            correct = []
+        load_mask = kind_column == _LOAD_CODE
+        n_loads = int(load_mask.sum())
+        if n_loads:
+            levels, load_latencies = self.caches.access_batch(
+                block.address[load_mask]
+            )
+            counters.l1_misses += int((levels >= 1).sum())
+            counters.l2_misses += int((levels >= 2).sum())
+            counters.l3_misses += int((levels == 3).sum())
+            counters.memory_wait_cycles += int(load_latencies.sum())
+            load_latency = load_latencies.tolist()
+        else:
+            load_latency = []
+        n_divides = int((kind_column == _DIV_CODE).sum())
+
+        counters.icache_misses += icache_misses
+        counters.icache_stall_cycles += icache_misses * cfg.icache_miss_penalty
+        counters.branches += n_branches
+        counters.branch_mispredicts += n_branches - sum(correct)
+        counters.loads += n_loads
+        counters.divides += n_divides
+        counters.divider_busy_cycles += n_divides * cfg.divider_occupancy
+        counters.instructions += n
+
+        # Column extraction for the sequential recurrence.
+        kinds = kind_column.tolist()
+        hits = icache_hit.tolist()
+        dests = block.dest.tolist()
+        base_latency = block.latency.tolist()
+        offsets = block.src_offsets.tolist()
+        sources = block.src_values.tolist()
+
+        # Register scoreboard as a flat list (ready cycles are >= 1, so 0
+        # doubles as "never written" — the scalar dict's .get default).
+        max_register = block.max_register()
+        if self._register_ready:
+            max_register = max(max_register, max(self._register_ready))
+        registers = [0] * (max_register + 1)
+        for register, cycle in self._register_ready.items():
+            registers[register] = cycle
+
+        width = cfg.width
+        rob_size = cfg.rob_size
+        redirect_penalty = cfg.redirect_penalty
+        icache_penalty = cfg.icache_miss_penalty
+        occupancy = cfg.divider_occupancy
+        fetch_ready = self._fetch_ready
+        fetched = self._fetched_this_cycle
+        divider_free = self._divider_free
+        last_retire = self._last_retire
+        dispatch = self._dispatch_floor
+        ring_size = self._fu_ring_size
+        mask = ring_size - 1
+        ring_by_code: list = [None] * len(KINDS)
+        operand_wait = fu_contention = rob_stall = redirect_stall = 0
+        load_cursor = branch_cursor = 0
+
+        # The ROB and retire windows are bounded FIFOs (rob_size / width
+        # entries), so inside the block they run as fixed-size ring lists
+        # — no deque method dispatch or len() calls per uop — and are
+        # rebuilt as deques at the block boundary.
+        rob_entries = list(self._rob)
+        rob_count = len(rob_entries)
+        rob_buf = rob_entries + [0] * (rob_size - rob_count)
+        rob_head = 0
+        rob_tail = rob_count % rob_size
+        retire_entries = list(self._retire_times)
+        retire_count = len(retire_entries)
+        retire_buf = retire_entries + [0] * (width - retire_count)
+        retire_head = 0
+        retire_tail = retire_count % width
+
+        for i in range(n):
+            code = kinds[i]
+            if not hits[i]:
+                fetch_ready += icache_penalty
+                fetched = 0
+            if fetched >= width:
+                fetch_ready += 1
+                fetched = 0
+            fetch = fetch_ready
+            fetched += 1
+            if rob_count < rob_size:
+                dispatch = fetch
+                rob_count += 1
+            else:
+                free_at = rob_buf[rob_head]
+                rob_head += 1
+                if rob_head == rob_size:
+                    rob_head = 0
+                if free_at > fetch:
+                    dispatch = free_at
+                    rob_stall += free_at - fetch
+                    fetch_ready = free_at
+                    fetched = 1
+                else:
+                    dispatch = fetch
+
+            ready = dispatch
+            first = offsets[i]
+            last = offsets[i + 1]
+            if first < last:
+                t = registers[sources[first]]
+                if t > ready:
+                    ready = t
+                for j in range(first + 1, last):
+                    t = registers[sources[j]]
+                    if t > ready:
+                        ready = t
+            operand_wait += ready - dispatch
+
+            if code == _DIV_CODE:
+                start = divider_free if divider_free > ready else ready
+                divider_free = start + occupancy
+                latency = occupancy
+            else:
+                entry = ring_by_code[code]
+                if entry is None:
+                    name = KINDS[code]
+                    limit = cfg.throughput[name]
+                    ring = self._fu_rings.get(name)
+                    if ring is None:
+                        ring = self._fu_rings[name] = (
+                            [0] * ring_size,
+                            [-1] * ring_size,
+                        )
+                    ring_by_code[code] = entry = (ring[0], ring[1], limit)
+                counts, stamps, limit = entry
+                cycle = ready
+                while True:
+                    slot = cycle & mask
+                    stamp = stamps[slot]
+                    if stamp != cycle:
+                        if stamp >= dispatch:
+                            self._dispatch_floor = dispatch
+                            self._grow_fu_rings()
+                            ring_size = self._fu_ring_size
+                            mask = ring_size - 1
+                            ring_by_code = [None] * len(KINDS)
+                            ring = self._fu_rings[KINDS[code]]
+                            ring_by_code[code] = (ring[0], ring[1], limit)
+                            counts, stamps = ring
+                            cycle = ready
+                            continue
+                        stamps[slot] = cycle
+                        counts[slot] = 1
+                        start = cycle
+                        break
+                    if counts[slot] < limit:
+                        counts[slot] = counts[slot] + 1
+                        start = cycle
+                        break
+                    cycle += 1
+                if code == _LOAD_CODE:
+                    latency = load_latency[load_cursor]
+                    load_cursor += 1
+                else:
+                    latency = base_latency[i]
+            fu_contention += start - ready
+
+            finish = start + latency
+            dest = dests[i]
+            if dest >= 0:
+                registers[dest] = finish
+
+            if code == _BRANCH_CODE:
+                if not correct[branch_cursor]:
+                    redirect = finish + redirect_penalty
+                    if redirect > fetch_ready:
+                        redirect_stall += redirect - fetch_ready
+                        fetch_ready = redirect
+                        fetched = 0
+                branch_cursor += 1
+
+            retire = finish + 1
+            if retire < last_retire:
+                retire = last_retire
+            if retire_count >= width:
+                oldest = retire_buf[retire_head]
+                retire_head += 1
+                if retire_head == width:
+                    retire_head = 0
+                if oldest + 1 > retire:
+                    retire = oldest + 1
+            else:
+                retire_count += 1
+            retire_buf[retire_tail] = retire
+            retire_tail += 1
+            if retire_tail == width:
+                retire_tail = 0
+            last_retire = retire
+            rob_buf[rob_tail] = retire
+            rob_tail += 1
+            if rob_tail == rob_size:
+                rob_tail = 0
+
+        self._fetch_ready = fetch_ready
+        self._fetched_this_cycle = fetched
+        self._divider_free = divider_free
+        self._last_retire = last_retire
+        self._dispatch_floor = dispatch
+        self._register_ready = {
+            register: cycle for register, cycle in enumerate(registers) if cycle
+        }
+        if rob_head + rob_count <= rob_size:
+            self._rob = deque(rob_buf[rob_head : rob_head + rob_count])
+        else:
+            self._rob = deque(
+                rob_buf[rob_head:] + rob_buf[: rob_head + rob_count - rob_size]
+            )
+        if retire_head + retire_count <= width:
+            self._retire_times = deque(
+                retire_buf[retire_head : retire_head + retire_count]
+            )
+        else:
+            self._retire_times = deque(
+                retire_buf[retire_head:]
+                + retire_buf[: retire_head + retire_count - width]
+            )
+        counters.operand_wait_cycles += operand_wait
+        counters.fu_contention_cycles += fu_contention
+        counters.rob_stall_cycles += rob_stall
+        counters.redirect_stall_cycles += redirect_stall
+        counters.cycles = max(counters.cycles, last_retire)
 
     def snapshot(self) -> PipelineCounters:
         """A copy of the running totals."""

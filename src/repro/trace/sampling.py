@@ -14,9 +14,11 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.core.columns import SampleArray
 from repro.core.sample import Sample, SampleSet
 from repro.errors import ConfigError
-from repro.trace.kernels import kernel_by_name
+from repro.fastpath import scalar_fallback_enabled
+from repro.trace.kernels import array_builder_by_name, kernel_by_name
 from repro.trace.pipeline import PipelineConfig, TracePipeline
 
 # The trace substrate's "Table III": metric -> closest bottleneck area.
@@ -69,9 +71,62 @@ def collect_trace_samples(
     Each intensity gets a fresh pipeline (cold predictor and caches), its
     trace is executed in ``window_uops`` chunks, and each chunk becomes
     one sample per trace metric.
+
+    The default path builds each trace as :class:`TraceArray` columns,
+    executes windows through the vectorized
+    :meth:`~repro.trace.pipeline.TracePipeline.execute_array`, and emits
+    ``SampleArray`` columns directly; ``SPIRE_SCALAR_FALLBACK=1`` routes
+    through the per-uop generator/``execute`` oracle instead.  The two
+    paths produce bit-identical samples and counters.
     """
     if window_uops < 1 or n_uops < window_uops:
         raise ConfigError("need n_uops >= window_uops >= 1")
+    if scalar_fallback_enabled():
+        return _collect_scalar(
+            kernel, n_uops, window_uops, intensities, seed, config
+        )
+    builder = array_builder_by_name(kernel)
+
+    metrics: list[str] = []
+    times: list[float] = []
+    works: list[float] = []
+    counts: list[float] = []
+    total_instructions = 0
+    total_cycles = 0
+    final: dict[str, float] = {}
+    for round_index, intensity in enumerate(intensities):
+        rng = random.Random(seed * 1_000 + round_index)
+        pipeline = TracePipeline(config=config)
+        trace = builder(n_uops, intensity, rng)
+        previous = pipeline.snapshot()
+        for start in range(0, n_uops, window_uops):
+            pipeline.execute_array(
+                trace.slice(start, min(start + window_uops, n_uops))
+            )
+            previous = _emit_columns(
+                pipeline, previous, metrics, times, works, counts
+            )
+        total_instructions += pipeline.counters.instructions
+        total_cycles += pipeline.counters.cycles
+        final = pipeline.counters.as_dict()
+    array = SampleArray.from_lists(metrics, times, works, counts)
+    return TraceRun(
+        samples=SampleSet.from_columns(array),
+        instructions=total_instructions,
+        cycles=total_cycles,
+        final_counters=final,
+    )
+
+
+def _collect_scalar(
+    kernel: str,
+    n_uops: int,
+    window_uops: int,
+    intensities: tuple[float, ...],
+    seed: int,
+    config: PipelineConfig | None,
+) -> TraceRun:
+    """The reference oracle: per-uop generators and object samples."""
     generator = kernel_by_name(kernel)
 
     samples = SampleSet()
@@ -118,4 +173,29 @@ def _emit(samples: SampleSet, pipeline: TracePipeline, previous):
         samples.add(
             Sample(metric=metric, time=time, work=work, metric_count=max(0.0, value))
         )
+    return now
+
+
+def _emit_columns(
+    pipeline: TracePipeline,
+    previous,
+    metrics: list[str],
+    times: list[float],
+    works: list[float],
+    counts: list[float],
+):
+    """Columnar :func:`_emit`: append raw rows instead of ``Sample``s."""
+    now = pipeline.snapshot()
+    delta = now.delta_from(previous)
+    time = delta[TIME_EVENT]
+    work = delta[WORK_EVENT]
+    if time <= 0:
+        return now
+    for metric, value in delta.items():
+        if metric in (TIME_EVENT, WORK_EVENT):
+            continue
+        metrics.append(metric)
+        times.append(time)
+        works.append(work)
+        counts.append(max(0.0, value))
     return now

@@ -21,6 +21,7 @@ import random
 from dataclasses import replace
 from typing import Iterable
 
+from repro.fastpath import scalar_fallback_enabled
 from repro.uarch.activity import WindowActivity
 from repro.uarch.backend import BackendModel, port_activity_histogram
 from repro.uarch.config import MachineConfig
@@ -206,5 +207,17 @@ class CoreModel:
     def simulate_run(
         self, specs: Iterable[WindowSpec], rng: random.Random | None = None
     ) -> list[WindowActivity]:
-        """Simulate a sequence of windows."""
-        return [self.simulate_window(spec, rng) for spec in specs]
+        """Simulate a sequence of windows.
+
+        The default path evaluates the whole run as float64 columns
+        (:func:`repro.uarch.batch.simulate_run_batch`);
+        ``SPIRE_SCALAR_FALLBACK=1`` routes through the per-window
+        :meth:`simulate_window` oracle.  Both produce bit-identical
+        activities and consume the rng stream identically.
+        """
+        specs = list(specs)
+        if scalar_fallback_enabled() or not specs:
+            return [self.simulate_window(spec, rng) for spec in specs]
+        from repro.uarch.batch import simulate_run_batch
+
+        return simulate_run_batch(self, specs, rng)

@@ -1,0 +1,413 @@
+"""Columnar trace substrate: TraceArray semantics and scalar parity.
+
+Two layers of guarantees:
+
+- :class:`TraceArray` is a lossless columnar mirror of ``MicroOp`` lists
+  (round-trip, slicing, concatenation, validation);
+- every vectorized simulation kernel — gshare ``update_batch``, cache
+  ``access_batch``, ``TracePipeline.execute_array``, the columnar kernel
+  builders, vectorized sampling, and the batched uarch ``simulate_run``
+  — is **bit-exact** against its scalar reference, pinned on randomized
+  hypothesis inputs including mispredict redirects and ROB-full stalls.
+"""
+
+import random
+from dataclasses import fields
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.trace import (
+    KERNELS,
+    CacheHierarchy,
+    GsharePredictor,
+    PipelineConfig,
+    TracePipeline,
+    TraceArray,
+    collect_trace_samples,
+    make_kernel_trace,
+    make_kernel_trace_array,
+)
+from repro.trace.cache import LEVELS
+from repro.trace.trace_array import KIND_CODES, LATENCY_BY_CODE
+from repro.trace.uops import EXEC_LATENCY, KINDS, MicroOp
+from repro.uarch.activity import WindowActivity
+from repro.uarch.config import skylake_gold_6126
+from repro.uarch.core import CoreModel
+from repro.workloads import all_workloads
+
+# ----------------------------------------------------------------------
+# TraceArray semantics
+# ----------------------------------------------------------------------
+
+
+def _sample_ops() -> list[MicroOp]:
+    return [
+        MicroOp("alu", dest=1, sources=(2, 3), pc=0),
+        MicroOp("load", dest=2, sources=(1,), address=4096, pc=4),
+        MicroOp("store", sources=(2, 1), address=4160, pc=8),
+        MicroOp("branch", sources=(2,), taken=True, pc=12),
+        MicroOp("div", dest=3, sources=(1, 2), pc=16),
+        MicroOp("fp", dest=4, sources=(), pc=20),  # zero sources
+        MicroOp("branch", taken=False, pc=24),     # zero sources too
+    ]
+
+
+def test_kind_codes_intern_the_canonical_kinds_tuple():
+    assert list(KIND_CODES) == list(KINDS)
+    assert [KIND_CODES[name] for name in KINDS] == list(range(len(KINDS)))
+    assert LATENCY_BY_CODE.tolist() == [EXEC_LATENCY[name] for name in KINDS]
+
+
+def test_round_trip_is_lossless():
+    ops = _sample_ops()
+    array = TraceArray.from_microops(ops)
+    assert len(array) == len(ops)
+    assert array.to_microops() == ops
+    # And the columnar equality agrees with itself after a second trip.
+    assert TraceArray.from_microops(array.to_microops()) == array
+
+
+def test_round_trip_on_kernel_traces():
+    for kernel in ("stream", "mixed"):
+        ops = make_kernel_trace(kernel, 400, 0.5, seed=9)
+        assert TraceArray.from_microops(ops).to_microops() == ops
+
+
+def test_packed_sources_edge_cases():
+    ops = _sample_ops()
+    array = TraceArray.from_microops(ops)
+    # CSR layout: offsets monotone, one span per uop, empty spans allowed.
+    assert array.src_offsets[0] == 0
+    assert array.src_offsets[-1] == len(array.src_values)
+    spans = [
+        tuple(
+            array.src_values[array.src_offsets[i] : array.src_offsets[i + 1]]
+        )
+        for i in range(len(array))
+    ]
+    assert spans == [op.sources for op in ops]
+
+    empty = TraceArray.empty()
+    assert len(empty) == 0 and not empty
+    assert empty.to_microops() == []
+    assert empty.max_register() == -1
+
+
+def test_slice_rebases_packed_sources():
+    array = TraceArray.from_microops(_sample_ops())
+    window = array.slice(2, 5)
+    assert window.src_offsets[0] == 0
+    assert window.to_microops() == _sample_ops()[2:5]
+    assert array.slice(0, len(array)) == array
+    assert len(array.slice(3, 3)) == 0
+    with pytest.raises(ConfigError):
+        array.slice(3, 2)
+    with pytest.raises(ConfigError):
+        array.slice(0, len(array) + 1)
+
+
+def test_concat_rebases_packed_sources():
+    ops = _sample_ops()
+    parts = [
+        TraceArray.from_microops(ops[:2]),
+        TraceArray.empty(),
+        TraceArray.from_microops(ops[2:]),
+    ]
+    merged = TraceArray.concat(parts)
+    assert merged == TraceArray.from_microops(ops)
+    assert TraceArray.concat([]) == TraceArray.empty()
+
+
+def test_max_register():
+    array = TraceArray.from_microops(_sample_ops())
+    assert array.max_register() == 4
+
+
+def test_validation_rejects_malformed_columns():
+    with pytest.raises(ConfigError):  # length mismatch
+        TraceArray([0], [0, 4], [-1], [1], [False], [0, 0], [])
+    with pytest.raises(ConfigError):  # bad offsets length
+        TraceArray([0], [0], [-1], [1], [False], [0], [])
+    with pytest.raises(ConfigError):  # kind code out of range
+        TraceArray([len(KINDS)], [0], [-1], [1], [False], [0, 0], [])
+    # validate(): load without address, branch writing a register,
+    # negative packed source register.
+    with pytest.raises(ConfigError):
+        TraceArray(
+            [KIND_CODES["load"]], [0], [-1], [1], [False], [0, 0], []
+        ).validate()
+    with pytest.raises(ConfigError):
+        TraceArray(
+            [KIND_CODES["branch"]], [0], [-1], [1], [True], [0, 0], []
+        ).validate()
+    with pytest.raises(ConfigError):
+        TraceArray(
+            [KIND_CODES["alu"]], [0], [-1], [1], [False], [0, 1], [-2]
+        ).validate()
+
+
+def test_from_microops_rejects_negative_register_ids():
+    with pytest.raises(ConfigError):
+        TraceArray.from_microops([MicroOp("alu", dest=-2, sources=(1,))])
+    with pytest.raises(ConfigError):
+        TraceArray.from_microops([MicroOp("alu", dest=1, sources=(-3,))])
+
+
+# ----------------------------------------------------------------------
+# Columnar kernel builders match the scalar generators exactly
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_array_builders_match_generators(kernel):
+    for n, intensity, seed in ((64, 0.0, 0), (500, 0.3, 7), (1200, 1.0, 3)):
+        scalar = TraceArray.from_microops(
+            make_kernel_trace(kernel, n, intensity, seed=seed)
+        )
+        columnar = make_kernel_trace_array(kernel, n, intensity, seed=seed)
+        assert columnar == scalar, (kernel, n, intensity, seed)
+
+
+def test_make_kernel_trace_array_fallback_routes_scalar(monkeypatch):
+    monkeypatch.setenv("SPIRE_SCALAR_FALLBACK", "1")
+    via_oracle = make_kernel_trace_array("mixed", 300, 0.5, seed=2)
+    monkeypatch.delenv("SPIRE_SCALAR_FALLBACK")
+    assert via_oracle == make_kernel_trace_array("mixed", 300, 0.5, seed=2)
+
+
+def test_execute_array_fallback_routes_through_scalar_execute(monkeypatch):
+    monkeypatch.setenv("SPIRE_SCALAR_FALLBACK", "1")
+    pipeline = TracePipeline()
+    calls = []
+    original = TracePipeline.execute
+
+    def spy(self, trace):
+        calls.append(len(trace))
+        return original(self, trace)
+
+    monkeypatch.setattr(TracePipeline, "execute", spy)
+    trace = make_kernel_trace_array("stream", 200, 0.4, seed=1)
+    pipeline.execute_array(trace)
+    assert calls == [200]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis parity: vectorized kernels vs scalar references
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def branch_streams(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=1, max_value=600))
+    table_bits = draw(st.sampled_from((4, 8, 12)))
+    history_bits = draw(st.integers(min_value=0, max_value=table_bits))
+    rng = random.Random(seed)
+    pcs = [rng.randrange(1 << 16) * 4 for _ in range(n)]
+    taken = [rng.random() < 0.5 for _ in range(n)]
+    return table_bits, history_bits, pcs, taken
+
+
+@settings(max_examples=40, deadline=None)
+@given(branch_streams())
+def test_gshare_update_batch_matches_scalar(stream):
+    table_bits, history_bits, pcs, taken = stream
+    scalar = GsharePredictor(table_bits, history_bits)
+    batch = GsharePredictor(table_bits, history_bits)
+    expected = [scalar.update(pc, t) for pc, t in zip(pcs, taken)]
+    got = batch.update_batch(pcs, taken)
+    assert got.tolist() == expected
+    assert batch._table == scalar._table
+    assert batch._history == scalar._history
+    assert batch.predictions == scalar.predictions
+    assert batch.mispredictions == scalar.mispredictions
+
+
+@st.composite
+def address_streams(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=1, max_value=800))
+    # Footprints straddling every hierarchy level, with enough reuse to
+    # exercise LRU hits, evictions, and same-line runs.
+    footprint = draw(st.sampled_from((1 << 12, 1 << 16, 1 << 21, 1 << 24)))
+    rng = random.Random(seed)
+    return [rng.randrange(footprint) for _ in range(n)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(address_streams())
+def test_cache_hierarchy_access_batch_matches_scalar(addresses):
+    scalar = CacheHierarchy(l1_size=4096, l2_size=32 * 1024, l3_size=256 * 1024)
+    batch = CacheHierarchy(l1_size=4096, l2_size=32 * 1024, l3_size=256 * 1024)
+    expected = [scalar.access(address) for address in addresses]
+    levels, latencies = batch.access_batch(addresses)
+    assert [LEVELS[code] for code in levels.tolist()] == [
+        r.level for r in expected
+    ]
+    assert latencies.tolist() == [r.latency for r in expected]
+    for level_name in ("l1", "l2", "l3"):
+        scalar_level = getattr(scalar, level_name)
+        batch_level = getattr(batch, level_name)
+        assert (batch_level.hits, batch_level.misses) == (
+            scalar_level.hits,
+            scalar_level.misses,
+        ), level_name
+        # Replacement state agrees too: mixing scalar accesses after a
+        # batch must behave identically.
+        assert all(
+            batch_level.contains(a) == scalar_level.contains(a)
+            for a in addresses[:32]
+        )
+    assert batch.dram_accesses == scalar.dram_accesses
+
+
+@st.composite
+def random_trace_arrays(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=1, max_value=1_500))
+    rng = random.Random(seed)
+    ops = []
+    for i in range(n):
+        kind = rng.choice(KINDS)
+        sources = tuple(
+            rng.randint(0, 16) for _ in range(rng.randint(0, 2))
+        )
+        if kind in ("load", "store"):
+            ops.append(
+                MicroOp(
+                    kind,
+                    dest=rng.randint(1, 16) if kind == "load" else None,
+                    sources=sources,
+                    address=rng.randrange(1 << 22),
+                    pc=(i % 512) * 4,
+                )
+            )
+        elif kind == "branch":
+            # Random outcomes guarantee mispredict redirects.
+            ops.append(
+                MicroOp(
+                    "branch",
+                    sources=sources,
+                    taken=rng.random() < 0.5,
+                    pc=(i % 512) * 4,
+                )
+            )
+        else:
+            ops.append(
+                MicroOp(kind, dest=rng.randint(1, 16), sources=sources,
+                        pc=(i % 512) * 4)
+            )
+    return ops
+
+
+def _assert_pipelines_equal(scalar: TracePipeline, batch: TracePipeline):
+    assert batch.counters.as_dict() == scalar.counters.as_dict()
+    assert batch._fetch_ready == scalar._fetch_ready
+    assert batch._rob == scalar._rob
+    assert batch._retire_times == scalar._retire_times
+    assert batch._register_ready == scalar._register_ready
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_trace_arrays())
+def test_execute_array_matches_execute_on_random_traces(ops):
+    # A tiny ROB and retire width force rob-full and retire-limit stalls
+    # alongside the mispredict redirects the random outcomes produce.
+    config = PipelineConfig(width=2, rob_size=8)
+    scalar = TracePipeline(config=config)
+    batch = TracePipeline(config=config)
+    scalar.execute(ops)
+    batch.execute_array(TraceArray.from_microops(ops), block_size=256)
+    assert scalar.counters.rob_stall_cycles >= 0
+    _assert_pipelines_equal(scalar, batch)
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_trace_arrays())
+def test_execute_array_matches_execute_default_config(ops):
+    scalar = TracePipeline()
+    batch = TracePipeline()
+    scalar.execute(ops)
+    batch.execute_array(TraceArray.from_microops(ops))
+    _assert_pipelines_equal(scalar, batch)
+
+
+def test_execute_array_forces_rob_full_stalls():
+    # Long-latency divides back up a tiny ROB: both paths must agree on
+    # the resulting rob_stall_cycles, and they must actually occur.
+    ops = [
+        MicroOp("div", dest=(i % 8) + 1, sources=((i % 8) + 1,), pc=i * 4)
+        for i in range(64)
+    ]
+    config = PipelineConfig(width=2, rob_size=4)
+    scalar = TracePipeline(config=config)
+    batch = TracePipeline(config=config)
+    scalar.execute(ops)
+    batch.execute_array(TraceArray.from_microops(ops))
+    assert scalar.counters.rob_stall_cycles > 0
+    _assert_pipelines_equal(scalar, batch)
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity: sampling and the batched uarch model
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", ("stream", "branchy", "mixed"))
+def test_sampling_parity_scalar_vs_vectorized(monkeypatch, kernel):
+    monkeypatch.setenv("SPIRE_SCALAR_FALLBACK", "1")
+    scalar = collect_trace_samples(
+        kernel, n_uops=3_000, window_uops=500, intensities=(0.2, 0.8), seed=5
+    )
+    monkeypatch.delenv("SPIRE_SCALAR_FALLBACK")
+    vectorized = collect_trace_samples(
+        kernel, n_uops=3_000, window_uops=500, intensities=(0.2, 0.8), seed=5
+    )
+    assert vectorized.final_counters == scalar.final_counters
+    assert vectorized.instructions == scalar.instructions
+    assert vectorized.cycles == scalar.cycles
+    assert vectorized.samples.to_records() == scalar.samples.to_records()
+
+
+def _suite_specs():
+    return [
+        phase.spec if hasattr(phase, "spec") else phase
+        for workload in all_workloads()
+        for phase in workload.phases
+    ]
+
+
+@pytest.mark.parametrize("seed", (None, 7))
+def test_simulate_run_batch_matches_simulate_window(seed):
+    core = CoreModel(skylake_gold_6126())
+    specs = _suite_specs()
+    rng_a = random.Random(seed) if seed is not None else None
+    rng_b = random.Random(seed) if seed is not None else None
+    scalar = [core.simulate_window(spec, rng_a) for spec in specs]
+    batch = core.simulate_run(specs, rng_b)
+    names = [spec.name for spec in fields(WindowActivity)]
+    for scalar_act, batch_act in zip(scalar, batch, strict=True):
+        for name in names:
+            assert getattr(batch_act, name) == getattr(scalar_act, name), name
+    if seed is not None:  # the rng streams stayed in lockstep
+        assert rng_a.random() == rng_b.random()
+
+
+def test_simulate_run_fallback_routes_per_window(monkeypatch):
+    monkeypatch.setenv("SPIRE_SCALAR_FALLBACK", "1")
+    core = CoreModel(skylake_gold_6126())
+    calls = []
+    original = CoreModel.simulate_window
+
+    def spy(self, spec, rng=None):
+        calls.append(spec)
+        return original(self, spec, rng)
+
+    monkeypatch.setattr(CoreModel, "simulate_window", spy)
+    specs = _suite_specs()[:5]
+    core.simulate_run(specs, random.Random(1))
+    assert len(calls) == 5
