@@ -16,6 +16,11 @@ Results land in ``BENCH_sim.json``.  Speedups are recorded, not asserted
 — wall-clock gates flake across hosts (see ``bench_pipeline``); the CI
 sim-bench job runs the small scale purely for the equivalence check.
 
+The guarded dispatch layer (``repro.guard``) samples oracle checks on
+the vectorized substrate at ``SPIRE_GUARD_RATE`` (default 256); each
+scale records ``guard_overhead_pct`` against a guards-off (rate 0) pass,
+budgeted at <= 5%.
+
 Environment knobs:
 
 - ``SPIRE_BENCH_SIM_FULL=0`` — skip the full-scale measurement (CI).
@@ -38,7 +43,7 @@ from repro.uarch.config import skylake_gold_6126
 from repro.uarch.core import CoreModel
 from repro.workloads import all_workloads
 
-from bench_hotpath import scalar_fallback
+from bench_hotpath import measure_guard_overhead, scalar_fallback
 
 _ACTIVITY_FIELDS = tuple(spec.name for spec in fields(WindowActivity))
 
@@ -120,7 +125,17 @@ def _measure(n_uops: int, window_uops: int, uarch_repeats: int) -> dict:
         "speedup_uarch": round(
             timings["scalar"]["uarch_s"] / timings["vectorized"]["uarch_s"], 2
         ),
+        "guard": measure_guard_overhead(
+            lambda: _vector_pass_seconds(n_uops, window_uops, uarch_repeats),
+            repeats=2,
+        ),
     }
+
+
+def _vector_pass_seconds(n_uops: int, window_uops: int, uarch_repeats: int):
+    _, trace_s = _run_kernels(n_uops, window_uops)
+    _, uarch_s = _run_uarch(uarch_repeats)
+    return trace_s + uarch_s
 
 
 def test_sim_scalar_vs_vectorized(out_dir):

@@ -12,7 +12,10 @@ Subcommands mirror the paper's workflow:
 - ``workloads`` — list the evaluation suite;
 - ``report``    — run the paper's full evaluation (optionally archived);
 - ``faultsim``  — fault-injection smoke: prove the runtime survives
-  crashes, hangs and corrupt samples (see ``docs/robustness.md``);
+  crashes, hangs, corrupt samples, corrupted cache entries and kernel
+  divergences (see ``docs/robustness.md``);
+- ``doctor``    — scan an experiment cache directory, quarantine
+  corrupted entries and report the quarantine;
 - ``coverage``  — §III-A training-data diversity check;
 - ``derived``   — standard counter ratios (IPC, MPKI, DSB coverage, ...);
 - ``whatif``    — projected speedups from improving top metrics;
@@ -214,6 +217,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
     if not run_report.ok or run_report.faulted_tasks():
         print(run_report.render())
+    elif run_report.health is not None and not run_report.health.ok:
+        # Degradations that did not fail any task still deserve a line.
+        print(run_report.health.render())
     print(f"trained {len(result.model)} rooflines\n")
     matches = 0
     for name, run in result.testing_runs.items():
@@ -248,7 +254,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     import warnings
 
     from repro.errors import DegradedDataWarning
-    from repro.pipeline import run_experiment_with_report
+    from repro.pipeline import run_experiment, run_experiment_with_report
     from repro.runtime.faults import RUNNER_KINDS, FaultPlan
     from repro.workloads import all_workloads
 
@@ -258,6 +264,9 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     names = [w.name for w in all_workloads()]
+    if args.corrupt_cache_entries and not args.cache_dir:
+        print("error: --corrupt-cache-entries requires --cache-dir")
+        return 2
     plan = FaultPlan.random(
         names,
         seed=args.fault_seed,
@@ -268,6 +277,8 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         checkpoint_failures=args.checkpoint_failures,
         times=10_000 if args.persistent else 1,
         hang_seconds=args.hang_seconds,
+        diverge_kernels=args.diverge_kernels,
+        corrupt_cache_entries=args.corrupt_cache_entries,
     )
     print(f"fault plan ({len(plan)} fault(s), seed {args.fault_seed}):")
     for spec in plan.specs:
@@ -277,6 +288,17 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         f"task_timeout={args.task_timeout}s, retries={args.retries}, "
         f"failure_policy={args.failure_policy!r} ..."
     )
+
+    baseline = None
+    if args.verify_baseline or plan.cache_corruptions():
+        # A fault-free serial pass first: it is the bit-identical baseline
+        # for --verify-baseline and, when corruption is planned, it warms
+        # the cache entry that corrupt-cache-entry then truncates.  The
+        # cache is only warmed in that case — an intact warm entry would
+        # short-circuit the faulted run before any fault could fire.
+        print("running the fault-free serial baseline first ...")
+        warm_cache = args.cache_dir if plan.cache_corruptions() else None
+        baseline = run_experiment(config, jobs=1, cache=warm_cache or None)
 
     with warnings.catch_warnings():
         warnings.simplefilter("always", DegradedDataWarning)
@@ -303,6 +325,35 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         misbehaved = any(a.outcome != "ok" for a in attempts)
         if not (misbehaved or spec.workload in report.failures):
             missing.append(f"{spec.kind} on {spec.workload}")
+
+    # Guard-level faults must show up in the health report: a divergence
+    # trips its kernel, a corrupted entry lands in the quarantine.
+    health = report.health
+    for spec in plan.diverge_kernels():
+        tripped = health is not None and spec.workload in health.tripped_kernels
+        if not tripped:
+            missing.append(f"{spec.kind} on {spec.workload}")
+    if plan.cache_corruptions():
+        if health is None or not health.artifacts_quarantined:
+            missing.append("corrupt-cache-entry left nothing in quarantine")
+
+    divergent = []
+    if baseline is not None:
+        # Survivors must be bit-identical to the fault-free serial run.
+        for name, run in (result.training_runs | result.testing_runs).items():
+            ref = baseline.training_runs.get(name) or baseline.testing_runs.get(
+                name
+            )
+            if ref is None:
+                continue
+            same = (
+                run.measured_ipc == ref.measured_ipc
+                and run.collection.samples.to_records()
+                == ref.collection.samples.to_records()
+            )
+            if not same:
+                divergent.append(name)
+
     quarantined = sum(
         len(run.collection.quality.quarantined)
         for run in (result.training_runs | result.testing_runs).values()
@@ -314,11 +365,46 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         f"{quarantined} quarantined sample(s), "
         f"{len(report.failures)} skipped"
     )
-    if missing:
-        print(f"FAIL: injected faults left no trace: {'; '.join(missing)}")
+    if baseline is not None:
+        print(
+            "baseline comparison: "
+            + (
+                f"{len(divergent)} divergent workload(s): "
+                + ", ".join(sorted(divergent))
+                if divergent
+                else "all surviving workloads bit-identical"
+            )
+        )
+    if missing or divergent:
+        if missing:
+            print(f"FAIL: injected faults left no trace: {'; '.join(missing)}")
+        if divergent:
+            print("FAIL: surviving workloads diverged from the baseline")
         return 1
     print("PASS: experiment completed; every injected fault is accounted for")
     return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Scan an experiment cache directory for integrity failures.
+
+    Every cache entry and checkpoint is checksum-verified; failures are
+    quarantined (moved into ``.quarantine/``, never deleted).  ``--prune``
+    empties the quarantine afterwards.  Exit code 0 means the directory is
+    fully healthy and the quarantine is empty.
+    """
+    import os
+
+    from repro.guard.doctor import doctor_cache_dir
+
+    directory = (
+        args.cache_dir
+        or os.environ.get("SPIRE_CACHE_DIR")
+        or str(Path.home() / ".cache" / "spire" / "experiments")
+    )
+    report = doctor_cache_dir(directory, prune=args.prune)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
@@ -502,6 +588,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corrupt-samples", type=int, default=1)
     p.add_argument("--drop-metrics", type=int, default=0)
     p.add_argument("--checkpoint-failures", type=int, default=0)
+    p.add_argument(
+        "--diverge-kernels",
+        type=int,
+        default=0,
+        help="inject oracle divergences into this many guarded kernels",
+    )
+    p.add_argument(
+        "--corrupt-cache-entries",
+        type=int,
+        default=0,
+        help="truncate the cached experiment entry (requires --cache-dir)",
+    )
+    p.add_argument(
+        "--verify-baseline",
+        action="store_true",
+        help="run a fault-free serial baseline and require surviving "
+        "workloads to be bit-identical to it",
+    )
     p.add_argument("--hang-seconds", type=float, default=3.0)
     p.add_argument("--task-timeout", type=float, default=1.0)
     p.add_argument("--retries", type=int, default=2)
@@ -526,6 +630,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the top-20 cumulative hotspots",
     )
     p.set_defaults(func=_cmd_faultsim)
+
+    p = sub.add_parser(
+        "doctor",
+        help="verify a cache directory's integrity and quarantine bad entries",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default="",
+        help="cache directory to scan (default: $SPIRE_CACHE_DIR or "
+        "~/.cache/spire/experiments)",
+    )
+    p.add_argument(
+        "--prune",
+        action="store_true",
+        help="delete quarantined files after the scan",
+    )
+    p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser(
         "derived", help="standard counter ratios (IPC, MPKI, ...) for a workload"

@@ -23,7 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.fastpath import scalar_fallback_enabled
+from repro.guard.dispatch import guarded_call
 
 NEGATIVE_METRIC = "negative"   # throughput increases with I_x (e.g. stalls)
 POSITIVE_METRIC = "positive"   # throughput decreases with I_x (e.g. DSB hits)
@@ -129,14 +129,27 @@ def detect_direction(
     Returns :data:`NEGATIVE_METRIC`, :data:`POSITIVE_METRIC`, or
     :data:`MIXED`.  ``threshold`` is the absolute Spearman correlation
     required to commit to a monotone direction.
+
+    Dispatches through the ``"direction"`` kernel guard (see
+    :mod:`repro.guard.dispatch`): sampled calls are replayed through the
+    scalar reference and a divergence trips this kernel to scalar.
     """
-    if not scalar_fallback_enabled():
-        pts = list(points)
-        return detect_direction_arrays(
+    pts = list(points)
+    return guarded_call(
+        "direction",
+        fast=lambda: detect_direction_arrays(
             np.asarray([p[0] for p in pts], dtype=np.float64),
             np.asarray([p[1] for p in pts], dtype=np.float64),
             threshold=threshold,
-        )
+        ),
+        oracle=lambda: _detect_direction_scalar(pts, threshold),
+        compare=lambda a, b: a == b,
+    )
+
+
+def _detect_direction_scalar(
+    points: Sequence[tuple[float, float]], threshold: float
+) -> str:
     finite = [(x, y) for x, y in points if math.isfinite(x)]
     if len(finite) < 3:
         return MIXED

@@ -26,11 +26,18 @@ from repro.core.roofline import (
     RooflineFitOptions,
     fit_metric_roofline,
     fit_metric_roofline_arrays,
+    fit_metric_roofline_scalar,
+    rooflines_equivalent,
 )
 from repro.core.sample import Sample, SampleSet
 from repro.core.sanitize import QualityReport, SampleSanitizer
 from repro.errors import DegradedDataWarning, EstimationError, FitError
-from repro.fastpath import scalar_fallback_enabled
+from repro.guard.dispatch import guarded_call, kernel_guard
+from repro.guard.guardrails import (
+    check_bound_violation,
+    check_estimates,
+    check_sample_columns,
+)
 
 #: Below this many pooled samples the per-metric fits are so cheap that
 #: process startup and sample pickling dominate; training stays serial.
@@ -191,7 +198,7 @@ class SpireModel:
                 )
             raise FitError("every training sample was quarantined")
 
-        fallback = scalar_fallback_enabled()
+        fallback = not kernel_guard("train").use_fast()
         if fallback:
             groups = list(sample_set.grouped().items())
             array = None
@@ -200,6 +207,9 @@ class SpireModel:
             # never materializing Sample objects.  Group order matches
             # grouped() (first-seen), so the trained model is identical.
             array = sample_set.columns()
+            check_sample_columns(
+                array.time, array.work, array.metric_count, stage="train-input"
+            )
             groups = list(array.group_indices().items())
         n_jobs = resolve_jobs(jobs)
         if (
@@ -227,13 +237,24 @@ class SpireModel:
         else:
             # Serial columnar fits slice the pooled intensity/throughput
             # columns directly — no per-group SampleArray construction.
+            # Each fit dispatches through the "train" kernel guard: sampled
+            # calls replay the retained scalar fit on the same group and a
+            # divergence trips training to scalar for the process.
             intensity, throughput = array.intensity, array.throughput
             fitted = [
-                fit_metric_roofline_arrays(
-                    metric,
-                    intensity[rows],
-                    throughput[rows],
-                    options=opts.roofline,
+                guarded_call(
+                    "train",
+                    fast=lambda metric=metric, rows=rows: fit_metric_roofline_arrays(
+                        metric,
+                        intensity[rows],
+                        throughput[rows],
+                        options=opts.roofline,
+                    ),
+                    oracle=lambda rows=rows: fit_metric_roofline_scalar(
+                        list(array.select(rows).iter_samples()), opts.roofline
+                    ),
+                    compare=rooflines_equivalent,
+                    detail=f"metric {metric!r}",
                 )
                 for metric, rows in groups
             ]
@@ -288,49 +309,67 @@ class SpireModel:
         if not sample_set:
             raise EstimationError("cannot estimate from an empty sample set")
 
-        per_metric: dict[str, float] = {}
-        counts: dict[str, int] = {}
-        skipped: list[str] = []
-        if scalar_fallback_enabled():
-            for metric, group in sample_set.grouped().items():
-                roofline = self._rooflines.get(metric)
-                if roofline is None:
-                    if strict:
-                        raise EstimationError(
-                            f"model has no roofline for metric {metric!r}"
-                        )
-                    skipped.append(metric)
-                    continue
-                per_metric[metric] = roofline.estimate_samples(group)
-                counts[metric] = len(group)
-        else:
-            # Columnar estimation: one batch roofline evaluation plus one
-            # time-weighted array reduction per metric (Eq. 1).
-            array = sample_set.columns()
-            intensity = array.intensity
-            for metric, rows in array.group_indices().items():
-                roofline = self._rooflines.get(metric)
-                if roofline is None:
-                    if strict:
-                        raise EstimationError(
-                            f"model has no roofline for metric {metric!r}"
-                        )
-                    skipped.append(metric)
-                    continue
-                estimates = roofline.estimate_batch(
-                    intensity[rows], validated=True
-                )
-                per_metric[metric] = time_weighted_mean(
-                    estimates, array.time[rows]
-                )
-                counts[metric] = len(rows)
+        per_metric, counts, skipped = guarded_call(
+            "estimate",
+            fast=lambda: self._estimate_columnar(sample_set, strict),
+            oracle=lambda: self._estimate_scalar(sample_set, strict),
+        )
         if not per_metric:
             raise EstimationError(
                 "none of the sample metrics are covered by this model"
             )
+        check_estimates(per_metric)
         return EnsembleEstimate(
             per_metric=per_metric, sample_counts=counts, skipped_metrics=skipped
         )
+
+    def _estimate_scalar(
+        self, sample_set: SampleSet, strict: bool
+    ) -> tuple[dict[str, float], dict[str, int], list[str]]:
+        """The retained scalar reference behind :meth:`estimate`."""
+        per_metric: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        skipped: list[str] = []
+        for metric, group in sample_set.grouped().items():
+            roofline = self._rooflines.get(metric)
+            if roofline is None:
+                if strict:
+                    raise EstimationError(
+                        f"model has no roofline for metric {metric!r}"
+                    )
+                skipped.append(metric)
+                continue
+            per_metric[metric] = roofline.estimate_samples(group)
+            counts[metric] = len(group)
+        return per_metric, counts, skipped
+
+    def _estimate_columnar(
+        self, sample_set: SampleSet, strict: bool
+    ) -> tuple[dict[str, float], dict[str, int], list[str]]:
+        # Columnar estimation: one batch roofline evaluation plus one
+        # time-weighted array reduction per metric (Eq. 1).
+        per_metric: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        skipped: list[str] = []
+        array = sample_set.columns()
+        intensity = array.intensity
+        for metric, rows in array.group_indices().items():
+            roofline = self._rooflines.get(metric)
+            if roofline is None:
+                if strict:
+                    raise EstimationError(
+                        f"model has no roofline for metric {metric!r}"
+                    )
+                skipped.append(metric)
+                continue
+            estimates = roofline.estimate_batch(
+                intensity[rows], validated=True
+            )
+            per_metric[metric] = time_weighted_mean(
+                estimates, array.time[rows]
+            )
+            counts[metric] = len(rows)
+        return per_metric, counts, skipped
 
     def analyze(
         self,
@@ -403,26 +442,37 @@ def mean_absolute_bound_violation(
     positive values on held-out data quantify how often reality beat the
     learned bound.  Used by the ablation benchmarks.
     """
-    if not scalar_fallback_enabled():
-        array = samples.columns()
-        intensity = array.intensity
-        throughput = array.throughput
-        total = 0.0
-        count = 0
-        for metric, rows in array.group_indices().items():
-            if metric not in model:
-                continue
-            bounds = model.roofline(metric).estimate_batch(
-                intensity[rows], validated=True
-            )
-            excess = np.clip(throughput[rows] - bounds, 0.0, None)
-            total += float(np.sum(excess))
-            count += len(rows)
-        if not count:
-            raise EstimationError(
-                "no overlapping metrics between model and samples"
-            )
-        return total / count
+    result = guarded_call(
+        "estimate",
+        fast=lambda: _bound_violation_columnar(model, samples),
+        oracle=lambda: _bound_violation_scalar(model, samples),
+        detail="bound violation",
+    )
+    check_bound_violation(result)
+    return result
+
+
+def _bound_violation_columnar(model: SpireModel, samples: SampleSet) -> float:
+    array = samples.columns()
+    intensity = array.intensity
+    throughput = array.throughput
+    total = 0.0
+    count = 0
+    for metric, rows in array.group_indices().items():
+        if metric not in model:
+            continue
+        bounds = model.roofline(metric).estimate_batch(
+            intensity[rows], validated=True
+        )
+        excess = np.clip(throughput[rows] - bounds, 0.0, None)
+        total += float(np.sum(excess))
+        count += len(rows)
+    if not count:
+        raise EstimationError("no overlapping metrics between model and samples")
+    return total / count
+
+
+def _bound_violation_scalar(model: SpireModel, samples: SampleSet) -> float:
     violations: list[float] = []
     for metric, group in samples.grouped().items():
         if metric not in model:

@@ -35,6 +35,16 @@ class WorkerCrashError(SpireError):
     """Raised when a worker process died (or a crash was injected) mid-task."""
 
 
+class GuardDivergenceError(SpireError):
+    """Raised when a guarded kernel diverges from its scalar oracle and the
+    guard policy is ``raise`` (the default policy degrades instead)."""
+
+
+class GuardrailViolation(SpireError):
+    """Raised when a stage-boundary numeric invariant fails and the
+    guardrail policy is ``raise`` (the default policy records instead)."""
+
+
 class DegradedDataWarning(UserWarning):
     """Emitted when the pipeline continues on incomplete or quarantined data.
 

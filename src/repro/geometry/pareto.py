@@ -13,7 +13,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.fastpath import scalar_fallback_enabled
+from repro.guard.dispatch import guarded_call
+from repro.guard.guardrails import check_pareto_front
 
 
 def pareto_front_arrays(
@@ -59,17 +60,38 @@ def pareto_front(
     lowest-throughput sample toward the leftmost, highest-throughput one.
 
     Duplicate points are collapsed to a single representative.
+
+    Dispatches through the ``"pareto"`` kernel guard: sampled calls are
+    replayed through the scalar reference and compared exactly; a
+    divergence trips this kernel to the scalar path for the rest of the
+    process.  The returned front is also screened by the monotonicity
+    guardrail.
     """
-    if not scalar_fallback_enabled():
-        pts = list(points)
-        if not pts:
-            return []
-        fx, fy = pareto_front_arrays(
-            np.asarray([p[0] for p in pts], dtype=np.float64),
-            np.asarray([p[1] for p in pts], dtype=np.float64),
-        )
-        return list(zip(fx.tolist(), fy.tolist()))
-    unique = sorted({(float(x), float(y)) for x, y in points}, key=lambda p: (-p[0], -p[1]))
+    pts = list(points)
+    front = guarded_call(
+        "pareto",
+        fast=lambda: _pareto_front_fast(pts),
+        oracle=lambda: _pareto_front_scalar(pts),
+        compare=lambda a, b: a == b,
+    )
+    check_pareto_front(front)
+    return front
+
+
+def _pareto_front_fast(pts: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    if not pts:
+        return []
+    fx, fy = pareto_front_arrays(
+        np.asarray([p[0] for p in pts], dtype=np.float64),
+        np.asarray([p[1] for p in pts], dtype=np.float64),
+    )
+    return list(zip(fx.tolist(), fy.tolist()))
+
+
+def _pareto_front_scalar(
+    pts: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    unique = sorted({(float(x), float(y)) for x, y in pts}, key=lambda p: (-p[0], -p[1]))
     front: list[tuple[float, float]] = []
     best_y = float("-inf")
     for x, y in unique:

@@ -1,0 +1,143 @@
+"""``spire doctor``: scan and repair an experiment cache directory.
+
+The doctor verifies the integrity of every cache entry and checkpoint
+(header present, schema current, checksum matching), quarantines anything
+that fails — the repair: bad entries become cache misses and re-simulate,
+while the evidence stays on disk under ``.quarantine/`` — lists what is
+already quarantined, and optionally prunes the quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DataError
+from repro.guard.artifact import quarantine_dir, quarantine_file, verify_payload
+
+__all__ = ["DoctorReport", "doctor_cache_dir"]
+
+
+@dataclass
+class DoctorReport:
+    """Outcome of one cache-directory scan."""
+
+    directory: str
+    entries_scanned: int = 0
+    entries_ok: int = 0
+    entries_quarantined: list[tuple[str, str]] = field(default_factory=list)
+    checkpoints_scanned: int = 0
+    checkpoints_ok: int = 0
+    checkpoints_quarantined: list[tuple[str, str]] = field(default_factory=list)
+    quarantined_files: list[str] = field(default_factory=list)
+    pruned: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the scan found nothing wrong and nothing quarantined."""
+        return not (
+            self.entries_quarantined
+            or self.checkpoints_quarantined
+            or self.quarantined_files
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"doctor: {self.directory}",
+            f"  entries: {self.entries_ok}/{self.entries_scanned} ok, "
+            f"{len(self.entries_quarantined)} quarantined this scan",
+            f"  checkpoints: {self.checkpoints_ok}/{self.checkpoints_scanned} "
+            f"ok, {len(self.checkpoints_quarantined)} quarantined this scan",
+        ]
+        for name, reason in self.entries_quarantined:
+            lines.append(f"  entry {name}: {reason}")
+        for name, reason in self.checkpoints_quarantined:
+            lines.append(f"  checkpoint {name}: {reason}")
+        if self.quarantined_files:
+            lines.append(f"  in quarantine ({len(self.quarantined_files)}):")
+            for path in self.quarantined_files:
+                lines.append(f"    {path}")
+        else:
+            lines.append("  quarantine is empty")
+        if self.pruned:
+            lines.append(f"  pruned {len(self.pruned)} quarantined file(s)")
+        if self.ok:
+            lines.append("  cache is healthy")
+        return "\n".join(lines)
+
+
+def _verify_file(path: Path, schema: str) -> str | None:
+    """Why the artifact at ``path`` fails verification, or ``None``."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return f"unreadable: {exc}"
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return f"invalid JSON: {exc}"
+    return verify_payload(payload, schema)
+
+
+def doctor_cache_dir(
+    directory: str | Path, prune: bool = False
+) -> DoctorReport:
+    """Scan an experiment cache directory; quarantine what fails.
+
+    Raises :class:`~repro.errors.DataError` when ``directory`` does not
+    exist.  ``prune=True`` additionally deletes everything sitting in the
+    quarantine subdirectories after the scan.
+    """
+    from repro.runtime.cache import CACHE_FORMAT, CHECKPOINT_FORMAT
+
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DataError(f"cache directory {directory} does not exist")
+    report = DoctorReport(directory=str(directory))
+
+    for path in sorted(directory.glob("*.json")):
+        report.entries_scanned += 1
+        reason = _verify_file(path, CACHE_FORMAT)
+        if reason is None:
+            report.entries_ok += 1
+        else:
+            quarantine_file(path, reason)
+            report.entries_quarantined.append((path.name, reason))
+
+    for ckpt_dir in sorted(directory.glob("*.ckpt")):
+        if not ckpt_dir.is_dir():
+            continue
+        for path in sorted(ckpt_dir.glob("*.json")):
+            report.checkpoints_scanned += 1
+            reason = _verify_file(path, CHECKPOINT_FORMAT)
+            if reason is None:
+                report.checkpoints_ok += 1
+            else:
+                quarantine_file(path, reason)
+                report.checkpoints_quarantined.append(
+                    (f"{ckpt_dir.name}/{path.name}", reason)
+                )
+
+    quarantine_roots = [quarantine_dir(directory)]
+    quarantine_roots.extend(
+        quarantine_dir(d) for d in sorted(directory.glob("*.ckpt"))
+    )
+    for root in quarantine_roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(p for p in root.iterdir() if p.is_file()):
+            report.quarantined_files.append(str(path))
+            if prune:
+                try:
+                    path.unlink()
+                    report.pruned.append(str(path))
+                except OSError:
+                    pass
+        if prune:
+            try:
+                root.rmdir()
+            except OSError:
+                pass
+
+    return report

@@ -1,0 +1,115 @@
+"""Stage-boundary numeric guardrails.
+
+Cheap invariant checks at the seams between pipeline stages: values that
+should be finite and non-negative (times, work, throughput estimates),
+fronts that should be monotone, bound violations that should be small.
+A failed check is a :class:`~repro.guard.health.GuardrailHit` handled per
+the registry policy: ``record`` (default) logs it into the health ledger
+and warns, ``raise`` raises :class:`~repro.errors.GuardrailViolation`,
+``off`` disables the checks entirely.
+
+Unlike the sampled oracle checks in :mod:`repro.guard.dispatch`, these
+run on every call — they are O(result) screens, not shadow computations.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DegradedDataWarning, GuardrailViolation
+from repro.guard.dispatch import registry
+from repro.guard.health import GuardrailHit
+
+__all__ = [
+    "check_bound_violation",
+    "check_estimates",
+    "check_pareto_front",
+    "check_sample_columns",
+    "guardrail_hit",
+]
+
+
+def guardrail_hit(stage: str, reason: str) -> None:
+    """Report one failed invariant per the registry's guardrail policy."""
+    reg = registry()
+    policy = reg.config.guardrail_policy
+    if policy == "off":
+        return
+    if policy == "raise":
+        raise GuardrailViolation(f"guardrail [{stage}]: {reason}")
+    reg.record_guardrail(GuardrailHit(stage=stage, reason=reason))
+    warnings.warn(
+        f"guardrail [{stage}]: {reason}", DegradedDataWarning, stacklevel=3
+    )
+
+
+def _enabled() -> bool:
+    return registry().config.guardrail_policy != "off"
+
+
+def check_pareto_front(
+    front: Sequence[tuple[float, float]], stage: str = "pareto-front"
+) -> None:
+    """A maximizing front must have strictly decreasing x, increasing y."""
+    if not _enabled() or len(front) < 2:
+        return
+    for (x0, y0), (x1, y1) in zip(front, front[1:]):
+        if not (x1 < x0 and y1 > y0):
+            guardrail_hit(
+                stage,
+                f"non-monotone front: ({x0:g}, {y0:g}) -> ({x1:g}, {y1:g})",
+            )
+            return
+
+
+def check_estimates(
+    per_metric: Mapping[str, float], stage: str = "estimate"
+) -> None:
+    """Per-metric throughput estimates must be finite and non-negative."""
+    if not _enabled():
+        return
+    for metric, value in per_metric.items():
+        if math.isnan(value) or math.isinf(value):
+            guardrail_hit(stage, f"non-finite estimate for {metric!r}: {value}")
+            return
+        if value < 0:
+            guardrail_hit(stage, f"negative estimate for {metric!r}: {value}")
+            return
+
+
+def check_sample_columns(
+    time: np.ndarray,
+    work: np.ndarray,
+    metric_count: np.ndarray,
+    stage: str = "train-input",
+) -> None:
+    """Sanitized sample columns must be finite with positive time."""
+    if not _enabled() or not len(time):
+        return
+    if (
+        not bool(np.isfinite(time).all())
+        or not bool(np.isfinite(work).all())
+        or not bool(np.isfinite(metric_count).all())
+    ):
+        guardrail_hit(stage, "non-finite value in sanitized sample columns")
+        return
+    if bool((time <= 0).any()) or bool((work < 0).any()) or bool(
+        (metric_count < 0).any()
+    ):
+        guardrail_hit(stage, "negative time/work/count survived sanitization")
+
+
+def check_bound_violation(
+    value: float, stage: str = "bound-violation"
+) -> None:
+    """A mean absolute bound violation must be a finite non-negative float."""
+    if not _enabled():
+        return
+    if math.isnan(value) or math.isinf(value):
+        guardrail_hit(stage, f"non-finite bound violation: {value}")
+    elif value < 0:
+        guardrail_hit(stage, f"negative bound violation: {value}")

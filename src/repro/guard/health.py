@@ -1,0 +1,127 @@
+"""Health telemetry for the guarded-dispatch layer.
+
+A :class:`HealthReport` is the run-level summary of what the guard layer
+observed: how many sampled oracle checks ran per kernel, which kernels
+diverged and tripped their breaker to the scalar path, which numeric
+guardrails fired, and which on-disk artifacts failed integrity
+verification and were quarantined.  It rides on
+:class:`~repro.runtime.runner.RunReport` and surfaces in ``spire report``
+and ``spire faultsim`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DivergenceEvent",
+    "GuardrailHit",
+    "HealthReport",
+    "KernelHealth",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DivergenceEvent:
+    """One sampled oracle check whose fast-path result did not match."""
+
+    kernel: str
+    call_index: int      # 0-based call counter of the kernel at divergence
+    detail: str = ""
+    injected: bool = False   # a diverge-kernel fault, not a real mismatch
+
+
+@dataclass(frozen=True, slots=True)
+class GuardrailHit:
+    """One stage-boundary numeric invariant that failed."""
+
+    stage: str
+    reason: str
+
+
+@dataclass
+class KernelHealth:
+    """Per-kernel guard accounting."""
+
+    name: str
+    calls: int = 0       # fast-path dispatches observed
+    checks: int = 0      # sampled oracle checks actually run
+    tripped: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "checks": self.checks,
+            "tripped": self.tripped,
+        }
+
+
+@dataclass
+class HealthReport:
+    """What the guard layer saw during one process/run."""
+
+    kernels: dict[str, KernelHealth] = field(default_factory=dict)
+    divergences: list[DivergenceEvent] = field(default_factory=list)
+    guardrail_hits: list[GuardrailHit] = field(default_factory=list)
+    artifacts_quarantined: list[str] = field(default_factory=list)
+
+    @property
+    def checks_run(self) -> int:
+        return sum(k.checks for k in self.kernels.values())
+
+    @property
+    def tripped_kernels(self) -> list[str]:
+        return sorted(name for name, k in self.kernels.items() if k.tripped)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.divergences
+            or self.guardrail_hits
+            or self.artifacts_quarantined
+            or self.tripped_kernels
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kernels": {n: k.to_dict() for n, k in sorted(self.kernels.items())},
+            "divergences": [
+                {
+                    "kernel": d.kernel,
+                    "call_index": d.call_index,
+                    "detail": d.detail,
+                    "injected": d.injected,
+                }
+                for d in self.divergences
+            ],
+            "guardrail_hits": [
+                {"stage": h.stage, "reason": h.reason} for h in self.guardrail_hits
+            ],
+            "artifacts_quarantined": list(self.artifacts_quarantined),
+        }
+
+    def render(self) -> str:
+        """A terse human-readable summary for CLI output."""
+        checked = sum(1 for k in self.kernels.values() if k.checks)
+        lines = [
+            f"guard: {self.checks_run} oracle check(s) across {checked} "
+            f"kernel(s), {len(self.divergences)} divergence(s), "
+            f"{len(self.guardrail_hits)} guardrail hit(s), "
+            f"{len(self.artifacts_quarantined)} artifact(s) quarantined"
+        ]
+        for event in self.divergences:
+            tag = "injected" if event.injected else "DIVERGED"
+            detail = f" ({event.detail})" if event.detail else ""
+            lines.append(
+                f"  {event.kernel}: {tag} at call {event.call_index}{detail}"
+            )
+        if self.tripped_kernels:
+            lines.append(
+                "  tripped to scalar: " + ", ".join(self.tripped_kernels)
+            )
+        for hit in self.guardrail_hits:
+            lines.append(f"  guardrail [{hit.stage}]: {hit.reason}")
+        for path in self.artifacts_quarantined:
+            lines.append(f"  quarantined: {path}")
+        return "\n".join(lines)

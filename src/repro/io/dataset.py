@@ -4,68 +4,143 @@ CSV is the interchange format for samples (one row per sample, stable
 column order); JSON carries both samples and serialized models.  All
 loaders validate through the same constructors as in-memory construction,
 so a corrupted file fails loudly with :class:`repro.errors.DataError`.
+
+Every writer goes through an atomic temp-file + rename, so a crashed
+process never leaves a half-written artifact behind, and every artifact
+carries integrity metadata (schema version + content checksum + code
+version): JSON payloads embed a ``header`` object, CSV files end with a
+``# spire-artifact: {...}`` trailer comment.  Loaders verify the
+metadata when present — a mismatch quarantines the file into a sibling
+``.quarantine/`` directory (never deletes it) and raises ``DataError``.
+Files written by older versions or by hand, without metadata, still load.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
+import io
 import json
 from pathlib import Path
 
+from repro import __version__
 from repro.core.ensemble import SpireModel
 from repro.core.sample import Sample, SampleSet
 from repro.errors import DataError
+from repro.guard.artifact import (
+    attach_header,
+    atomic_write_text,
+    quarantine_file,
+    verify_payload,
+)
 
 _CSV_FIELDS = ("metric", "time", "work", "metric_count")
 
+#: Artifact schema identifiers for the io formats.
+MODEL_FORMAT = "spire-model/1"
+SAMPLES_FORMAT = "spire-samples/1"
+SAMPLES_CSV_FORMAT = "spire-samples-csv/1"
+
+#: CSV integrity trailer: the last line of a saved CSV file.  It is a
+#: comment so the header row stays the first line and third-party CSV
+#: tooling that ignores ``#`` lines keeps working.
+_CSV_TRAILER_PREFIX = "# spire-artifact: "
+
+
+def _text_checksum(body: str) -> str:
+    return "sha256:" + hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def _reject(path: Path, reason: str) -> None:
+    """Quarantine a failed-integrity artifact and fail loudly."""
+    destination = quarantine_file(path, reason)
+    where = f" (quarantined to {destination})" if destination else ""
+    raise DataError(f"{path}: {reason}{where}")
+
 
 def save_samples_csv(samples: SampleSet, path: str | Path) -> Path:
-    """Write a sample set as CSV with a header row."""
+    """Write a sample set as CSV with a header row.
+
+    The final line is a ``# spire-artifact`` trailer comment holding the
+    schema version and a checksum over the preceding rows.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
-        writer.writeheader()
-        for sample in samples:
-            writer.writerow(sample.to_dict())
+    buffer = io.StringIO()
+    # "\n" keeps the on-disk bytes identical to what read_text() returns
+    # (universal newlines), so the trailer checksum verifies byte-exact.
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for sample in samples:
+        writer.writerow(sample.to_dict())
+    body = buffer.getvalue()
+    trailer = {
+        "format": SAMPLES_CSV_FORMAT,
+        "checksum": _text_checksum(body),
+        "code_version": __version__,
+    }
+    atomic_write_text(
+        path, body + _CSV_TRAILER_PREFIX + json.dumps(trailer, sort_keys=True) + "\n"
+    )
     return path
 
 
 def load_samples_csv(path: str | Path) -> SampleSet:
-    """Read a sample set written by :func:`save_samples_csv`."""
+    """Read a sample set written by :func:`save_samples_csv`.
+
+    Files carrying the ``# spire-artifact`` trailer are checksummed
+    before parsing; trailer-less files (hand-written, or from older
+    versions) load without verification.
+    """
     path = Path(path)
     if not path.exists():
         raise DataError(f"sample file {path} does not exist")
-    with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
-        if missing:
-            raise DataError(f"{path}: missing CSV columns {sorted(missing)}")
-        samples = SampleSet()
-        for row_number, row in enumerate(reader, start=2):
-            try:
-                samples.add(
-                    Sample(
-                        metric=row["metric"],
-                        time=float(row["time"]),
-                        work=float(row["work"]),
-                        metric_count=float(row["metric_count"]),
-                    )
+    text = path.read_text(encoding="utf-8")
+    trailer_at = text.rfind(_CSV_TRAILER_PREFIX)
+    if trailer_at != -1:
+        body = text[:trailer_at]
+        trailer_line = text[trailer_at + len(_CSV_TRAILER_PREFIX) :]
+        try:
+            trailer = json.loads(trailer_line)
+        except json.JSONDecodeError:
+            _reject(path, "unparseable integrity trailer")
+        if trailer.get("format") != SAMPLES_CSV_FORMAT:
+            _reject(
+                path,
+                f"schema mismatch: expected {SAMPLES_CSV_FORMAT!r}, "
+                f"found {trailer.get('format')!r}",
+            )
+        if trailer.get("checksum") != _text_checksum(body):
+            _reject(path, "checksum mismatch (truncated or corrupted content)")
+        text = body
+    reader = csv.DictReader(io.StringIO(text))
+    missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
+    if missing:
+        raise DataError(f"{path}: missing CSV columns {sorted(missing)}")
+    samples = SampleSet()
+    for row_number, row in enumerate(reader, start=2):
+        try:
+            samples.add(
+                Sample(
+                    metric=row["metric"],
+                    time=float(row["time"]),
+                    work=float(row["work"]),
+                    metric_count=float(row["metric_count"]),
                 )
-            except (TypeError, ValueError) as exc:
-                raise DataError(f"{path}:{row_number}: {exc}") from exc
+            )
+        except (TypeError, ValueError) as exc:
+            raise DataError(f"{path}:{row_number}: {exc}") from exc
     if not samples:
         raise DataError(f"{path}: no samples")
     return samples
 
 
 def save_samples_json(samples: SampleSet, path: str | Path) -> Path:
-    """Write a sample set as a JSON record list."""
+    """Write a sample set as a JSON record list (with integrity header)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps({"samples": samples.to_records()}, indent=1), encoding="utf-8"
-    )
+    payload = attach_header({"samples": samples.to_records()}, SAMPLES_FORMAT)
+    atomic_write_text(path, json.dumps(payload, indent=1))
     return path
 
 
@@ -77,7 +152,10 @@ def load_samples_json(path: str | Path) -> SampleSet:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise DataError(f"{path}: invalid JSON ({exc})") from exc
-    if "samples" not in payload:
+    reason = verify_payload(payload, SAMPLES_FORMAT, require_header=False)
+    if reason is not None:
+        _reject(path, reason)
+    if not isinstance(payload, dict) or "samples" not in payload:
         raise DataError(f"{path}: missing 'samples' key")
     return SampleSet.from_records(payload["samples"])
 
@@ -85,7 +163,7 @@ def load_samples_json(path: str | Path) -> SampleSet:
 def save_model(
     model: SpireModel, path: str | Path, include_training: bool = False
 ) -> Path:
-    """Serialize a trained ensemble to JSON.
+    """Serialize a trained ensemble to JSON (with integrity header).
 
     ``include_training`` additionally persists each roofline's retained
     training points, so a reloaded model can still render sample scatter
@@ -93,13 +171,21 @@ def save_model(
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = model.to_dict(include_training=include_training)
-    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    payload = attach_header(
+        model.to_dict(include_training=include_training), MODEL_FORMAT
+    )
+    atomic_write_text(path, json.dumps(payload, indent=1))
     return path
 
 
 def load_model(path: str | Path) -> SpireModel:
-    """Load an ensemble serialized by :func:`save_model`."""
+    """Load an ensemble serialized by :func:`save_model`.
+
+    Integrity metadata is verified when present; the payload shape is
+    then validated (a ``rooflines`` mapping is required) before
+    deserialization, so a wrong or hand-mangled file raises a clear
+    :class:`~repro.errors.DataError` instead of an arbitrary traceback.
+    """
     path = Path(path)
     if not path.exists():
         raise DataError(f"model file {path} does not exist")
@@ -107,6 +193,16 @@ def load_model(path: str | Path) -> SpireModel:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise DataError(f"{path}: invalid JSON ({exc})") from exc
+    reason = verify_payload(payload, MODEL_FORMAT, require_header=False)
+    if reason is not None:
+        _reject(path, reason)
+    if not isinstance(payload, dict):
+        raise DataError(f"{path}: model payload must be a JSON object")
+    if "rooflines" not in payload:
+        raise DataError(f"{path}: not a SPIRE model file (missing 'rooflines')")
+    if not isinstance(payload["rooflines"], dict):
+        raise DataError(f"{path}: 'rooflines' must be an object, not "
+                        f"{type(payload['rooflines']).__name__}")
     try:
         return SpireModel.from_dict(payload)
     except (KeyError, TypeError, ValueError) as exc:

@@ -34,6 +34,7 @@ from repro.fastpath import scalar_fallback_enabled
 from repro.counters import CollectionConfig, CollectionResult, SampleCollector
 from repro.counters.events import default_catalog
 from repro.errors import DegradedDataWarning, SpireError
+from repro.guard.dispatch import health_report, inject_divergence
 from repro.runtime.cache import ExperimentCache, experiment_cache_key
 from repro.runtime.faults import FaultPlan
 from repro.runtime.plan import ExecutionPlan, WorkloadTask
@@ -215,13 +216,28 @@ def run_experiment_with_report(
     cfg = config or ExperimentConfig()
     mach = machine or skylake_gold_6126()
 
+    # Guard-level faults fire before any dispatch or cache access: a
+    # diverge-kernel spec arms the target kernel's guard to report a
+    # divergence on its next sampled check, and a corrupt-cache-entry
+    # spec truncates the on-disk entry so the load path must recover.
+    if faults is not None:
+        for spec in faults.diverge_kernels():
+            inject_divergence(spec.workload, times=spec.times)
+
     cache_obj = ExperimentCache.resolve(cache)
     key = ""
     if cache_obj is not None:
         key = experiment_cache_key(cfg, mach, train_options)
+        if faults is not None and faults.cache_corruptions():
+            entry = cache_obj.entry_path(key)
+            if entry.exists():
+                data = entry.read_bytes()
+                entry.write_bytes(data[: len(data) // 2])
         hit = cache_obj.load(key)
         if hit is not None:
-            return hit, RunReport()
+            report = RunReport()
+            report.health = health_report()
+            return hit, report
 
     plan = ExecutionPlan.for_experiment(cfg, mach)
     options = runner_options or RunnerOptions(
@@ -303,6 +319,7 @@ def run_experiment_with_report(
         if not report.failures:
             cache_obj.store(key, result)
             cache_obj.discard_checkpoints(key)
+    report.health = health_report()
     return result, report
 
 

@@ -12,8 +12,9 @@ This subsystem makes the evaluation pipeline fast *and* survivable:
   content-addressed by a fingerprint of every input, plus per-workload
   checkpoints so an interrupted run resumes instead of restarting;
 - :class:`FaultPlan` injects deterministic failures (worker crash, hang,
-  corrupt sample, dropped metric, checkpoint write error) to prove all of
-  the above works — see ``spire faultsim``.
+  corrupt sample, dropped metric, checkpoint write error, corrupted
+  cache entry, diverging kernel) to prove all of the above works — see
+  ``spire faultsim``.
 
 See ``docs/performance.md`` and ``docs/robustness.md`` for the full story.
 """
@@ -29,7 +30,14 @@ from repro.runtime.cache import (
     result_from_payload,
     result_to_payload,
 )
-from repro.runtime.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.runtime.faults import (
+    CORRUPT_CACHE_ENTRY,
+    DIVERGE_KERNEL,
+    FAULT_KINDS,
+    GUARD_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.runtime.plan import ExecutionPlan, WorkloadTask
 from repro.runtime.runner import (
     FAILURE_POLICIES,
@@ -45,8 +53,11 @@ __all__ = [
     "CACHE_FORMAT",
     "CACHE_MAX_ENTRIES_ENV",
     "CHECKPOINT_FORMAT",
+    "CORRUPT_CACHE_ENTRY",
+    "DIVERGE_KERNEL",
     "FAILURE_POLICIES",
     "FAULT_KINDS",
+    "GUARD_KINDS",
     "ExecutionPlan",
     "ExperimentCache",
     "FaultPlan",

@@ -35,10 +35,15 @@ import gc
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.guard.artifact import (
+    attach_header,
+    atomic_write_text,
+    quarantine_file,
+    verify_payload,
+)
 from repro.core.ensemble import SpireModel, TrainOptions
 from repro.core.sample import SampleSet
 from repro.core.sanitize import QualityReport, QuarantinedSample
@@ -338,9 +343,11 @@ class ExperimentCache:
         """The cached experiment for ``key``, or ``None`` on miss.
 
         Any failure — unreadable file, truncated/invalid JSON, wrong
-        format, payload that no longer deserializes — discards the entry
-        and reports a miss, so callers transparently re-simulate instead
-        of crashing on a corrupted cache.
+        format, integrity-header checksum mismatch, payload that no
+        longer deserializes — quarantines the entry into the cache
+        directory's ``.quarantine/`` subdirectory and reports a miss, so
+        callers transparently re-simulate instead of crashing on a
+        corrupted cache (``spire doctor`` inspects the quarantine).
         """
         path = self.entry_path(key)
         if not path.exists():
@@ -353,9 +360,13 @@ class ExperimentCache:
         gc.disable()
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
+            reason = verify_payload(payload, CACHE_FORMAT)
+            if reason is not None:
+                quarantine_file(path, reason)
+                return None
             result = result_from_payload(payload)
-        except Exception:
-            self._discard(path)
+        except Exception as exc:
+            quarantine_file(path, f"unreadable entry: {exc!r}")
             return None
         finally:
             if gc_was_enabled:
@@ -373,26 +384,36 @@ class ExperimentCache:
         result: "ExperimentResult",
         fingerprint: dict | None = None,
     ) -> Path:
-        """Persist ``result`` under ``key`` atomically; returns the path."""
+        """Persist ``result`` under ``key`` atomically; returns the path.
+
+        The payload carries an integrity header (schema version, content
+        checksum, code version) that :meth:`load` and ``spire doctor``
+        verify before trusting the entry.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = result_to_payload(result, fingerprint=fingerprint)
+        payload = attach_header(
+            result_to_payload(result, fingerprint=fingerprint), CACHE_FORMAT
+        )
         text = json.dumps(payload, separators=(",", ":"))
         path = self.entry_path(key)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key}.", suffix=".tmp", dir=self.directory
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, text)
         self._prune()
         return path
+
+    def verify_entry(self, key: str) -> str | None:
+        """Why the entry for ``key`` fails integrity checks, or ``None``.
+
+        Unlike :meth:`load`, this never quarantines — it only reports, so
+        ``spire doctor`` can decide what to do.
+        """
+        path = self.entry_path(key)
+        if not path.exists():
+            return "missing entry"
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except Exception as exc:
+            return f"unreadable entry: {exc!r}"
+        return verify_payload(payload, CACHE_FORMAT)
 
     def _prune(self) -> int:
         """Evict the oldest entries beyond ``max_entries``; count removed."""
@@ -438,44 +459,38 @@ class ExperimentCache:
         """Atomically persist one completed workload run under ``key``."""
         directory = self.checkpoint_dir(key)
         directory.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "format": CHECKPOINT_FORMAT,
-            "workload": workload_name,
-            "run": _run_to_dict(run),
-        }
+        payload = attach_header(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "workload": workload_name,
+                "run": _run_to_dict(run),
+            },
+            CHECKPOINT_FORMAT,
+        )
         text = json.dumps(payload, separators=(",", ":"))
         path = self._checkpoint_path(key, workload_name)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{path.stem}.", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, text)
         return path
 
     def load_checkpoints(self, key: str) -> dict[str, "WorkloadRun"]:
         """Every readable checkpoint for ``key``, by workload name.
 
-        A corrupted checkpoint (interrupted write, wrong format) is
-        discarded and simply missing from the result — its workload gets
-        re-simulated, never raised over.
+        A corrupted checkpoint (interrupted write, checksum mismatch,
+        wrong format) is quarantined into the checkpoint directory's
+        ``.quarantine/`` subdirectory and simply missing from the result
+        — its workload gets re-simulated, never raised over.
         """
         runs: dict[str, "WorkloadRun"] = {}
         for path in self._checkpoint_files(key):
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
-                if payload.get("format") != CHECKPOINT_FORMAT:
-                    raise ValueError(f"bad checkpoint format {payload.get('format')!r}")
+                reason = verify_payload(payload, CHECKPOINT_FORMAT)
+                if reason is not None:
+                    quarantine_file(path, reason)
+                    continue
                 runs[payload["workload"]] = _run_from_dict(payload["run"])
-            except Exception:
-                self._discard(path)
+            except Exception as exc:
+                quarantine_file(path, f"unreadable checkpoint: {exc!r}")
         return runs
 
     def _checkpoint_files(self, key: str) -> list[Path]:

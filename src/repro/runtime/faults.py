@@ -19,6 +19,12 @@ each targeting one workload by name:
 ``corrupt-sample``        one collected sample's fields turn NaN
 ``drop-metric``           one metric's counts vanish from the collection
 ``checkpoint-write-failure``  the per-workload checkpoint write raises OSError
+``corrupt-cache-entry``   the on-disk experiment cache entry is truncated
+                          before the run loads it (the ``workload`` field
+                          is ``"*"`` — the fault targets the whole entry)
+``diverge-kernel``        one guarded vectorized kernel is forced to report
+                          an oracle divergence and trip to scalar (the
+                          ``workload`` field names the kernel)
 ========================  ====================================================
 
 Faults are *transient by default* (``times=1``): they fire on the first
@@ -42,13 +48,31 @@ HANG = "hang"
 CORRUPT_SAMPLE = "corrupt-sample"
 DROP_METRIC = "drop-metric"
 CHECKPOINT_WRITE_FAILURE = "checkpoint-write-failure"
+CORRUPT_CACHE_ENTRY = "corrupt-cache-entry"
+DIVERGE_KERNEL = "diverge-kernel"
 
-FAULT_KINDS = (CRASH, HANG, CORRUPT_SAMPLE, DROP_METRIC, CHECKPOINT_WRITE_FAILURE)
+FAULT_KINDS = (
+    CRASH,
+    HANG,
+    CORRUPT_SAMPLE,
+    DROP_METRIC,
+    CHECKPOINT_WRITE_FAILURE,
+    CORRUPT_CACHE_ENTRY,
+    DIVERGE_KERNEL,
+)
 
 #: Fault kinds handled by the runner (they abort the whole task attempt).
 RUNNER_KINDS = (CRASH, HANG)
 #: Fault kinds handled inside the collector (they degrade the data).
 COLLECTOR_KINDS = (CORRUPT_SAMPLE, DROP_METRIC)
+#: Fault kinds handled by the guard layer (dispatch sentinels + artifacts);
+#: their ``workload`` field names a kernel or ``"*"``, not a workload.
+GUARD_KINDS = (CORRUPT_CACHE_ENTRY, DIVERGE_KERNEL)
+
+#: Default victims for random ``diverge-kernel`` faults: kernels that run
+#: in the parent process, where the guard registry's trip is visible to
+#: the health report (pool workers keep their own registry).
+PARENT_SIDE_KERNELS = ("sanitize", "pareto", "direction", "train", "estimate")
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,11 +154,25 @@ class FaultPlan:
         )
 
     def injected_workloads(self) -> list[str]:
-        """Targets of runner/collector faults, in spec order, deduplicated."""
+        """Targets of runner/collector faults, in spec order, deduplicated.
+
+        Guard-level faults are excluded — their target field names a
+        kernel or the cache entry, not a workload.
+        """
         seen: dict[str, None] = {}
         for spec in self.specs:
+            if spec.kind in GUARD_KINDS:
+                continue
             seen.setdefault(spec.workload, None)
         return list(seen)
+
+    def diverge_kernels(self) -> tuple[FaultSpec, ...]:
+        """The ``diverge-kernel`` specs; each ``workload`` names a kernel."""
+        return tuple(s for s in self.specs if s.kind == DIVERGE_KERNEL)
+
+    def cache_corruptions(self) -> tuple[FaultSpec, ...]:
+        """The ``corrupt-cache-entry`` specs."""
+        return tuple(s for s in self.specs if s.kind == CORRUPT_CACHE_ENTRY)
 
     @classmethod
     def random(
@@ -149,6 +187,9 @@ class FaultPlan:
         times: int = 1,
         hang_seconds: float = 30.0,
         metrics: Sequence[str] = (),
+        diverge_kernels: int = 0,
+        corrupt_cache_entries: int = 0,
+        kernels: Sequence[str] = (),
     ) -> "FaultPlan":
         """A seed-driven plan over distinct victims drawn from ``workloads``.
 
@@ -156,6 +197,12 @@ class FaultPlan:
         so a fault simulation is reproducible down to the victim names.
         Runner-level faults (crash, hang) get distinct victims; data-level
         faults may overlap with them and with each other.
+
+        ``diverge_kernels`` draws victims from ``kernels`` (defaulting to
+        :data:`PARENT_SIDE_KERNELS`); ``corrupt_cache_entries`` targets
+        the run's cache entry.  Their rng draws come after every older
+        fault kind's, so plans for pre-existing kinds are unchanged for a
+        given seed.
         """
         names = list(workloads)
         wanted_runner = crashes + hangs
@@ -204,6 +251,22 @@ class FaultPlan:
                     workload=victim, kind=CHECKPOINT_WRITE_FAILURE, times=times
                 )
             )
+
+        # New-in-format-2 kinds draw from the rng *after* all older kinds
+        # so pre-existing (seed, counts) plans stay bit-identical.
+        kernel_pool = list(kernels) or list(PARENT_SIDE_KERNELS)
+        for _ in range(diverge_kernels):
+            specs.append(
+                FaultSpec(
+                    workload=rng.choice(kernel_pool),
+                    kind=DIVERGE_KERNEL,
+                    times=times,
+                )
+            )
+        for _ in range(corrupt_cache_entries):
+            specs.append(
+                FaultSpec(workload="*", kind=CORRUPT_CACHE_ENTRY, times=times)
+            )
         return cls(specs=tuple(specs))
 
 
@@ -246,13 +309,17 @@ def trip_runner_fault(
 __all__ = [
     "CHECKPOINT_WRITE_FAILURE",
     "COLLECTOR_KINDS",
+    "CORRUPT_CACHE_ENTRY",
     "CORRUPT_SAMPLE",
     "CRASH",
+    "DIVERGE_KERNEL",
     "DROP_METRIC",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
+    "GUARD_KINDS",
     "HANG",
+    "PARENT_SIDE_KERNELS",
     "RUNNER_KINDS",
     "trip_runner_fault",
 ]

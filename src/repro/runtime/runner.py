@@ -55,6 +55,7 @@ from repro.runtime.faults import FaultPlan, FaultSpec, trip_runner_fault
 from repro.runtime.plan import ExecutionPlan, WorkloadTask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guard.health import HealthReport
     from repro.pipeline import WorkloadRun
 
 __all__ = [
@@ -144,6 +145,9 @@ class RunReport:
     serial_fallbacks: list[str] = field(default_factory=list)
     checkpoint_hits: list[str] = field(default_factory=list)
     checkpoint_errors: dict[str, str] = field(default_factory=dict)
+    #: Guard-layer telemetry (oracle checks, kernel trips, guardrail hits,
+    #: quarantined artifacts) — attached by the experiment pipeline.
+    health: "HealthReport | None" = None
 
     def task_attempts(self, name: str) -> list[TaskAttempt]:
         return [a for a in self.attempts if a.task == name]
@@ -186,6 +190,8 @@ class RunReport:
             lines.append(f"  {name}: {history}{suffix}")
         for name, reason in self.checkpoint_errors.items():
             lines.append(f"  checkpoint write failed for {name}: {reason}")
+        if self.health is not None:
+            lines.append(self.health.render())
         return "\n".join(lines)
 
 

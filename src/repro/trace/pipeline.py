@@ -23,12 +23,14 @@ from :mod:`repro.uarch`.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ConfigError
-from repro.fastpath import scalar_fallback_enabled
+from repro.fastpath import force_scalar
+from repro.guard.dispatch import kernel_guard
 from repro.trace.branch import GsharePredictor
 from repro.trace.cache import CacheHierarchy
 from repro.trace.uops import KINDS, MicroOp
@@ -348,11 +350,35 @@ class TracePipeline:
 
         State persists across calls and is shared with :meth:`execute`,
         so scalar and columnar windows can be mixed freely.  With
-        ``SPIRE_SCALAR_FALLBACK=1`` the trace is bridged to ``MicroOp``
-        objects and replayed through the scalar oracle instead.
+        ``SPIRE_SCALAR_FALLBACK=1`` (or after this kernel's guard trips)
+        the trace is bridged to ``MicroOp`` objects and replayed through
+        the scalar oracle instead.
+
+        Dispatches through the ``"pipeline.execute_array"`` kernel guard:
+        sampled calls snapshot the whole pipeline, replay the fragment
+        through the scalar :meth:`execute` oracle, and compare the
+        resulting counters exactly.  A real divergence adopts the scalar
+        state and trips this kernel for the rest of the process.
         """
-        if scalar_fallback_enabled():
+        guard = kernel_guard("pipeline.execute_array")
+        if not guard.use_fast():
             return self.execute(trace.to_microops())
+        if not guard.should_check():
+            return self._execute_array_fast(trace, block_size)
+        reference = copy.deepcopy(self)
+        result = self._execute_array_fast(trace, block_size)
+        with force_scalar():
+            expected = reference.execute(trace.to_microops())
+        if guard.resolve(result.as_dict() == expected.as_dict()):
+            return result
+        # Real divergence: trust the scalar reference — adopt its state.
+        self.__dict__.clear()
+        self.__dict__.update(reference.__dict__)
+        return expected
+
+    def _execute_array_fast(
+        self, trace: "TraceArray", block_size: int
+    ) -> PipelineCounters:
         n = len(trace)
         for start in range(0, n, block_size):
             self._execute_block(trace.slice(start, min(start + block_size, n)))

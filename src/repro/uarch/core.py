@@ -21,7 +21,8 @@ import random
 from dataclasses import replace
 from typing import Iterable
 
-from repro.fastpath import scalar_fallback_enabled
+from repro.fastpath import force_scalar
+from repro.guard.dispatch import kernel_guard
 from repro.uarch.activity import WindowActivity
 from repro.uarch.backend import BackendModel, port_activity_histogram
 from repro.uarch.config import MachineConfig
@@ -216,8 +217,26 @@ class CoreModel:
         activities and consume the rng stream identically.
         """
         specs = list(specs)
-        if scalar_fallback_enabled() or not specs:
+        guard = kernel_guard("simulate_run")
+        if not guard.use_fast() or not specs:
             return [self.simulate_window(spec, rng) for spec in specs]
         from repro.uarch.batch import simulate_run_batch
 
-        return simulate_run_batch(self, specs, rng)
+        if not guard.should_check():
+            return simulate_run_batch(self, specs, rng)
+
+        # Sampled oracle check: snapshot the rng stream, run the batch
+        # path, then replay per-window from the snapshot and compare
+        # activities bit-for-bit.
+        rng_state = rng.getstate() if rng is not None else None
+        result = simulate_run_batch(self, specs, rng)
+        replay_rng: random.Random | None = None
+        if rng_state is not None:
+            replay_rng = random.Random()
+            replay_rng.setstate(rng_state)
+        with force_scalar():
+            expected = [self.simulate_window(spec, replay_rng) for spec in specs]
+        if guard.resolve(result == expected):
+            return result
+        # Real divergence: trust the scalar replay.
+        return expected
