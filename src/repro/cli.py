@@ -43,6 +43,18 @@ from repro.viz import ascii_roofline, render_roofline_svg
 from repro.workloads import all_workloads
 
 
+def _jobs_arg(raw: str) -> "int | str":
+    """``--jobs`` parser: an integer count or the ``auto`` policy."""
+    if raw.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {raw!r}"
+        ) from None
+
+
 def _cmd_workloads(_: argparse.Namespace) -> int:
     print(f"{'name':<26} {'role':<9} {'expected bottleneck':<17} configuration")
     for workload in all_workloads():
@@ -245,6 +257,108 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _faultsim_fused_crash(args: argparse.Namespace) -> int:
+    """Fused-path crash scenario: checkpoint/resume at segment granularity.
+
+    Phase 1 runs the experiment serially (the fused mega-batch path) with
+    a persistent crash injected into one workload.  The victim is excluded
+    from fusion, so every other workload simulates as one fused batch and
+    checkpoints segment by segment before the victim fails terminally.
+    Phase 2 resumes from those checkpoints: only the victim re-simulates,
+    and the final result must be bit-identical to a fault-free serial run.
+    """
+    import tempfile
+    import warnings
+
+    from repro.errors import DegradedDataWarning
+    from repro.pipeline import run_experiment, run_experiment_with_report
+    from repro.runtime.faults import FaultPlan, FaultSpec
+    from repro.workloads import all_workloads
+
+    config = ExperimentConfig(
+        train_windows=args.train_windows,
+        test_windows=args.test_windows,
+        seed=args.seed,
+    )
+    names = [w.name for w in all_workloads()]
+    victim = names[args.fault_seed % len(names)]
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="spire-faultsim-")
+    plan = FaultPlan(
+        specs=(FaultSpec(workload=victim, kind="crash", times=10_000),)
+    )
+    print(
+        f"fused-path crash scenario: persistent crash on {victim!r}, "
+        f"cache={cache_dir}"
+    )
+
+    print("phase 1: fused serial run; the victim crashes terminally ...")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedDataWarning)
+        _, report = run_experiment_with_report(
+            config,
+            jobs=1,
+            cache=cache_dir,
+            failure_policy="skip",
+            retries=0,
+            faults=plan,
+        )
+    fused_segments = [name for name in report.completed if name != victim]
+    print(
+        f"phase 1: {len(fused_segments)} fused segment(s) checkpointed, "
+        f"{len(report.failures)} terminal failure(s)"
+    )
+    if victim not in report.failures:
+        print(f"FAIL: the injected crash on {victim!r} did not fail the task")
+        return 1
+    if len(fused_segments) != len(names) - 1:
+        print(
+            f"FAIL: expected {len(names) - 1} fused segments to complete, "
+            f"got {len(fused_segments)}"
+        )
+        return 1
+
+    print("phase 2: resuming from segment checkpoints, no faults ...")
+    result, resumed = run_experiment_with_report(
+        config, jobs=1, cache=cache_dir, resume=True
+    )
+    if sorted(resumed.checkpoint_hits) != sorted(fused_segments):
+        print(
+            f"FAIL: resume restored {len(resumed.checkpoint_hits)} "
+            f"checkpoint(s), expected the {len(fused_segments)} fused segments"
+        )
+        return 1
+    resimulated = [name for name in resumed.completed
+                   if name not in resumed.checkpoint_hits]
+    if resimulated != [victim]:
+        print(f"FAIL: expected only {victim!r} to re-simulate, got {resimulated}")
+        return 1
+
+    print("verifying against a fault-free serial baseline ...")
+    baseline = run_experiment(config, jobs=1)
+    divergent = []
+    for name, run in (result.training_runs | result.testing_runs).items():
+        ref = baseline.training_runs.get(name) or baseline.testing_runs.get(name)
+        same = (
+            ref is not None
+            and run.measured_ipc == ref.measured_ipc
+            and run.collection.samples.to_records()
+            == ref.collection.samples.to_records()
+        )
+        if not same:
+            divergent.append(name)
+    if divergent:
+        print(
+            f"FAIL: {len(divergent)} workload(s) diverged from the fault-free "
+            f"baseline: {', '.join(sorted(divergent))}"
+        )
+        return 1
+    print(
+        f"PASS: crash survived; {len(fused_segments)} segments restored from "
+        f"checkpoints, 1 re-simulated, all bit-identical to the baseline"
+    )
+    return 0
+
+
 def _cmd_faultsim(args: argparse.Namespace) -> int:
     """Fault-injection smoke: inject failures, prove the runtime survives.
 
@@ -257,6 +371,9 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     from repro.pipeline import run_experiment, run_experiment_with_report
     from repro.runtime.faults import RUNNER_KINDS, FaultPlan
     from repro.workloads import all_workloads
+
+    if args.fused_crash:
+        return _faultsim_fused_crash(args)
 
     config = ExperimentConfig(
         train_windows=args.train_windows,
@@ -478,9 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-decades", type=float, default=1.0)
     p.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
-        help="worker processes for per-metric fitting (0 = one per CPU)",
+        help="worker processes for per-metric fitting "
+        "(0 = one per CPU, 'auto' = pool only when the host justifies it)",
     )
     p.add_argument(
         "--full-model",
@@ -525,9 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--archive", default="", help="directory to archive the run")
     p.add_argument(
         "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the simulations (0 = one per CPU)",
+        type=_jobs_arg,
+        default="auto",
+        help="worker processes for the simulations (0 = one per CPU; "
+        "'auto', the default, fuses serially unless a pool is justified)",
     )
     p.add_argument(
         "--cache-dir",
@@ -582,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for victim selection (same seed = same fault plan)",
     )
-    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument("--jobs", type=_jobs_arg, default=2)
     p.add_argument("--crashes", type=int, default=1)
     p.add_argument("--hangs", type=int, default=1)
     p.add_argument("--corrupt-samples", type=int, default=1)
@@ -618,6 +737,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--persistent",
         action="store_true",
         help="make faults fire on every attempt (retries cannot absorb them)",
+    )
+    p.add_argument(
+        "--fused-crash",
+        action="store_true",
+        help="run the fused-path crash scenario: a persistent crash on one "
+        "workload, then checkpoint/resume at fused-segment granularity",
     )
     p.add_argument(
         "--cache-dir",

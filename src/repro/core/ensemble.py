@@ -149,7 +149,7 @@ class SpireModel:
         options: TrainOptions | None = None,
         work_unit: str = "instructions",
         time_unit: str = "cycles",
-        jobs: int = 1,
+        jobs: "int | str" = 1,
         parallel_threshold: int = PARALLEL_FIT_THRESHOLD,
         quality: QualityReport | None = None,
     ) -> "SpireModel":

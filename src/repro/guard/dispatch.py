@@ -73,6 +73,9 @@ GUARDED_KERNELS = (
     "cache.access_batch",
     "pipeline.execute_array",
     "simulate_run",
+    "fused_experiment",
+    "trace.fused_run",
+    "shm.transport",
 )
 
 DEFAULT_CHECK_RATE = 256
@@ -88,6 +91,13 @@ DEFAULT_RATE_OVERRIDES = {
     "cache.access_batch": 2048,
     "pipeline.execute_array": 2048,
     "simulate_run": 2048,
+    # One fused-experiment call covers a whole experiment, so its oracle
+    # (replaying one deterministically chosen segment through the
+    # per-workload path) costs about one task per checked experiment —
+    # rate 8 keeps the amortized overhead well inside the 5% budget.
+    "fused_experiment": 8,
+    "trace.fused_run": 64,
+    "shm.transport": 64,
 }
 
 RATE_ENV = "SPIRE_GUARD_RATE"

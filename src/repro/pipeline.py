@@ -147,7 +147,7 @@ def run_experiment(
     machine: MachineConfig | None = None,
     train_options: TrainOptions | None = None,
     *,
-    jobs: int = 1,
+    jobs: "int | str" = 1,
     cache: ExperimentCache | str | Path | None = None,
     resume: bool = False,
     failure_policy: str = "raise",
@@ -198,7 +198,7 @@ def run_experiment_with_report(
     machine: MachineConfig | None = None,
     train_options: TrainOptions | None = None,
     *,
-    jobs: int = 1,
+    jobs: "int | str" = 1,
     cache: ExperimentCache | str | Path | None = None,
     resume: bool = False,
     failure_policy: str = "raise",
@@ -334,7 +334,7 @@ def cached_experiment(
     machine: MachineConfig | None = None,
     train_options: TrainOptions | None = None,
     *,
-    jobs: int = 1,
+    jobs: "int | str" = 1,
     cache_dir: str | Path | None = None,
 ) -> ExperimentResult:
     """Memoized :func:`run_experiment` for benchmarks sharing one pass.

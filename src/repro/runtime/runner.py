@@ -195,11 +195,13 @@ class RunReport:
         return "\n".join(lines)
 
 
-def _execute_task(payload: tuple) -> "WorkloadRun":
+def _execute_task(payload: tuple):
     """Worker entry point: simulate one workload (optionally faulted).
 
     Imports the pipeline lazily because :mod:`repro.pipeline` imports this
-    package at module load.
+    package at module load.  Pool attempts with ``use_shm`` ship the
+    result's sample columns over shared memory
+    (:func:`repro.runtime.shm.encode_run`) instead of pickling them.
     """
     (
         workload,
@@ -211,13 +213,19 @@ def _execute_task(payload: tuple) -> "WorkloadRun":
         execution,
         in_process,
         deadline,
+        use_shm,
     ) = payload
     trip_runner_fault(fault, execution, in_process, deadline)
     from repro.pipeline import run_workload
 
-    return run_workload(
+    run = run_workload(
         workload, machine, n_windows, config, faults=collector_faults
     )
+    if use_shm and not in_process:
+        from repro.runtime.shm import encode_run
+
+        return encode_run(run)
+    return run
 
 
 @dataclass
@@ -240,7 +248,9 @@ class ParallelRunner:
     ----------
     jobs:
         Worker process count.  ``1`` runs in-process; ``0`` or ``None``
-        uses one worker per CPU.
+        uses one worker per CPU; ``"auto"`` picks the fused serial path
+        unless the host's available CPUs and the pending task count
+        justify a pool (``SPIRE_JOBS`` overrides the auto decision).
     chunksize:
         Retained for API compatibility with the PR-1 runner, which fed
         ``pool.map``.  The resilient runner submits tasks individually
@@ -257,11 +267,14 @@ class ParallelRunner:
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: "int | str" = 1,
         chunksize: int = 1,
         options: RunnerOptions | None = None,
         faults: FaultPlan | None = None,
     ):
+        # "auto" is re-resolved per run with the pending-task count, so a
+        # small batch stays on the fused serial path even on wide hosts.
+        self._jobs_request = jobs
         self.jobs = resolve_jobs(jobs)
         self.chunksize = resolve_chunksize(chunksize)
         self.options = options or RunnerOptions()
@@ -316,6 +329,8 @@ class ParallelRunner:
 
         pending = [s for s in states if not s.done]
         if pending:
+            if self._jobs_request == "auto":
+                self.jobs = resolve_jobs(self._jobs_request, tasks=len(pending))
             if self.jobs <= 1 or len(pending) == 1:
                 self._run_serial(pending, plan, results, report, on_result)
             else:
@@ -333,7 +348,13 @@ class ParallelRunner:
     # Execution paths
     # ------------------------------------------------------------------
 
-    def _payload(self, state: _TaskState, plan: ExecutionPlan, in_process: bool):
+    def _payload(
+        self,
+        state: _TaskState,
+        plan: ExecutionPlan,
+        in_process: bool,
+        use_shm: bool = False,
+    ):
         task = state.task
         fault = self.faults.runner_fault(task.name) if self.faults else None
         collector_faults = ()
@@ -355,6 +376,7 @@ class ParallelRunner:
             state.executions,  # already incremented by the caller
             in_process,
             self.options.task_timeout,
+            use_shm,
         )
 
     def _record(
@@ -415,6 +437,76 @@ class ParallelRunner:
             return CRASH, str(exc) or type(exc).__name__
         return ERROR, f"{type(exc).__name__}: {exc}"
 
+    def _run_fused(
+        self,
+        pending: list[_TaskState],
+        plan: ExecutionPlan,
+        results: list,
+        report: RunReport,
+        on_result,
+    ) -> None:
+        """Try the fused mega-batch engine on every unfaulted pending task.
+
+        Tasks with registered runner or collector faults keep the
+        per-task retry envelope — fusing them would change fault
+        semantics (a crash mid-batch must not take its siblings' results
+        with it, and collector faults are defined per workload run).
+        Everything else simulates as one concatenated columnar plan,
+        dispatched through the ``fused_experiment`` guard: sampled calls
+        replay one deterministically chosen segment through the
+        per-workload oracle and compare bit-for-bit, and a divergence
+        trips the breaker back to the unfused path.  Settled tasks still
+        flow through ``on_result``, so checkpoints are written at segment
+        granularity.
+        """
+        from repro.guard.dispatch import kernel_guard
+        from repro.runtime.fused import runs_equal, simulate_tasks_fused
+
+        eligible = [
+            state
+            for state in pending
+            if not state.done
+            and not (
+                self.faults
+                and (
+                    self.faults.runner_fault(state.task.name)
+                    or self.faults.collector_faults(state.task.name)
+                )
+            )
+        ]
+        if len(eligible) < 2:
+            return
+        guard = kernel_guard("fused_experiment")
+        if not guard.use_fast():
+            return
+        started = time.monotonic()
+        try:
+            runs = simulate_tasks_fused(
+                [state.task for state in eligible], plan.machine, plan.config
+            )
+        except SpireError:
+            # Let the per-task path re-raise with its own retry/attempt
+            # accounting; the scalar error surface stays unchanged.
+            return
+        if guard.should_check():
+            probe = eligible[(guard.calls - 1) % len(eligible)]
+            from repro.pipeline import run_workload
+
+            oracle = run_workload(
+                probe.task.workload, plan.machine, probe.task.n_windows,
+                plan.config,
+            )
+            ok = runs_equal(runs[eligible.index(probe)], oracle)
+            if not guard.resolve(ok, detail=f"segment {probe.task.name!r}"):
+                return  # breaker tripped: recompute everything unfused
+        for state, run in zip(eligible, runs):
+            state.executions += 1
+            state.budget_used += 1
+            state.started = started
+            self._settle_success(
+                state, run, results, report, on_result, in_process=True
+            )
+
     def _run_serial(
         self,
         pending: list[_TaskState],
@@ -424,6 +516,7 @@ class ParallelRunner:
         on_result,
     ) -> None:
         """In-process execution with the same retry envelope as the pool."""
+        self._run_fused(pending, plan, results, report, on_result)
         for state in pending:
             while not state.done:
                 state.executions += 1
@@ -456,7 +549,10 @@ class ParallelRunner:
         on_result,
     ) -> None:
         """Pool execution: per-task futures, deadlines, rebuild on death."""
+        from repro.runtime.shm import decode_run, shm_enabled
+
         opts = self.options
+        use_shm = shm_enabled()
         workers = min(self.jobs, len(pending))
         pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=workers
@@ -477,7 +573,7 @@ class ParallelRunner:
                 else float("inf")
             )
             future = pool.submit(
-                _execute_task, self._payload(state, plan, False)
+                _execute_task, self._payload(state, plan, False, use_shm)
             )
             in_flight[future] = state
 
@@ -542,7 +638,7 @@ class ParallelRunner:
                 for future in done:
                     state = in_flight.pop(future)
                     try:
-                        run = future.result()
+                        run = decode_run(future.result())
                     except BrokenProcessPool:
                         pool_broke = True
                         # The crash is attributed below, with its siblings.
@@ -640,5 +736,10 @@ def _watch_abandoned(future: Future, abandoned: set[Future]) -> None:
         abandoned.discard(f)
         # Consume the exception so the executor does not log it on gc.
         if not f.cancelled():
-            f.exception()
+            if f.exception() is None:
+                # A late success may carry a shared-memory handle whose
+                # segment the parent now owns — unlink it or it leaks.
+                from repro.runtime.shm import release_run
+
+                release_run(f.result())
     future.add_done_callback(_done)

@@ -1,0 +1,200 @@
+"""Shared-memory transport for pool results.
+
+A pool worker's dominant return payload is the ``SampleArray`` behind its
+:class:`~repro.pipeline.WorkloadRun` — four NumPy columns that pickle
+byte-by-byte through the result queue.  This module ships those columns
+through :mod:`multiprocessing.shared_memory` instead: the worker packs
+them into one shared segment, returns a small :class:`ShmRun` handle
+(run metadata plus segment name and column specs), and the parent
+reattaches, copies the columns out, and unlinks the segment at result
+receipt.  Everything else on the run (counts, activity, TMA) is small
+and still pickles normally.
+
+The transport is bit-exact by construction — the columns are raw memory
+copies — and dispatches through the ``"shm.transport"`` kernel guard:
+sampled encodes round-trip the segment in the worker and compare every
+column bitwise against the original; a divergence trips the breaker and
+the run returns over pickle (the oracle transport).  ``SPIRE_SHM=0``
+disables the transport outright.
+
+Lifetime protocol: the worker *creates* the segment but unregisters it
+from its own :mod:`multiprocessing.resource_tracker` — ownership
+transfers with the handle, and the parent both closes and unlinks after
+decoding (:func:`decode_run`), or via :func:`release_run` for results
+that arrive after their task was abandoned.  A worker that dies between
+create and return leaks its segment until process exit, which is exactly
+the crash window the pool's retry envelope already re-executes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.columns import SampleArray
+from repro.core.sample import SampleSet
+from repro.guard.dispatch import kernel_guard
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline import WorkloadRun
+
+__all__ = [
+    "SHM_ENV",
+    "ShmHandle",
+    "ShmRun",
+    "decode_run",
+    "encode_run",
+    "release_run",
+    "shm_enabled",
+]
+
+#: Set to ``0``/``off`` to force pool results back onto pickle transport.
+SHM_ENV = "SPIRE_SHM"
+
+#: The SampleArray columns shipped through the segment, in pack order.
+_COLUMN_FIELDS = ("metric_ids", "time", "work", "metric_count")
+
+
+def shm_enabled() -> bool:
+    """Whether pool results should use shared-memory transport."""
+    raw = os.environ.get(SHM_ENV, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+@dataclass(frozen=True, slots=True)
+class ShmHandle:
+    """Everything the parent needs to recover the columns."""
+
+    name: str
+    metric_names: tuple[str, ...]
+    #: Per column: (field, dtype string, byte offset, row count).
+    columns: tuple[tuple[str, str, int, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ShmRun:
+    """A ``WorkloadRun`` whose sample columns travel out-of-band."""
+
+    run: "WorkloadRun"          # samples replaced by an empty placeholder
+    handle: ShmHandle
+
+
+def _unpack(buffer, handle: ShmHandle) -> dict[str, np.ndarray]:
+    """Copy the packed columns out of a segment buffer."""
+    columns: dict[str, np.ndarray] = {}
+    for field_name, dtype, offset, count in handle.columns:
+        view = np.frombuffer(buffer, dtype=np.dtype(dtype), count=count, offset=offset)
+        columns[field_name] = view.copy()
+    return columns
+
+
+def encode_run(run: "WorkloadRun") -> "WorkloadRun | ShmRun":
+    """Worker side: publish the run's sample columns to shared memory.
+
+    Returns the original run unchanged (pickle transport) when the
+    transport is disabled, the guard breaker is tripped, or the columns
+    are empty.
+    """
+    guard = kernel_guard("shm.transport")
+    if not guard.use_fast():
+        return run
+    array = run.collection.samples.columns()
+    arrays = [
+        np.ascontiguousarray(getattr(array, field_name))
+        for field_name in _COLUMN_FIELDS
+    ]
+    total = sum(a.nbytes for a in arrays)
+    if total == 0:
+        return run
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        specs = []
+        offset = 0
+        for field_name, column in zip(_COLUMN_FIELDS, arrays):
+            target = np.frombuffer(
+                segment.buf, dtype=column.dtype, count=len(column), offset=offset
+            )
+            target[:] = column
+            specs.append((field_name, column.dtype.str, offset, len(column)))
+            del target
+            offset += column.nbytes
+        handle = ShmHandle(
+            name=segment.name,
+            metric_names=array.metric_names,
+            columns=tuple(specs),
+        )
+        if guard.should_check():
+            recovered = _unpack(segment.buf, handle)
+            ok = all(
+                np.array_equal(
+                    recovered[field_name], getattr(array, field_name)
+                )
+                for field_name in _COLUMN_FIELDS
+            )
+            if not guard.resolve(ok, detail=f"segment {segment.name}"):
+                segment.close()
+                segment.unlink()
+                return run
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    # Ownership moves to the parent with the handle: stop this process's
+    # resource tracker from unlinking the segment at worker shutdown.
+    try:  # pragma: no cover - tracker internals vary across versions
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    segment.close()
+    stripped = replace(
+        run, collection=replace(run.collection, samples=SampleSet())
+    )
+    return ShmRun(run=stripped, handle=handle)
+
+
+def decode_run(result) -> "WorkloadRun":
+    """Parent side: rebuild a ``WorkloadRun`` from a pool result.
+
+    Pass-through for plain runs (pickle transport); for :class:`ShmRun`
+    handles, attaches the segment, copies the columns out, unlinks it,
+    and reinstates the ``SampleSet``.
+    """
+    if not isinstance(result, ShmRun):
+        return result
+    handle = result.handle
+    segment = shared_memory.SharedMemory(name=handle.name)
+    try:
+        columns = _unpack(segment.buf, handle)
+    finally:
+        segment.close()
+        segment.unlink()
+    array = SampleArray(
+        columns["metric_ids"],
+        handle.metric_names,
+        columns["time"],
+        columns["work"],
+        columns["metric_count"],
+    )
+    run = result.run
+    return replace(
+        run,
+        collection=replace(
+            run.collection, samples=SampleSet.from_columns(array)
+        ),
+    )
+
+
+def release_run(result) -> None:
+    """Unlink a handle's segment without decoding (abandoned results)."""
+    if not isinstance(result, ShmRun):
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=result.handle.name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()

@@ -28,6 +28,8 @@ from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Iterable
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.fastpath import force_scalar
 from repro.guard.dispatch import kernel_guard
@@ -376,6 +378,72 @@ class TracePipeline:
         self.__dict__.update(reference.__dict__)
         return expected
 
+    def execute_array_windowed(
+        self, trace: "TraceArray", window_uops: int, block_size: int = 16384
+    ) -> list[PipelineCounters]:
+        """One fused pass over ``trace`` with per-window counter snapshots.
+
+        Returns one :class:`PipelineCounters` copy per ``window_uops``
+        boundary (the final, possibly short, window included) —
+        bit-identical to slicing the trace per window, calling
+        :meth:`execute_array` on each slice and snapshotting between
+        calls.  The fused pass amortizes the vectorized pre-passes over
+        whole ``block_size`` blocks and enters the sequential recurrence
+        once per block instead of once per window; window boundaries
+        become in-loop snapshot points instead of call boundaries.
+
+        Dispatches through the ``"trace.fused_run"`` kernel guard:
+        sampled calls snapshot the pipeline and replay the per-window
+        sliced path (the fusion oracle), comparing every snapshot
+        exactly.  A divergence adopts the oracle's state and trips the
+        fused pass back to per-window execution for the process.
+        """
+        if window_uops < 1:
+            raise ConfigError("need window_uops >= 1")
+        n = len(trace)
+        boundaries = list(range(window_uops, n, window_uops)) + ([n] if n else [])
+        guard = kernel_guard("trace.fused_run")
+        if not guard.use_fast():
+            return self._execute_windowed_reference(trace, boundaries)
+        if not guard.should_check():
+            return self._execute_windowed_fast(trace, boundaries, block_size)
+        reference = copy.deepcopy(self)
+        result = self._execute_windowed_fast(trace, boundaries, block_size)
+        expected = reference._execute_windowed_reference(trace, boundaries)
+        ok = [s.as_dict() for s in result] == [s.as_dict() for s in expected]
+        if guard.resolve(ok):
+            return result
+        self.__dict__.clear()
+        self.__dict__.update(reference.__dict__)
+        return expected
+
+    def _execute_windowed_reference(
+        self, trace: "TraceArray", boundaries: list[int]
+    ) -> list[PipelineCounters]:
+        """The fusion oracle: per-window slices through execute_array."""
+        snapshots: list[PipelineCounters] = []
+        start = 0
+        for stop in boundaries:
+            self.execute_array(trace.slice(start, stop))
+            snapshots.append(self.snapshot())
+            start = stop
+        return snapshots
+
+    def _execute_windowed_fast(
+        self, trace: "TraceArray", boundaries: list[int], block_size: int
+    ) -> list[PipelineCounters]:
+        snapshots: list[PipelineCounters] = []
+        n = len(trace)
+        for start in range(0, n, block_size):
+            stop = min(start + block_size, n)
+            relative = [b - start for b in boundaries if start < b <= stop]
+            self._execute_block(
+                trace.slice(start, stop),
+                boundaries=relative,
+                snapshots=snapshots,
+            )
+        return snapshots
+
     def _execute_array_fast(
         self, trace: "TraceArray", block_size: int
     ) -> PipelineCounters:
@@ -384,7 +452,12 @@ class TracePipeline:
             self._execute_block(trace.slice(start, min(start + block_size, n)))
         return self.counters
 
-    def _execute_block(self, block: "TraceArray") -> None:
+    def _execute_block(
+        self,
+        block: "TraceArray",
+        boundaries: "list[int] | None" = None,
+        snapshots: "list[PipelineCounters] | None" = None,
+    ) -> None:
         cfg = self.config
         counters = self.counters
         n = len(block)
@@ -408,33 +481,98 @@ class TracePipeline:
             correct = []
         load_mask = kind_column == _LOAD_CODE
         n_loads = int(load_mask.sum())
+        div_mask = kind_column == _DIV_CODE
+        n_divides = int(div_mask.sum())
+
+        # Precomputed latency schedule: scatter the per-load hierarchy
+        # latencies and the divider occupancy into one column so the
+        # recurrence reads a single list with no per-uop cursor chasing.
+        # The block's latency array can be a view into a fused trace, so
+        # scatter into a copy.
+        latency_column = block.latency.copy()
         if n_loads:
             levels, load_latencies = self.caches.access_batch(
                 block.address[load_mask]
             )
-            counters.l1_misses += int((levels >= 1).sum())
-            counters.l2_misses += int((levels >= 2).sum())
-            counters.l3_misses += int((levels == 3).sum())
-            counters.memory_wait_cycles += int(load_latencies.sum())
-            load_latency = load_latencies.tolist()
+            latency_column[load_mask] = load_latencies
         else:
-            load_latency = []
-        n_divides = int((kind_column == _DIV_CODE).sum())
+            levels = load_latencies = np.zeros(0, dtype=np.int64)
+        if n_divides:
+            latency_column[div_mask] = cfg.divider_occupancy
 
-        counters.icache_misses += icache_misses
-        counters.icache_stall_cycles += icache_misses * cfg.icache_miss_penalty
-        counters.branches += n_branches
-        counters.branch_mispredicts += n_branches - sum(correct)
-        counters.loads += n_loads
-        counters.divides += n_divides
-        counters.divider_busy_cycles += n_divides * cfg.divider_occupancy
-        counters.instructions += n
+        if boundaries is None:
+            counters.icache_misses += icache_misses
+            counters.icache_stall_cycles += (
+                icache_misses * cfg.icache_miss_penalty
+            )
+            counters.branches += n_branches
+            counters.branch_mispredicts += n_branches - sum(correct)
+            counters.loads += n_loads
+            if n_loads:
+                counters.l1_misses += int((levels >= 1).sum())
+                counters.l2_misses += int((levels >= 2).sum())
+                counters.l3_misses += int((levels == 3).sum())
+                counters.memory_wait_cycles += int(load_latencies.sum())
+            counters.divides += n_divides
+            counters.divider_busy_cycles += n_divides * cfg.divider_occupancy
+            counters.instructions += n
+            flush = None
+        else:
+            # Windowed run: the event counts above are bumped per window
+            # instead, from integer prefix sums over the block — additions
+            # of integers regroup exactly, so each window's increment is
+            # bit-identical to a per-window pre-pass.
+            zero = np.zeros(1, dtype=np.int64)
+            miss_cum = np.concatenate([zero, np.cumsum(~icache_hit)])
+            branch_pos = np.flatnonzero(branch_mask)
+            if n_branches:
+                correct_cum = np.concatenate(
+                    [zero, np.cumsum(np.asarray(correct, dtype=np.int64))]
+                )
+            else:
+                correct_cum = zero
+            load_pos = np.flatnonzero(load_mask)
+            if n_loads:
+                l1_cum = np.concatenate([zero, np.cumsum(levels >= 1)])
+                l2_cum = np.concatenate([zero, np.cumsum(levels >= 2)])
+                l3_cum = np.concatenate([zero, np.cumsum(levels == 3)])
+                wait_cum = np.concatenate([zero, np.cumsum(load_latencies)])
+            else:
+                l1_cum = l2_cum = l3_cum = wait_cum = zero
+            div_pos = np.flatnonzero(div_mask)
+            penalty = cfg.icache_miss_penalty
+            busy = cfg.divider_occupancy
+
+            def flush(lo: int, hi: int) -> None:
+                counters.instructions += hi - lo
+                misses = int(miss_cum[hi] - miss_cum[lo])
+                counters.icache_misses += misses
+                counters.icache_stall_cycles += misses * penalty
+                b_lo = int(np.searchsorted(branch_pos, lo))
+                b_hi = int(np.searchsorted(branch_pos, hi))
+                counters.branches += b_hi - b_lo
+                counters.branch_mispredicts += (b_hi - b_lo) - int(
+                    correct_cum[b_hi] - correct_cum[b_lo]
+                )
+                l_lo = int(np.searchsorted(load_pos, lo))
+                l_hi = int(np.searchsorted(load_pos, hi))
+                counters.loads += l_hi - l_lo
+                counters.l1_misses += int(l1_cum[l_hi] - l1_cum[l_lo])
+                counters.l2_misses += int(l2_cum[l_hi] - l2_cum[l_lo])
+                counters.l3_misses += int(l3_cum[l_hi] - l3_cum[l_lo])
+                counters.memory_wait_cycles += int(
+                    wait_cum[l_hi] - wait_cum[l_lo]
+                )
+                d_lo = int(np.searchsorted(div_pos, lo))
+                d_hi = int(np.searchsorted(div_pos, hi))
+                counters.divides += d_hi - d_lo
+                counters.divider_busy_cycles += (d_hi - d_lo) * busy
 
         # Column extraction for the sequential recurrence.
         kinds = kind_column.tolist()
         hits = icache_hit.tolist()
         dests = block.dest.tolist()
-        base_latency = block.latency.tolist()
+        base_latency = latency_column.tolist()
         offsets = block.src_offsets.tolist()
         sources = block.src_values.tolist()
 
@@ -461,7 +599,10 @@ class TracePipeline:
         mask = ring_size - 1
         ring_by_code: list = [None] * len(KINDS)
         operand_wait = fu_contention = rob_stall = redirect_stall = 0
-        load_cursor = branch_cursor = 0
+        branch_cursor = 0
+        boundary_iter = iter(boundaries) if boundaries else iter(())
+        next_boundary = next(boundary_iter, -1)
+        flushed = 0
 
         # The ROB and retire windows are bounded FIFOs (rob_size / width
         # entries), so inside the block they run as fixed-size ring lists
@@ -520,7 +661,6 @@ class TracePipeline:
             if code == _DIV_CODE:
                 start = divider_free if divider_free > ready else ready
                 divider_free = start + occupancy
-                latency = occupancy
             else:
                 entry = ring_by_code[code]
                 if entry is None:
@@ -559,14 +699,9 @@ class TracePipeline:
                         start = cycle
                         break
                     cycle += 1
-                if code == _LOAD_CODE:
-                    latency = load_latency[load_cursor]
-                    load_cursor += 1
-                else:
-                    latency = base_latency[i]
             fu_contention += start - ready
 
-            finish = start + latency
+            finish = start + base_latency[i]
             dest = dests[i]
             if dest >= 0:
                 registers[dest] = finish
@@ -601,6 +736,25 @@ class TracePipeline:
             rob_tail += 1
             if rob_tail == rob_size:
                 rob_tail = 0
+
+            if i + 1 == next_boundary:
+                # Window boundary: settle the counters exactly as a
+                # per-window execute_array call would have and snapshot.
+                counters.operand_wait_cycles += operand_wait
+                counters.fu_contention_cycles += fu_contention
+                counters.rob_stall_cycles += rob_stall
+                counters.redirect_stall_cycles += redirect_stall
+                operand_wait = fu_contention = rob_stall = redirect_stall = 0
+                flush(flushed, next_boundary)
+                flushed = next_boundary
+                if last_retire > counters.cycles:
+                    counters.cycles = last_retire
+                if snapshots is not None:
+                    snapshots.append(counters.copy())
+                next_boundary = next(boundary_iter, -1)
+
+        if flush is not None and flushed < n:
+            flush(flushed, n)
 
         self._fetch_ready = fetch_ready
         self._fetched_this_cycle = fetched

@@ -20,6 +20,7 @@ from repro.errors import ConfigError
 from repro.fastpath import scalar_fallback_enabled
 from repro.trace.kernels import array_builder_by_name, kernel_by_name
 from repro.trace.pipeline import PipelineConfig, TracePipeline
+from repro.trace.trace_array import TraceArray
 
 # The trace substrate's "Table III": metric -> closest bottleneck area.
 TRACE_EVENT_AREAS = {
@@ -72,12 +73,16 @@ def collect_trace_samples(
     trace is executed in ``window_uops`` chunks, and each chunk becomes
     one sample per trace metric.
 
-    The default path builds each trace as :class:`TraceArray` columns,
-    executes windows through the vectorized
-    :meth:`~repro.trace.pipeline.TracePipeline.execute_array`, and emits
-    ``SampleArray`` columns directly; ``SPIRE_SCALAR_FALLBACK=1`` routes
-    through the per-uop generator/``execute`` oracle instead.  The two
-    paths produce bit-identical samples and counters.
+    The default path is fused: every intensity's trace is built up front
+    as :class:`TraceArray` columns and concatenated into one mega-trace
+    via :meth:`TraceArray.concat_segments`, then each segment (a natural
+    recurrence reset — fresh pipeline per intensity) executes in a
+    single :meth:`~repro.trace.pipeline.TracePipeline.execute_array_windowed`
+    pass that snapshots counters at every ``window_uops`` boundary
+    in-loop instead of once per ``execute_array`` call.
+    ``SPIRE_SCALAR_FALLBACK=1`` routes through the per-uop
+    generator/``execute`` oracle instead.  The two paths produce
+    bit-identical samples and counters.
     """
     if window_uops < 1 or n_uops < window_uops:
         raise ConfigError("need n_uops >= window_uops >= 1")
@@ -87,6 +92,12 @@ def collect_trace_samples(
         )
     builder = array_builder_by_name(kernel)
 
+    traces = [
+        builder(n_uops, intensity, random.Random(seed * 1_000 + round_index))
+        for round_index, intensity in enumerate(intensities)
+    ]
+    fused, _segment_ids, bounds = TraceArray.concat_segments(traces)
+
     metrics: list[str] = []
     times: list[float] = []
     works: list[float] = []
@@ -94,17 +105,13 @@ def collect_trace_samples(
     total_instructions = 0
     total_cycles = 0
     final: dict[str, float] = {}
-    for round_index, intensity in enumerate(intensities):
-        rng = random.Random(seed * 1_000 + round_index)
+    for round_index in range(len(traces)):
+        segment = fused.slice(int(bounds[round_index]), int(bounds[round_index + 1]))
         pipeline = TracePipeline(config=config)
-        trace = builder(n_uops, intensity, rng)
         previous = pipeline.snapshot()
-        for start in range(0, n_uops, window_uops):
-            pipeline.execute_array(
-                trace.slice(start, min(start + window_uops, n_uops))
-            )
-            previous = _emit_columns(
-                pipeline, previous, metrics, times, works, counts
+        for now in pipeline.execute_array_windowed(segment, window_uops):
+            previous = _emit_rows(
+                now, previous, metrics, times, works, counts
             )
         total_instructions += pipeline.counters.instructions
         total_cycles += pipeline.counters.cycles
@@ -176,8 +183,8 @@ def _emit(samples: SampleSet, pipeline: TracePipeline, previous):
     return now
 
 
-def _emit_columns(
-    pipeline: TracePipeline,
+def _emit_rows(
+    now,
     previous,
     metrics: list[str],
     times: list[float],
@@ -185,7 +192,6 @@ def _emit_columns(
     counts: list[float],
 ):
     """Columnar :func:`_emit`: append raw rows instead of ``Sample``s."""
-    now = pipeline.snapshot()
     delta = now.delta_from(previous)
     time = delta[TIME_EVENT]
     work = delta[WORK_EVENT]

@@ -79,12 +79,10 @@ _SPEC_COLUMNS = (
 )
 
 
-def simulate_run_batch(
-    core, specs: Sequence[WindowSpec], rng: random.Random | None
-) -> list[WindowActivity]:
-    """Column-evaluate a run of windows; bit-exact vs the scalar loop."""
-    machine = core.machine
-    n_windows = len(specs)
+def spec_columns(
+    specs: Sequence[WindowSpec],
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Lay a run's specs out as float64 columns plus the instruction column."""
     columns = {
         name: np.array([getattr(spec, name) for spec in specs], dtype=np.float64)
         for name in _SPEC_COLUMNS
@@ -92,36 +90,86 @@ def simulate_run_batch(
     instructions = np.array(
         [float(spec.instructions) for spec in specs], dtype=np.float64
     )
+    return columns, instructions
 
-    # Scalar rng pre-pass in the exact per-window draw order.
+
+def draw_run_randomness(
+    core, n_windows: int, rng: random.Random | None
+) -> tuple[dict[str, np.ndarray] | None, np.ndarray | None]:
+    """Scalar rng pre-pass in the exact per-window draw order.
+
+    Returns ``(jitter_factors, noise)``; either is None when the
+    corresponding knob is off.  This consumes the rng stream exactly as
+    the scalar :meth:`CoreModel.simulate_window` loop would — per window,
+    the eleven jitter factors in ``_JITTER_FIELDS`` order, then the one
+    measurement-noise factor.
+    """
     jitter_on = rng is not None and core.jitter > 0
     noise_on = rng is not None and core.measurement_noise > 0
-    noise = None
-    if jitter_on or noise_on:
-        gauss = rng.gauss
-        jitter_sigma = core.jitter
-        noise_sigma = core.measurement_noise
-        factors = (
-            {name: np.empty(n_windows) for name, _, _, _ in _JITTER_FIELDS}
-            if jitter_on
-            else None
-        )
-        noise = np.empty(n_windows) if noise_on else None
-        for window in range(n_windows):
-            if jitter_on:
-                for name, multiplier, _, _ in _JITTER_FIELDS:
-                    factors[name][window] = math.exp(
-                        gauss(0.0, jitter_sigma * multiplier)
-                    )
-            if noise_on:
-                noise[window] = math.exp(gauss(0.0, noise_sigma))
+    if not jitter_on and not noise_on:
+        return None, None
+    gauss = rng.gauss
+    jitter_sigma = core.jitter
+    noise_sigma = core.measurement_noise
+    factors = (
+        {name: np.empty(n_windows) for name, _, _, _ in _JITTER_FIELDS}
+        if jitter_on
+        else None
+    )
+    noise = np.empty(n_windows) if noise_on else None
+    for window in range(n_windows):
         if jitter_on:
-            for name, _, low, high in _JITTER_FIELDS:
-                jittered = columns[name] * factors[name]
-                if high is None:
-                    columns[name] = np.maximum(low, jittered)
-                else:
-                    columns[name] = np.minimum(high, np.maximum(low, jittered))
+            for name, multiplier, _, _ in _JITTER_FIELDS:
+                factors[name][window] = math.exp(
+                    gauss(0.0, jitter_sigma * multiplier)
+                )
+        if noise_on:
+            noise[window] = math.exp(gauss(0.0, noise_sigma))
+    return factors, noise
+
+
+def apply_jitter(
+    columns: dict[str, np.ndarray], factors: dict[str, np.ndarray] | None
+) -> None:
+    """Scale the jittered rate columns in place, with the scalar clamps."""
+    if factors is None:
+        return
+    for name, _, low, high in _JITTER_FIELDS:
+        jittered = columns[name] * factors[name]
+        if high is None:
+            columns[name] = np.maximum(low, jittered)
+        else:
+            columns[name] = np.minimum(high, np.maximum(low, jittered))
+
+
+def simulate_run_batch(
+    core, specs: Sequence[WindowSpec], rng: random.Random | None
+) -> list[WindowActivity]:
+    """Column-evaluate a run of windows; bit-exact vs the scalar loop."""
+    machine = core.machine
+    columns, instructions = spec_columns(specs)
+    factors, noise = draw_run_randomness(core, len(specs), rng)
+    apply_jitter(columns, factors)
+    out, port_columns = evaluate_run_columns(machine, columns, instructions, noise)
+    return materialize_activities(machine, out, port_columns)
+
+
+def evaluate_run_columns(
+    machine,
+    columns: dict[str, np.ndarray],
+    instructions: np.ndarray,
+    noise: np.ndarray | None,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Apply the core/frontend/memory/backend formulas over spec columns.
+
+    Every expression is elementwise, so evaluating the concatenation of
+    several runs' columns in one call is bit-identical to evaluating each
+    run separately — the property the fused experiment engine
+    (:mod:`repro.runtime.fused`) relies on.  Returns the activity columns
+    (every scalar :class:`WindowActivity` field except the port-activity
+    histogram) and the per-port uop columns.
+    """
+    n_windows = len(instructions)
 
     # ------------------------------------------------------------------
     # Core flow (CoreModel.simulate_window)
@@ -324,6 +372,15 @@ def simulate_run_batch(
         "vw_mismatch_events": vw_events,
         "exec_active_cycles": exec_active,
     }
+    return out, port_columns
+
+
+def materialize_activities(
+    machine,
+    out: dict[str, np.ndarray],
+    port_columns: dict[str, np.ndarray],
+) -> list[WindowActivity]:
+    """Turn activity columns into per-window :class:`WindowActivity` records."""
     lists = {name: column.tolist() for name, column in out.items()}
     port_lists = {
         name: column.tolist() for name, column in port_columns.items()
@@ -331,6 +388,7 @@ def simulate_run_batch(
     uops_executed_list = lists["uops_executed"]
     exec_active_list = lists["exec_active_cycles"]
     port_count = len(machine.ports)
+    n_windows = len(uops_executed_list)
 
     activities: list[WindowActivity] = []
     for window in range(n_windows):
@@ -348,3 +406,66 @@ def simulate_run_batch(
         activity.exec_cycles_3_plus_ports = c3
         activities.append(activity)
     return activities
+
+
+def workload_spec_columns(
+    workload, n_windows: int, window_instructions: int
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Vectorized :meth:`repro.workloads.base.Workload.specs`.
+
+    Builds the same columns :func:`spec_columns` would extract from the
+    materialized spec list, without constructing a ``WindowSpec`` per
+    window.  Bit-exactness notes:
+
+    - progress is the same ``index / max(1, n - 1)`` float;
+    - phase selection replays ``phase_at``'s first-phase-with-
+      ``threshold <= running`` scan as a ``searchsorted(..., 'left')``
+      over the sequential cumulative weights (``np.cumsum`` accumulates
+      left-to-right exactly like the scalar loop);
+    - the sinusoidal pressure factor keeps a scalar ``math.sin`` loop —
+      NumPy's transcendental may differ from libm in the last ulp;
+    - ``scaled_pressure``'s ``min(1, max(0, v * f))`` clamps map to
+      ``np.minimum``/``np.maximum`` on the same products.
+    """
+    from repro.errors import ConfigError
+
+    if n_windows < 1:
+        raise ConfigError("a run needs at least one window")
+    if window_instructions <= 0:
+        raise ConfigError("a window must contain at least one instruction")
+
+    denominator = max(1, n_windows - 1)
+    progress = np.arange(n_windows, dtype=np.float64) / denominator
+
+    weights = [phase.weight for phase in workload.phases]
+    cumulative = np.cumsum(np.array(weights, dtype=np.float64))
+    total = cumulative[-1]
+    thresholds = progress * total
+    phase_index = np.searchsorted(cumulative, thresholds, side="left")
+    phase_index = np.minimum(phase_index, len(weights) - 1)
+
+    columns = {
+        name: np.array(
+            [getattr(phase.spec, name) for phase in workload.phases],
+            dtype=np.float64,
+        )[phase_index]
+        for name in _SPEC_COLUMNS
+    }
+
+    # Pressure modulation: scalar sin per window, exactly `pressure_at`.
+    amplitude = workload.pressure_amplitude
+    periods = workload.pressure_periods
+    two_pi_periods = 2.0 * math.pi * periods
+    progress_list = progress.tolist()
+    factor = np.array(
+        [1.0 + amplitude * math.sin(two_pi_periods * p) for p in progress_list],
+        dtype=np.float64,
+    )
+
+    # scaled_pressure's clamped rate scaling.
+    for name in ("branch_mispredict_rate", "l1_miss_per_load", "microcode_fraction"):
+        columns[name] = np.minimum(1.0, np.maximum(0.0, columns[name] * factor))
+    columns["fe_bubble_rate"] = np.maximum(0.0, columns["fe_bubble_rate"] * factor)
+
+    instructions = np.full(n_windows, float(window_instructions))
+    return columns, instructions

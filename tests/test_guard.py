@@ -207,8 +207,10 @@ class TestDispatch:
             GuardConfig(policy="explode")
 
     def test_all_guarded_kernels_named(self):
-        assert len(GUARDED_KERNELS) == 9
-        assert len(set(GUARDED_KERNELS)) == 9
+        assert len(GUARDED_KERNELS) == 12
+        assert len(set(GUARDED_KERNELS)) == 12
+        for kernel in ("fused_experiment", "trace.fused_run", "shm.transport"):
+            assert kernel in GUARDED_KERNELS
 
 
 # ---------------------------------------------------------------------------
