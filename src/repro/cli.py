@@ -19,7 +19,10 @@ Subcommands mirror the paper's workflow:
 - ``coverage``  — §III-A training-data diversity check;
 - ``derived``   — standard counter ratios (IPC, MPKI, DSB coverage, ...);
 - ``whatif``    — projected speedups from improving top metrics;
-- ``trace``     — run a kernel on the trace-driven second substrate.
+- ``trace``     — run a kernel on the trace-driven second substrate;
+- ``stream``    — feed a live counter log through windowed ingestion,
+  drift detection and refute-and-refine repair (see
+  ``docs/streaming.md``).
 """
 
 from __future__ import annotations
@@ -359,6 +362,128 @@ def _faultsim_fused_crash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _faultsim_drift(args: argparse.Namespace) -> int:
+    """Streaming drift scenario: refute one metric, repair it surgically.
+
+    A model is trained from a simulated workload's samples, then the same
+    samples are replayed through the stream ingestor.  The fault-free
+    replay must stay clean (the rooflines bound their own training data
+    by construction).  A ``drift-inject`` fault then shifts one metric's
+    samples off its fitted bound mid-stream: the drift monitor must flag
+    and refit exactly that metric — every other roofline bit-identical to
+    the fault-free run — and a ``stale-window`` fault must seal an empty
+    window and quarantine the late, out-of-order arrivals.
+    """
+    import warnings
+    from collections import Counter
+
+    from repro.errors import DegradedDataWarning
+    from repro.guard.dispatch import registry, reset_guards
+    from repro.runtime.faults import DRIFT_INJECT, STALE_WINDOW, FaultPlan, FaultSpec
+    from repro.stream import replay_stream, windows_from_records
+    from repro.workloads import all_workloads
+
+    reset_guards()
+    names = [w.name for w in all_workloads()]
+    workload = names[args.fault_seed % len(names)]
+    config = ExperimentConfig(seed=args.seed)
+    run = quick_workload_run(
+        workload, n_windows=args.train_windows, config=config
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedDataWarning)
+        model = SpireModel.train(run.collection.samples)
+    records = run.collection.samples.to_records()
+    # Multiplexing leaves each metric only a couple of samples, far too
+    # sparse for a window to ever *refute* a bound (min_violations).  Tile
+    # the log so every window carries several copies of every metric; the
+    # rooflines still bound the duplicates, so the baseline stays clean.
+    tiled = [dict(record) for _ in range(8) for record in records]
+    windows = windows_from_records(tiled, 2 * len(records))
+    counts = Counter(record["metric"] for record in records)
+    dense = sorted(model.metrics, key=lambda m: (-counts[m], m))
+    victim = dense[args.fault_seed % max(len(dense) // 4, 1)]
+    print(
+        f"drift scenario: workload {workload!r}, {len(tiled)} samples in "
+        f"{len(windows)} window(s), victim metric {victim!r}"
+    )
+
+    print("phase 1: fault-free replay; the model must hold ...")
+    baseline = replay_stream(windows, model=model)
+    refuted = baseline.report.refuted_metrics
+    if refuted or baseline.report.stale:
+        print(f"FAIL: fault-free replay drifted: {refuted or 'stale'}")
+        return 1
+    print(f"phase 1: {baseline.windows} window(s) replayed, model held")
+
+    print(f"phase 2: drift-inject on {victim!r} from window 2 ...")
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(workload=victim, kind=DRIFT_INJECT, factor=4.0, window=2),
+        )
+    )
+    faulted = replay_stream(windows, model=model, faults=plan)
+    print(faulted.report.render())
+    actions = {e.action for e in faulted.events if e.metric == victim}
+    if "refit" not in actions:
+        print(f"FAIL: the drift monitor never refit {victim!r} (saw {actions})")
+        return 1
+    if victim not in faulted.ingestor.stream_metrics:
+        print(f"FAIL: {victim!r} was not taken over by the stream after refit")
+        return 1
+    bystanders = [m for m in model.metrics if m != victim]
+    divergent = [
+        m
+        for m in bystanders
+        if faulted.model.roofline(m).to_dict(include_training=True)
+        != baseline.model.roofline(m).to_dict(include_training=True)
+    ]
+    if divergent:
+        print(
+            f"FAIL: {len(divergent)} bystander metric(s) diverged: "
+            + ", ".join(sorted(divergent))
+        )
+        return 1
+    touched = {e.metric for e in faulted.events} - {victim}
+    if touched:
+        print(f"FAIL: drift events touched bystander metrics: {sorted(touched)}")
+        return 1
+
+    print("phase 3: stale-window fault; late arrivals must quarantine ...")
+    stalled_at = max(len(windows) - 2, 0)
+    plan = FaultPlan(
+        specs=(FaultSpec(workload="*", kind=STALE_WINDOW, window=stalled_at),)
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedDataWarning)
+        stalled = replay_stream(windows, model=model, faults=plan)
+    stalls = [e for e in stalled.events if e.action == "stalled"]
+    late = sum(
+        1
+        for q in stalled.quality.quarantined
+        if q.reason == "out-of-order timestamp"
+    )
+    if not stalls:
+        print("FAIL: the stalled window produced no 'stalled' drift event")
+        return 1
+    if not late:
+        print("FAIL: the late window's records were not quarantined")
+        return 1
+
+    health = registry().health_report()
+    print()
+    print(health.render())
+    if victim not in health.drifted_metrics:
+        print(f"FAIL: {victim!r} is missing from the health report's drift")
+        return 1
+    print(
+        f"PASS: {victim!r} refuted and refit from recent windows, "
+        f"{len(bystanders)} bystander(s) bit-identical; stalled window "
+        f"sealed empty and {late} late record(s) quarantined"
+    )
+    return 0
+
+
 def _cmd_faultsim(args: argparse.Namespace) -> int:
     """Fault-injection smoke: inject failures, prove the runtime survives.
 
@@ -374,6 +499,8 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
 
     if args.fused_crash:
         return _faultsim_fused_crash(args)
+    if args.drift:
+        return _faultsim_drift(args)
 
     config = ExperimentConfig(
         train_windows=args.train_windows,
@@ -570,6 +697,60 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Feed a counter log through the streaming ingestor and report drift.
+
+    With ``--model`` the stream defends a trained model: refuted metrics
+    are quarantined and refit from recent windows.  Without one it builds
+    a model from scratch, drift-checking once past warmup.  Exit code 0
+    means the stream ended healthy; 1 means the model went stale and a
+    batch retrain is warranted.
+    """
+    import warnings
+
+    from repro.errors import DegradedDataWarning
+    from repro.guard.dispatch import registry
+    from repro.stream import StreamIngestor, StreamOptions
+
+    model = load_model(args.model) if args.model else None
+    options = StreamOptions(window_samples=args.window)
+    ingestor = StreamIngestor(model=model, options=options)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedDataWarning)
+        if args.format == "perf":
+            text = Path(args.data).read_text(encoding="utf-8")
+            for start in range(0, len(text), 4096):
+                ingestor.push_perf(text[start:start + 4096])
+            ingestor.flush()
+        else:
+            ingestor.push_records(load_samples_csv(args.data).to_records())
+        if ingestor.pending_samples:
+            ingestor.seal_window()
+
+    report = ingestor.report()
+    print(report.render())
+    served = sorted(ingestor.reference_metrics) + sorted(
+        ingestor.stream_metrics
+    )
+    if served:
+        owners = [
+            f"{metric}*" if metric in ingestor.stream_metrics else metric
+            for metric in served
+        ]
+        print(
+            f"serving {len(served)} metric(s) "
+            "(* = refit or learned from the stream): " + ", ".join(owners)
+        )
+    else:
+        print("serving no metrics yet (stream still warming up)")
+    health = registry().health_report()
+    if health.drift_events or not health.ok:
+        print()
+        print(health.render())
+    return 1 if report.stale else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spire",
@@ -745,6 +926,12 @@ def build_parser() -> argparse.ArgumentParser:
         "workload, then checkpoint/resume at fused-segment granularity",
     )
     p.add_argument(
+        "--drift",
+        action="store_true",
+        help="run the streaming drift scenario: drift-inject one metric "
+        "mid-stream, prove refute-and-refine repairs only that metric",
+    )
+    p.add_argument(
         "--cache-dir",
         default="",
         help="cache dir for checkpoint faults (default: no cache)",
@@ -808,6 +995,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="", help="analyze with a trained model")
     p.add_argument("--top", type=int, default=8)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "stream",
+        help="stream a counter log through drift detection and repair",
+    )
+    p.add_argument("--data", required=True, help="sample CSV or perf stat log")
+    p.add_argument(
+        "--model",
+        default="",
+        help="trained model to defend (default: learn from the stream)",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="samples per drift-check window (default 256)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["csv", "perf"],
+        default="csv",
+        help="input format: spire sample CSV or raw 'perf stat -x,' output",
+    )
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("plot", help="plot a trained metric roofline")
     p.add_argument("--model", required=True)

@@ -52,7 +52,12 @@ from repro.core.validation import (
     rank_stability,
 )
 from repro.core.left_fit import fit_left_region
-from repro.core.phases import PhaseEstimate, PhaseProfile, phase_profile
+from repro.core.phases import (
+    PhaseEstimate,
+    PhaseProfile,
+    PhaseTracker,
+    phase_profile,
+)
 from repro.core.synthetic import (
     ground_truth_error,
     negative_metric_curve,
@@ -61,7 +66,12 @@ from repro.core.synthetic import (
     synthetic_samples,
 )
 from repro.core.right_fit import RightFitOptions, RightFitResult, fit_right_region
-from repro.core.sanitize import QualityReport, QuarantinedSample, SampleSanitizer
+from repro.core.sanitize import (
+    QualityReport,
+    QuarantinedSample,
+    SampleSanitizer,
+    TimestampScreen,
+)
 from repro.core.roofline import (
     MetricRoofline,
     RooflineFitOptions,
@@ -96,6 +106,7 @@ __all__ = [
     "MetricComparison",
     "PhaseEstimate",
     "PhaseProfile",
+    "PhaseTracker",
     "phase_profile",
     "ground_truth_error",
     "negative_metric_curve",
@@ -125,6 +136,7 @@ __all__ = [
     "Sample",
     "SampleArray",
     "SampleSanitizer",
+    "TimestampScreen",
     "SampleSet",
     "as_sample_array",
     "scalar_fallback_enabled",

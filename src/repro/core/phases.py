@@ -82,6 +82,46 @@ class PhaseProfile:
         return "\n".join(lines)
 
 
+class PhaseTracker:
+    """Online counterpart of :func:`phase_profile` for a live stream.
+
+    Where :func:`phase_profile` slices a finished run into chunks, a
+    tracker is fed one :class:`PhaseEstimate` per sealed stream window
+    (see :mod:`repro.stream`) and reports bottleneck transitions as they
+    happen.  The accumulated estimates render through the same
+    :class:`PhaseProfile`.
+    """
+
+    def __init__(self) -> None:
+        self._phases: list[PhaseEstimate] = []
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    @property
+    def current_metric(self) -> str | None:
+        """The limiting metric of the latest observed window, if any."""
+        return self._phases[-1].limiting_metric if self._phases else None
+
+    def observe(self, estimate: PhaseEstimate) -> tuple[int, str, str] | None:
+        """Record one window's estimate.
+
+        Returns ``(window index, previous metric, new metric)`` when the
+        limiting metric changed from the previous window, else ``None``.
+        """
+        previous = self.current_metric
+        self._phases.append(estimate)
+        if previous is not None and previous != estimate.limiting_metric:
+            return (estimate.index, previous, estimate.limiting_metric)
+        return None
+
+    def profile(self) -> PhaseProfile:
+        """The trajectory observed so far."""
+        if not self._phases:
+            raise EstimationError("no windows observed yet")
+        return PhaseProfile(phases=list(self._phases))
+
+
 def phase_profile(
     model: "SpireModel",
     samples: SampleSet,

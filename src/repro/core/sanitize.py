@@ -29,7 +29,12 @@ from repro.core.columns import SampleArray
 from repro.core.sample import Sample, SampleSet
 from repro.guard.dispatch import guarded_call
 
-__all__ = ["QualityReport", "QuarantinedSample", "SampleSanitizer"]
+__all__ = [
+    "QualityReport",
+    "QuarantinedSample",
+    "SampleSanitizer",
+    "TimestampScreen",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +91,77 @@ class QualityReport:
                 + ", ".join(sorted(self.dropped_metrics))
             )
         return "; ".join(parts)
+
+
+class TimestampScreen:
+    """Monotonicity check for *streamed* records carrying timestamps.
+
+    Batch sample sets have no ordering contract, but a live stream does:
+    within one stream, records must arrive with non-decreasing timestamps
+    per metric (``perf stat -I`` interval output is monotone by
+    construction).  A record whose ``timestamp`` field runs backwards is
+    stale — a delayed or replayed window — and folding it into windowed
+    buffers would smear two time ranges together.  The screen quarantines
+    such records into the same :class:`QualityReport` shape the value
+    sanitizer uses, so stream callers can warn with one consistent
+    :class:`~repro.errors.DegradedDataWarning` message.
+
+    Records without a ``timestamp`` field pass through untouched: the
+    screen only enforces ordering where ordering information exists.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[str, float] = {}
+
+    @property
+    def last_seen(self) -> dict[str, float]:
+        """Per-metric high-water timestamps observed so far."""
+        return dict(self._last)
+
+    def screen(
+        self,
+        records: Iterable[Mapping],
+        report: QualityReport | None = None,
+    ) -> tuple[list[Mapping], QualityReport]:
+        """Split records into (in-order survivors, quality report).
+
+        Survivors keep their original relative order.  ``report`` (when
+        given) is filled in place and returned, so a caller can accumulate
+        one report across many pushed chunks.
+        """
+        out = report if report is not None else QualityReport()
+        kept: list[Mapping] = []
+        for record in records:
+            out.total += 1
+            raw = record.get("timestamp")
+            if raw is None:
+                out.kept += 1
+                kept.append(record)
+                continue
+            try:
+                stamp = float(raw)
+            except (TypeError, ValueError):
+                stamp = float("nan")
+            metric = str(record.get("metric", "") or "")
+            if math.isnan(stamp):
+                out.quarantined.append(
+                    QuarantinedSample(metric=metric, reason="non-numeric timestamp")
+                )
+                continue
+            last = self._last.get(metric)
+            if last is not None and stamp < last:
+                out.quarantined.append(
+                    QuarantinedSample(
+                        metric=metric,
+                        reason="out-of-order timestamp",
+                        time=stamp,
+                    )
+                )
+                continue
+            self._last[metric] = stamp
+            out.kept += 1
+            kept.append(record)
+        return kept, out
 
 
 def _check_values(time: float, work: float, metric_count: float) -> str | None:

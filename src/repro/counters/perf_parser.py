@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Iterable, TextIO
 
 from repro.core.sample import Sample, SampleSet
+from repro.core.sanitize import QualityReport, QuarantinedSample
 from repro.errors import ParseError
 
 _NOT_COUNTED = {"<not counted>", "<not supported>"}
@@ -52,15 +53,35 @@ def _parse_float(text: str) -> float | None:
         return None
 
 
-def parse_perf_lines(lines: Iterable[str], separator: str = ",") -> list[PerfRecord]:
-    """Parse raw ``perf stat -x`` lines into records."""
+def parse_perf_lines(
+    lines: Iterable[str],
+    separator: str = ",",
+    lenient: bool = False,
+    quality: QualityReport | None = None,
+) -> list[PerfRecord]:
+    """Parse raw ``perf stat -x`` lines into records.
+
+    The default mode raises :class:`~repro.errors.ParseError` on the
+    first malformed line — the right contract for a finished log.  With
+    ``lenient=True`` (the streaming front door) ragged real-world output
+    is *salvaged* instead: truncated rows, rows with an empty event name,
+    and ``<not counted>`` / ``<not supported>`` values are quarantined
+    into ``quality`` (a :class:`~repro.core.sanitize.QualityReport`) and
+    parsing continues; an input with no records at all returns an empty
+    list rather than raising.
+    """
     records: list[PerfRecord] = []
     for line_number, raw in enumerate(lines, start=1):
         line = raw.rstrip("\n")
         if not line.strip() or line.lstrip().startswith("#"):
             continue
+        if quality is not None:
+            quality.total += 1
         parts = line.split(separator)
         if len(parts) < 2:
+            if lenient:
+                _quarantine_line(quality, "", "truncated perf record")
+                continue
             raise ParseError(
                 f"line {line_number}: expected at least 2 fields, got {len(parts)}"
             )
@@ -77,13 +98,26 @@ def parse_perf_lines(lines: Iterable[str], separator: str = ",") -> list[PerfRec
             timestamp = first
             cursor = 1
         if len(parts) < cursor + 4:
+            if lenient:
+                _quarantine_line(quality, "", "truncated perf record")
+                continue
             raise ParseError(
                 f"line {line_number}: too few fields for a perf stat record"
             )
         value = _parse_float(parts[cursor])
         event = parts[cursor + 2].strip()
         if not event:
+            if lenient:
+                _quarantine_line(quality, "", "empty event name")
+                continue
             raise ParseError(f"line {line_number}: empty event name")
+        if lenient and value is None and parts[cursor].strip() in _NOT_COUNTED:
+            # The row itself is well-formed; the counter just never ran.
+            # Record the loss (the interval logic would silently skip it)
+            # but keep the record so interval grouping stays intact.
+            _quarantine_line(quality, event, "counter not counted")
+        elif quality is not None:
+            quality.kept += 1
         run_time = _parse_float(parts[cursor + 3]) if len(parts) > cursor + 3 else None
         enabled = _parse_float(parts[cursor + 4]) if len(parts) > cursor + 4 else None
         records.append(
@@ -95,9 +129,18 @@ def parse_perf_lines(lines: Iterable[str], separator: str = ",") -> list[PerfRec
                 enabled_percent=enabled,
             )
         )
-    if not records:
+    if not records and not lenient:
         raise ParseError("no perf stat records found in input")
     return records
+
+
+def _quarantine_line(
+    quality: QualityReport | None, metric: str, reason: str
+) -> None:
+    if quality is not None:
+        quality.quarantined.append(
+            QuarantinedSample(metric=metric, reason=reason)
+        )
 
 
 class PerfStatParser:
@@ -122,18 +165,29 @@ class PerfStatParser:
         self.time_event = time_event
         self.separator = separator
 
-    def parse(self, source: str | TextIO) -> SampleSet:
+    def parse(
+        self,
+        source: str | TextIO,
+        lenient: bool = False,
+        quality: QualityReport | None = None,
+    ) -> SampleSet:
         """Parse output text (or a file object) into a sample set.
 
         Each interval becomes one sample per metric, with the interval's
         work/time counters shared across them.  Intervals missing the work
         or time event, and metrics that were ``<not counted>``, are
-        skipped.
+        skipped.  With ``lenient=True`` malformed lines are quarantined
+        into ``quality`` instead of raising, and an input with no usable
+        intervals yields an empty sample set.
         """
         if isinstance(source, str):
             source = io.StringIO(source)
-        records = parse_perf_lines(source, self.separator)
-        return _samples_from_records(records, self.work_event, self.time_event)
+        records = parse_perf_lines(
+            source, self.separator, lenient=lenient, quality=quality
+        )
+        return _samples_from_records(
+            records, self.work_event, self.time_event, lenient=lenient
+        )
 
 
 def parse_perf_stat(
@@ -195,7 +249,10 @@ def parse_perf_json(
 
 
 def _samples_from_records(
-    records: list[PerfRecord], work_event: str, time_event: str
+    records: list[PerfRecord],
+    work_event: str,
+    time_event: str,
+    lenient: bool = False,
 ) -> SampleSet:
     """Shared interval-grouping logic for the CSV and JSON paths."""
     intervals: dict[float | None, list[PerfRecord]] = {}
@@ -226,7 +283,7 @@ def _samples_from_records(
                     metric_count=record.value,
                 )
             )
-    if not samples:
+    if not samples and not lenient:
         raise ParseError(
             f"no usable intervals: need both {work_event!r} and "
             f"{time_event!r} per interval"

@@ -32,6 +32,7 @@ from repro.guard.dispatch import (
 )
 from repro.guard.health import (
     DivergenceEvent,
+    DriftEvent,
     GuardrailHit,
     HealthReport,
     KernelHealth,
@@ -40,6 +41,7 @@ from repro.guard.health import (
 __all__ = [
     "DEFAULT_CHECK_RATE",
     "DivergenceEvent",
+    "DriftEvent",
     "GUARDED_KERNELS",
     "GuardConfig",
     "GuardrailHit",

@@ -42,6 +42,7 @@ from repro.errors import ConfigError, DegradedDataWarning, GuardDivergenceError
 from repro.fastpath import force_scalar, scalar_fallback_enabled
 from repro.guard.health import (
     DivergenceEvent,
+    DriftEvent,
     GuardrailHit,
     HealthReport,
     KernelHealth,
@@ -76,6 +77,7 @@ GUARDED_KERNELS = (
     "fused_experiment",
     "trace.fused_run",
     "shm.transport",
+    "stream.update",
 )
 
 DEFAULT_CHECK_RATE = 256
@@ -98,6 +100,11 @@ DEFAULT_RATE_OVERRIDES = {
     "fused_experiment": 8,
     "trace.fused_run": 64,
     "shm.transport": 64,
+    # One stream.update call refits one metric from its maintained
+    # structures; its oracle is a full batch rebuild of that metric, so
+    # rate 64 bounds the amortized oracle cost per refit while still
+    # checking every long-lived stream many times over.
+    "stream.update": 64,
 }
 
 RATE_ENV = "SPIRE_GUARD_RATE"
@@ -261,6 +268,7 @@ class GuardRegistry:
         self._divergences: list[DivergenceEvent] = []
         self._guardrail_hits: list[GuardrailHit] = []
         self._quarantined: list[str] = []
+        self._drift_events: list[DriftEvent] = []
         self._lock = threading.Lock()
         raw = os.environ.get(INJECT_ENV, "")
         for name in raw.split(","):
@@ -333,6 +341,11 @@ class GuardRegistry:
         with self._lock:
             self._quarantined.append(str(path))
 
+    def record_drift(self, event: DriftEvent) -> None:
+        """Ledger one streaming drift-ladder decision (see repro.stream)."""
+        with self._lock:
+            self._drift_events.append(event)
+
     def health_report(self) -> HealthReport:
         """A snapshot of everything the guard layer has seen so far."""
         with self._lock:
@@ -349,6 +362,7 @@ class GuardRegistry:
                 divergences=list(self._divergences),
                 guardrail_hits=list(self._guardrail_hits),
                 artifacts_quarantined=list(self._quarantined),
+                drift_events=list(self._drift_events),
             )
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "DivergenceEvent",
+    "DriftEvent",
     "GuardrailHit",
     "HealthReport",
     "KernelHealth",
@@ -37,6 +38,28 @@ class GuardrailHit:
 
     stage: str
     reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class DriftEvent:
+    """One streaming drift-ladder decision for a metric roofline.
+
+    ``action`` is the degradation rung taken: ``"absorbed"`` (violations
+    within tolerance, folded into the incremental update), ``"refit"``
+    (the metric was refuted, quarantined and refit from recent windows),
+    ``"quarantined"`` (refuted but too little recent data to refit — the
+    metric is excluded from the serving model), ``"stalled"`` (a window
+    sealed with no usable samples), or ``"stale"`` (the drift monitor gave
+    up on incremental repair; a batch retrain is required).
+    """
+
+    metric: str
+    window: int          # 0-based sealed-window index at which it fired
+    action: str
+    violations: int = 0
+    samples: int = 0
+    worst_excess: float = 0.0  # largest throughput overshoot past the bound
+    detail: str = ""
 
 
 @dataclass
@@ -65,6 +88,7 @@ class HealthReport:
     divergences: list[DivergenceEvent] = field(default_factory=list)
     guardrail_hits: list[GuardrailHit] = field(default_factory=list)
     artifacts_quarantined: list[str] = field(default_factory=list)
+    drift_events: list[DriftEvent] = field(default_factory=list)
 
     @property
     def checks_run(self) -> int:
@@ -75,12 +99,22 @@ class HealthReport:
         return sorted(name for name, k in self.kernels.items() if k.tripped)
 
     @property
+    def drifted_metrics(self) -> list[str]:
+        """Metrics whose rooflines the stream refuted (beyond absorption)."""
+        return sorted(
+            {e.metric for e in self.drift_events if e.action != "absorbed"}
+        )
+
+    @property
     def ok(self) -> bool:
+        # Absorbed drift is business as usual for a live stream; anything
+        # further down the ladder means the model needed repair.
         return not (
             self.divergences
             or self.guardrail_hits
             or self.artifacts_quarantined
             or self.tripped_kernels
+            or self.drifted_metrics
         )
 
     def to_dict(self) -> dict:
@@ -99,6 +133,18 @@ class HealthReport:
                 {"stage": h.stage, "reason": h.reason} for h in self.guardrail_hits
             ],
             "artifacts_quarantined": list(self.artifacts_quarantined),
+            "drift_events": [
+                {
+                    "metric": e.metric,
+                    "window": e.window,
+                    "action": e.action,
+                    "violations": e.violations,
+                    "samples": e.samples,
+                    "worst_excess": e.worst_excess,
+                    "detail": e.detail,
+                }
+                for e in self.drift_events
+            ],
         }
 
     def render(self) -> str:
@@ -110,6 +156,8 @@ class HealthReport:
             f"{len(self.guardrail_hits)} guardrail hit(s), "
             f"{len(self.artifacts_quarantined)} artifact(s) quarantined"
         ]
+        if self.drift_events:
+            lines[0] += f", {len(self.drift_events)} drift event(s)"
         for event in self.divergences:
             tag = "injected" if event.injected else "DIVERGED"
             detail = f" ({event.detail})" if event.detail else ""
@@ -124,4 +172,15 @@ class HealthReport:
             lines.append(f"  guardrail [{hit.stage}]: {hit.reason}")
         for path in self.artifacts_quarantined:
             lines.append(f"  quarantined: {path}")
+        for event in self.drift_events:
+            stats = (
+                f"{event.violations}/{event.samples} violation(s)"
+                if event.samples
+                else "no samples"
+            )
+            detail = f" ({event.detail})" if event.detail else ""
+            lines.append(
+                f"  drift [{event.metric}] window {event.window}: "
+                f"{event.action}, {stats}{detail}"
+            )
         return "\n".join(lines)

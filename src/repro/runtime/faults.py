@@ -25,6 +25,12 @@ each targeting one workload by name:
 ``diverge-kernel``        one guarded vectorized kernel is forced to report
                           an oracle divergence and trip to scalar (the
                           ``workload`` field names the kernel)
+``drift-inject``          one metric's streamed samples shift off the fitted
+                          roofline bound from window ``window`` onward —
+                          work and metric count scale by ``factor`` (the
+                          ``workload`` field names the metric)
+``stale-window``          one stream window stalls: it seals empty and its
+                          samples arrive late, behind newer timestamps
 ========================  ====================================================
 
 Faults are *transient by default* (``times=1``): they fire on the first
@@ -50,6 +56,8 @@ DROP_METRIC = "drop-metric"
 CHECKPOINT_WRITE_FAILURE = "checkpoint-write-failure"
 CORRUPT_CACHE_ENTRY = "corrupt-cache-entry"
 DIVERGE_KERNEL = "diverge-kernel"
+DRIFT_INJECT = "drift-inject"
+STALE_WINDOW = "stale-window"
 
 FAULT_KINDS = (
     CRASH,
@@ -59,6 +67,8 @@ FAULT_KINDS = (
     CHECKPOINT_WRITE_FAILURE,
     CORRUPT_CACHE_ENTRY,
     DIVERGE_KERNEL,
+    DRIFT_INJECT,
+    STALE_WINDOW,
 )
 
 #: Fault kinds handled by the runner (they abort the whole task attempt).
@@ -68,6 +78,12 @@ COLLECTOR_KINDS = (CORRUPT_SAMPLE, DROP_METRIC)
 #: Fault kinds handled by the guard layer (dispatch sentinels + artifacts);
 #: their ``workload`` field names a kernel or ``"*"``, not a workload.
 GUARD_KINDS = (CORRUPT_CACHE_ENTRY, DIVERGE_KERNEL)
+#: Fault kinds handled by the streaming replay (:mod:`repro.stream.replay`);
+#: ``drift-inject`` shifts one metric's samples off its fitted bound from a
+#: given window onward, ``stale-window`` stalls one window and delivers its
+#: samples late (out of timestamp order).  The ``workload`` field names the
+#: target metric (``"*"`` for stale-window, which is metric-agnostic).
+STREAM_KINDS = (DRIFT_INJECT, STALE_WINDOW)
 
 #: Default victims for random ``diverge-kernel`` faults: kernels that run
 #: in the parent process, where the guard registry's trip is visible to
@@ -85,6 +101,8 @@ class FaultSpec:
     hang_seconds: float = 30.0  # sleep length for ``hang``
     metric: str | None = None   # target metric for ``drop-metric``
     sample_index: int = 0       # which emitted sample ``corrupt-sample`` hits
+    factor: float = 4.0         # throughput scale for ``drift-inject``
+    window: int = 1             # first affected stream window (0-based)
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -97,6 +115,10 @@ class FaultSpec:
             raise ConfigError("a fault must fire at least once (times >= 1)")
         if self.hang_seconds < 0:
             raise ConfigError("hang_seconds cannot be negative")
+        if self.factor <= 0:
+            raise ConfigError("drift-inject factor must be positive")
+        if self.window < 0:
+            raise ConfigError("stream fault window cannot be negative")
 
     def active(self, execution: int) -> bool:
         """Whether the fault fires on the ``execution``-th run (1-based)."""
@@ -156,12 +178,12 @@ class FaultPlan:
     def injected_workloads(self) -> list[str]:
         """Targets of runner/collector faults, in spec order, deduplicated.
 
-        Guard-level faults are excluded — their target field names a
-        kernel or the cache entry, not a workload.
+        Guard- and stream-level faults are excluded — their target field
+        names a kernel, a metric or the cache entry, not a workload.
         """
         seen: dict[str, None] = {}
         for spec in self.specs:
-            if spec.kind in GUARD_KINDS:
+            if spec.kind in GUARD_KINDS or spec.kind in STREAM_KINDS:
                 continue
             seen.setdefault(spec.workload, None)
         return list(seen)
@@ -173,6 +195,10 @@ class FaultPlan:
     def cache_corruptions(self) -> tuple[FaultSpec, ...]:
         """The ``corrupt-cache-entry`` specs."""
         return tuple(s for s in self.specs if s.kind == CORRUPT_CACHE_ENTRY)
+
+    def stream_faults(self) -> tuple[FaultSpec, ...]:
+        """The streaming replay specs; ``workload`` names a metric."""
+        return tuple(s for s in self.specs if s.kind in STREAM_KINDS)
 
     @classmethod
     def random(
@@ -190,6 +216,8 @@ class FaultPlan:
         diverge_kernels: int = 0,
         corrupt_cache_entries: int = 0,
         kernels: Sequence[str] = (),
+        drift_injects: int = 0,
+        stale_windows: int = 0,
     ) -> "FaultPlan":
         """A seed-driven plan over distinct victims drawn from ``workloads``.
 
@@ -267,6 +295,29 @@ class FaultPlan:
             specs.append(
                 FaultSpec(workload="*", kind=CORRUPT_CACHE_ENTRY, times=times)
             )
+
+        # Stream kinds are format-3: again, all their draws come last.
+        metric_pool = list(metrics)
+        for _ in range(drift_injects):
+            victim = rng.choice(metric_pool) if metric_pool else "*"
+            specs.append(
+                FaultSpec(
+                    workload=victim,
+                    kind=DRIFT_INJECT,
+                    times=times,
+                    factor=rng.choice((0.25, 2.0, 4.0)),
+                    window=rng.randrange(1, 4),
+                )
+            )
+        for _ in range(stale_windows):
+            specs.append(
+                FaultSpec(
+                    workload="*",
+                    kind=STALE_WINDOW,
+                    times=times,
+                    window=rng.randrange(1, 4),
+                )
+            )
         return cls(specs=tuple(specs))
 
 
@@ -313,6 +364,7 @@ __all__ = [
     "CORRUPT_SAMPLE",
     "CRASH",
     "DIVERGE_KERNEL",
+    "DRIFT_INJECT",
     "DROP_METRIC",
     "FAULT_KINDS",
     "FaultPlan",
@@ -321,5 +373,7 @@ __all__ = [
     "HANG",
     "PARENT_SIDE_KERNELS",
     "RUNNER_KINDS",
+    "STALE_WINDOW",
+    "STREAM_KINDS",
     "trip_runner_fault",
 ]

@@ -1,0 +1,245 @@
+"""Drift detection and the refute-and-refine degradation ladder.
+
+A fitted roofline is a falsifiable claim: *no sample of this metric
+exceeds this bound*.  A live stream can refute it — the workload changed,
+the machine changed, the original training window under-sampled a phase.
+This module decides, per sealed window and per metric, how far down the
+repair ladder to go:
+
+1. **absorb** — a handful of violations within the policy thresholds;
+   the incremental update folds them in and the bound rises to cover
+   them.  Business as usual for a live stream.
+2. **refit** — enough samples violate the bound that the roofline is
+   *refuted*.  The metric is quarantined and refit from recent windows
+   only (the contradicted history is discarded as unrepresentative).
+3. **stale** — a metric keeps getting refuted past ``max_refits``, or
+   most checked metrics are refuted in one window.  Incremental repair
+   has lost; the stream marks the model stale and a batch retrain is the
+   only honest way forward.
+
+The per-metric decisions are :class:`~repro.guard.health.DriftEvent`
+values; the stream threads them through the guard registry so they
+surface on the run-level :class:`~repro.guard.health.HealthReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.phases import PhaseProfile
+from repro.core.roofline import MetricRoofline
+from repro.core.sanitize import QualityReport
+from repro.errors import ConfigError
+from repro.guard.health import DriftEvent
+
+__all__ = ["DriftAssessment", "DriftMonitor", "DriftPolicy", "DriftReport"]
+
+#: Assessment verdicts, in escalation order.
+CLEAN = "clean"
+ABSORBED = "absorbed"
+REFUTED = "refuted"
+
+
+@dataclass(frozen=True, slots=True)
+class DriftPolicy:
+    """Knobs of the drift ladder (see :mod:`docs/streaming`)."""
+
+    tolerance: float = 1e-6        # relative slack above the bound
+    min_violations: int = 3        # fewer violators than this always absorb
+    refute_fraction: float = 0.25  # violating fraction that refutes a metric
+    max_refits: int = 3            # targeted refits before a metric is stale
+    stale_fraction: float = 0.5    # refuted-metric fraction that stales a window
+    refit_history: int = 4         # recent windows a targeted refit trains on
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ConfigError("drift tolerance cannot be negative")
+        if self.min_violations < 1:
+            raise ConfigError("min_violations must be at least 1")
+        if not 0.0 < self.refute_fraction <= 1.0:
+            raise ConfigError("refute_fraction must be in (0, 1]")
+        if self.max_refits < 1:
+            raise ConfigError("max_refits must be at least 1")
+        if not 0.0 < self.stale_fraction <= 1.0:
+            raise ConfigError("stale_fraction must be in (0, 1]")
+        if self.refit_history < 1:
+            raise ConfigError("refit_history must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class DriftAssessment:
+    """One metric's window verdict against its serving roofline."""
+
+    verdict: str          # CLEAN | ABSORBED | REFUTED
+    violations: int
+    samples: int
+    worst_excess: float   # largest throughput overshoot past the bound
+
+
+class DriftMonitor:
+    """Stateful referee of the drift ladder.
+
+    One monitor serves one stream: it scores each window's samples
+    against the serving rooflines (:meth:`assess`), counts targeted
+    refits per metric (:meth:`note_refit`) and decides when a metric or
+    a whole window has escalated to stale.
+    """
+
+    def __init__(self, policy: DriftPolicy | None = None) -> None:
+        self.policy = policy or DriftPolicy()
+        self._refits: dict[str, int] = {}
+
+    @property
+    def refit_counts(self) -> dict[str, int]:
+        return dict(self._refits)
+
+    def assess(
+        self,
+        roofline: MetricRoofline,
+        intensity: np.ndarray,
+        throughput: np.ndarray,
+    ) -> DriftAssessment:
+        """Score one window of a metric's samples against its bound."""
+        samples = len(intensity)
+        if not samples:
+            return DriftAssessment(CLEAN, 0, 0, 0.0)
+        bound = roofline.estimate_batch(intensity, validated=True)
+        slack = self.policy.tolerance * np.maximum(1.0, np.abs(bound))
+        excess = throughput - bound
+        violating = excess > slack
+        violations = int(violating.sum())
+        if not violations:
+            return DriftAssessment(CLEAN, 0, samples, 0.0)
+        worst = float(excess[violating].max())
+        refuted = (
+            violations >= self.policy.min_violations
+            and violations >= self.policy.refute_fraction * samples
+        )
+        return DriftAssessment(
+            REFUTED if refuted else ABSORBED, violations, samples, worst
+        )
+
+    def note_refit(self, metric: str) -> bool:
+        """Record one targeted refit; True when the metric is now stale."""
+        count = self._refits.get(metric, 0) + 1
+        self._refits[metric] = count
+        return count > self.policy.max_refits
+
+    def window_stale(self, checked: int, refuted: int) -> bool:
+        """Whether one window refuted enough metrics to stale the model."""
+        if not checked or not refuted:
+            return False
+        return refuted > self.policy.stale_fraction * checked
+
+
+@dataclass
+class DriftReport:
+    """What the drift ladder did over the life of a stream."""
+
+    windows: int = 0
+    events: list[DriftEvent] = field(default_factory=list)
+    refit_counts: dict[str, int] = field(default_factory=dict)
+    quarantined_metrics: list[str] = field(default_factory=list)
+    stale: bool = False
+    stale_reason: str = ""
+    quality: QualityReport = field(default_factory=QualityReport)
+    phases: PhaseProfile | None = None
+
+    @property
+    def refuted_metrics(self) -> list[str]:
+        return sorted(
+            {e.metric for e in self.events if e.action != "absorbed"}
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when the stream never went past absorption."""
+        return not (self.stale or self.refuted_metrics)
+
+    def to_dict(self) -> dict:
+        return {
+            "windows": self.windows,
+            "stale": self.stale,
+            "stale_reason": self.stale_reason,
+            "refit_counts": dict(sorted(self.refit_counts.items())),
+            "quarantined_metrics": list(self.quarantined_metrics),
+            "refuted_metrics": self.refuted_metrics,
+            "events": [
+                {
+                    "metric": e.metric,
+                    "window": e.window,
+                    "action": e.action,
+                    "violations": e.violations,
+                    "samples": e.samples,
+                    "worst_excess": e.worst_excess,
+                    "detail": e.detail,
+                }
+                for e in self.events
+            ],
+            "quality": self.quality.summary(),
+        }
+
+    def render(self) -> str:
+        state = "STALE" if self.stale else ("drifted" if not self.ok else "ok")
+        lines = [
+            f"stream: {self.windows} window(s), {len(self.events)} drift "
+            f"event(s), model {state}"
+        ]
+        if self.stale_reason:
+            lines.append(f"  stale: {self.stale_reason}")
+        for event in self.events:
+            stats = (
+                f"{event.violations}/{event.samples} violation(s)"
+                if event.samples
+                else "no samples"
+            )
+            detail = f" ({event.detail})" if event.detail else ""
+            excess = (
+                f", worst excess {event.worst_excess:.3g}"
+                if event.worst_excess
+                else ""
+            )
+            lines.append(
+                f"  window {event.window} [{event.metric}]: {event.action}, "
+                f"{stats}{excess}{detail}"
+            )
+        if self.refit_counts:
+            refit_bits = ", ".join(
+                f"{metric}: {count}"
+                for metric, count in sorted(self.refit_counts.items())
+            )
+            lines.append(f"  targeted refits — {refit_bits}")
+        if self.quarantined_metrics:
+            lines.append(
+                "  quarantined: " + ", ".join(self.quarantined_metrics)
+            )
+        if not self.quality.ok:
+            lines.append("  data quality: " + self.quality.summary())
+        if self.phases is not None and self.phases.phases:
+            changes = self.phases.transitions()
+            for index, previous, current in changes:
+                lines.append(
+                    f"  phase shift at window {index}: "
+                    f"{previous} -> {current}"
+                )
+            if not changes:
+                lines.append(
+                    "  phases: stable "
+                    f"(limited by {self.phases.phases[-1].limiting_metric})"
+                )
+        return "\n".join(lines)
+
+
+def worst_violation(
+    roofline: MetricRoofline,
+    intensity: np.ndarray,
+    throughput: np.ndarray,
+) -> float:
+    """Largest overshoot of ``throughput`` past the roofline bound."""
+    if not len(intensity):
+        return -math.inf
+    bound = roofline.estimate_batch(intensity, validated=True)
+    return float((throughput - bound).max())

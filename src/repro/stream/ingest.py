@@ -1,0 +1,471 @@
+"""Windowed streaming ingestion with drift-checked model serving.
+
+:class:`StreamIngestor` is the live front door of a SPIRE deployment.  It
+accepts counter samples incrementally — mapping records, constructed
+sample sets, or raw ``perf stat -x`` CSV chunks (split anywhere, even
+mid-line) — screens them (timestamp monotonicity via
+:class:`~repro.core.sanitize.TimestampScreen`, values via
+:class:`~repro.core.sanitize.SampleSanitizer`), buffers them into fixed
+size windows, and on each sealed window walks the drift ladder
+(:mod:`repro.stream.drift`) for every metric before folding the window
+into the incremental ensemble (:mod:`repro.stream.incremental`).
+
+Ownership model
+---------------
+With a trained ``model``, its rooflines are *reference-owned*: they serve
+unchanged while the stream agrees with them and their samples are only
+kept in the recent-window buffer.  A refuted reference roofline is
+quarantined and refit from the recent windows only — the contradicted
+history is discarded — after which the metric is *stream-owned* and grows
+incrementally.  Without a model every metric is stream-owned from the
+first sample, and drift checks begin after ``warmup_windows`` windows.
+This keeps repairs surgical: refuting one metric never perturbs the
+others' rooflines (asserted bit-exactly in the drift tests).
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.columns import SampleArray
+from repro.core.ensemble import SpireModel, TrainOptions
+from repro.core.phases import PhaseEstimate, PhaseTracker
+from repro.core.roofline import MetricRoofline
+from repro.core.sample import Sample, SampleSet
+from repro.core.sanitize import SampleSanitizer, TimestampScreen
+from repro.counters.perf_parser import (
+    PerfRecord,
+    PerfStatParser,
+    _samples_from_records,
+    parse_perf_lines,
+)
+from repro.errors import (
+    ConfigError,
+    DegradedDataWarning,
+    EstimationError,
+    FitError,
+)
+from repro.guard.dispatch import registry
+from repro.guard.health import DriftEvent
+from repro.stream.drift import (
+    ABSORBED,
+    REFUTED,
+    DriftMonitor,
+    DriftPolicy,
+    DriftReport,
+)
+from repro.stream.incremental import OnlineSpire
+
+__all__ = ["StreamIngestor", "StreamOptions"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamOptions:
+    """Configuration of one ingestion stream."""
+
+    window_samples: int = 256   # clean samples per auto-sealed window
+    warmup_windows: int = 2     # windows before drift checks (no-model mode)
+    policy: DriftPolicy = field(default_factory=DriftPolicy)
+    train: TrainOptions = field(default_factory=TrainOptions)
+
+    def __post_init__(self) -> None:
+        if self.window_samples < 1:
+            raise ConfigError("window_samples must be at least 1")
+        if self.warmup_windows < 1:
+            raise ConfigError("warmup_windows must be at least 1")
+
+
+class StreamIngestor:
+    """Incremental ingestion, drift refereeing and model serving."""
+
+    def __init__(
+        self,
+        model: SpireModel | None = None,
+        options: StreamOptions | None = None,
+        parser: PerfStatParser | None = None,
+    ) -> None:
+        self.options = options or StreamOptions()
+        self._parser = parser or PerfStatParser()
+        self._online = OnlineSpire(
+            options=self.options.train,
+            work_unit=model.work_unit if model else "instructions",
+            time_unit=model.time_unit if model else "cycles",
+        )
+        self._reference: dict[str, MetricRoofline] = {}
+        if model is not None:
+            self._reference = {m: model.roofline(m) for m in model.metrics}
+        self._monitor = DriftMonitor(self.options.policy)
+        self._screen = TimestampScreen()
+        self._sanitizer = SampleSanitizer(min_samples_per_metric=1)
+        self._tracker = PhaseTracker()
+        self._report = DriftReport()
+        self._pending: list[Sample] = []
+        self._recent: deque[SampleArray] = deque(
+            maxlen=self.options.policy.refit_history
+        )
+        self._quarantined: set[str] = set()
+        self._tail = ""                       # partial CSV line between chunks
+        self._perf_interval: list[PerfRecord] = []  # open perf interval
+
+    # -- Introspection -------------------------------------------------
+
+    @property
+    def window_count(self) -> int:
+        return self._report.windows
+
+    @property
+    def pending_samples(self) -> int:
+        return len(self._pending)
+
+    @property
+    def stale(self) -> bool:
+        return self._report.stale
+
+    @property
+    def events(self) -> list[DriftEvent]:
+        return list(self._report.events)
+
+    @property
+    def stream_metrics(self) -> list[str]:
+        """Metrics currently owned by the incremental ensemble."""
+        return self._online.metrics
+
+    @property
+    def reference_metrics(self) -> list[str]:
+        """Metrics still served from the loaded model."""
+        return list(self._reference)
+
+    # -- Ingestion -----------------------------------------------------
+
+    def push_records(self, records: Iterable[Mapping]) -> None:
+        """Push raw mapping records (``metric``/``time``/``work``/
+        ``metric_count``, optional ``timestamp``)."""
+        rows = records if isinstance(records, list) else list(records)
+        if not rows:
+            return
+        before = len(self._report.quality.quarantined)
+        kept, _ = self._screen.screen(rows, self._report.quality)
+        clean, window_report = self._sanitizer.sanitize(kept)
+        # The screen already counted the survivors it forwarded; fold in
+        # only what the value sanitizer rejected on top of that.
+        self._report.quality.kept -= len(window_report.quarantined)
+        self._report.quality.quarantined.extend(window_report.quarantined)
+        dropped = len(self._report.quality.quarantined) - before
+        if dropped:
+            warnings.warn(
+                DegradedDataWarning(
+                    f"stream quarantined {dropped} record(s): "
+                    + self._report.quality.summary()
+                ),
+                stacklevel=2,
+            )
+        self._admit(clean)
+
+    def push_samples(
+        self, samples: SampleSet | SampleArray | Iterable[Sample]
+    ) -> None:
+        """Push already-validated samples (no screening needed)."""
+        if isinstance(samples, SampleArray):
+            samples = samples.to_sample_set()
+        items = list(samples)
+        self._report.quality.total += len(items)
+        self._report.quality.kept += len(items)
+        self._admit(items)
+
+    def push_perf(self, chunk: str) -> None:
+        """Push a chunk of ``perf stat -x`` CSV output.
+
+        Chunks may split anywhere — mid-line and mid-interval.  The last
+        incomplete line waits for the next chunk; the newest interval
+        stays open until a newer timestamp arrives (or :meth:`flush`),
+        because its counter group may still be in flight.  Malformed
+        lines are salvaged into the quality report, never raised.
+        """
+        self._tail += chunk
+        lines = self._tail.split("\n")
+        self._tail = lines.pop()
+        if not lines:
+            return
+        parsed = parse_perf_lines(
+            lines,
+            self._parser.separator,
+            lenient=True,
+            quality=self._report.quality,
+        )
+        for record in parsed:
+            if self._perf_interval and (
+                record.timestamp != self._perf_interval[-1].timestamp
+            ):
+                self._close_perf_interval()
+            self._perf_interval.append(record)
+
+    def flush(self) -> None:
+        """Convert any buffered partial CSV state into pending samples."""
+        if self._tail:
+            leftover, self._tail = self._tail, ""
+            self.push_perf(leftover + "\n")
+        if self._perf_interval:
+            self._close_perf_interval()
+
+    def _close_perf_interval(self) -> None:
+        group, self._perf_interval = self._perf_interval, []
+        stamp = group[0].timestamp
+        samples = _samples_from_records(
+            group, self._parser.work_event, self._parser.time_event,
+            lenient=True,
+        )
+        records = []
+        for sample in samples:
+            record = {
+                "metric": sample.metric,
+                "time": sample.time,
+                "work": sample.work,
+                "metric_count": sample.metric_count,
+            }
+            if stamp is not None:
+                record["timestamp"] = stamp
+            records.append(record)
+        self.push_records(records)
+
+    def _admit(self, clean: Iterable[Sample]) -> None:
+        self._pending.extend(clean)
+        while len(self._pending) >= self.options.window_samples:
+            batch = self._pending[: self.options.window_samples]
+            self._pending = self._pending[self.options.window_samples:]
+            self._seal(batch)
+
+    # -- Window sealing and the drift ladder ---------------------------
+
+    def seal_window(self) -> list[DriftEvent]:
+        """Seal whatever is pending as one window (possibly empty).
+
+        Replay drivers call this to impose their own window boundaries;
+        live ingestion normally relies on ``window_samples`` auto-sealing.
+        Returns the drift events the window produced.
+        """
+        batch, self._pending = self._pending, []
+        return self._seal(batch)
+
+    def _seal(self, batch: list[Sample]) -> list[DriftEvent]:
+        index = self._report.windows
+        self._report.windows += 1
+        events: list[DriftEvent] = []
+
+        if not batch:
+            events.append(
+                DriftEvent(
+                    metric="*",
+                    window=index,
+                    action="stalled",
+                    detail="window sealed with no usable samples",
+                )
+            )
+            self._record(events)
+            return events
+
+        window_set = SampleSet(batch)
+        array = window_set.columns()
+        groups = array.group_indices()
+        checking = bool(self._reference) or index >= self.options.warmup_windows
+
+        refuted: list[str] = []
+        checked = 0
+        for metric, rows in groups.items():
+            intensity = array.intensity[rows]
+            throughput = array.throughput[rows]
+            serving = self._serving_roofline(metric)
+            if serving is None or not checking:
+                self._insert_if_stream_owned(metric, array, rows)
+                continue
+            checked += 1
+            verdict = self._monitor.assess(serving, intensity, throughput)
+            if verdict.verdict == REFUTED:
+                refuted.append(metric)
+                events.extend(
+                    self._repair(metric, index, verdict, array, rows)
+                )
+                continue
+            if verdict.verdict == ABSORBED:
+                events.append(
+                    DriftEvent(
+                        metric=metric,
+                        window=index,
+                        action="absorbed",
+                        violations=verdict.violations,
+                        samples=verdict.samples,
+                        worst_excess=verdict.worst_excess,
+                    )
+                )
+            self._insert_if_stream_owned(metric, array, rows)
+
+        if self._monitor.window_stale(checked, len(refuted)) and not self.stale:
+            reason = (
+                f"{len(refuted)}/{checked} checked metric(s) refuted in "
+                f"window {index}"
+            )
+            events.append(
+                DriftEvent(
+                    metric="*", window=index, action="stale", detail=reason
+                )
+            )
+            self._mark_stale(reason)
+
+        self._online.refresh()
+        self._recent.append(array)
+        for metric in list(self._quarantined):
+            if self._online.roofline(metric) is not None:
+                self._quarantined.discard(metric)
+        self._observe_phase(index, window_set)
+        self._record(events)
+        return events
+
+    def _serving_roofline(self, metric: str) -> MetricRoofline | None:
+        roofline = self._reference.get(metric)
+        if roofline is not None:
+            return roofline
+        return self._online.roofline(metric)
+
+    def _insert_if_stream_owned(
+        self, metric: str, array: SampleArray, rows
+    ) -> None:
+        if metric in self._reference:
+            return  # reference-owned: static while it agrees
+        self._online.insert_array(array.select(rows))
+
+    def _repair(
+        self, metric, index, verdict, array: SampleArray, rows
+    ) -> list[DriftEvent]:
+        """Rungs 2-3: quarantine the refuted metric and refit or give up."""
+        events: list[DriftEvent] = []
+        self._reference.pop(metric, None)
+
+        recent = [self._metric_rows(window, metric) for window in self._recent]
+        recent.append(array.select(rows))
+        refit_parts = [part for part in recent if len(part)]
+        refit_samples = sum(len(part) for part in refit_parts)
+
+        if refit_samples < self.options.train.min_samples_per_metric:
+            self._online.reset_metric(metric)
+            for part in refit_parts:
+                self._online.insert_array(part)
+            self._quarantined.add(metric)
+            events.append(
+                DriftEvent(
+                    metric=metric,
+                    window=index,
+                    action="quarantined",
+                    violations=verdict.violations,
+                    samples=verdict.samples,
+                    worst_excess=verdict.worst_excess,
+                    detail=(
+                        f"only {refit_samples} recent sample(s) — too few "
+                        "to refit; withheld from serving"
+                    ),
+                )
+            )
+            return events
+
+        self._online.reset_metric(metric)
+        for part in refit_parts:
+            self._online.insert_array(part)
+        self._quarantined.discard(metric)
+        events.append(
+            DriftEvent(
+                metric=metric,
+                window=index,
+                action="refit",
+                violations=verdict.violations,
+                samples=verdict.samples,
+                worst_excess=verdict.worst_excess,
+                detail=(
+                    f"refit from {len(refit_parts)} recent window(s), "
+                    f"{refit_samples} sample(s)"
+                ),
+            )
+        )
+        self._report.refit_counts[metric] = (
+            self._report.refit_counts.get(metric, 0) + 1
+        )
+        if self._monitor.note_refit(metric) and not self.stale:
+            reason = (
+                f"metric {metric!r} refuted "
+                f"{self._monitor.refit_counts[metric]} time(s), past "
+                f"max_refits={self.options.policy.max_refits}"
+            )
+            events.append(
+                DriftEvent(
+                    metric=metric, window=index, action="stale", detail=reason
+                )
+            )
+            self._mark_stale(reason)
+        return events
+
+    @staticmethod
+    def _metric_rows(array: SampleArray, metric: str) -> SampleArray:
+        rows = array.group_indices().get(metric)
+        if rows is None:
+            rows = np.empty(0, dtype=np.intp)
+        return array.select(rows)
+
+    def _mark_stale(self, reason: str) -> None:
+        self._report.stale = True
+        self._report.stale_reason = reason
+
+    def _observe_phase(self, index: int, window_set: SampleSet) -> None:
+        try:
+            model = self.model()
+            estimate = model.estimate(window_set)
+        except (FitError, EstimationError):
+            return
+        self._tracker.observe(
+            PhaseEstimate(
+                index=index,
+                throughput_bound=estimate.throughput,
+                limiting_metric=estimate.limiting_metric,
+                measured_throughput=window_set.measured_throughput(),
+                sample_count=len(window_set),
+            )
+        )
+
+    def _record(self, events: list[DriftEvent]) -> None:
+        for event in events:
+            self._report.events.append(event)
+            registry().record_drift(event)
+
+    # -- Serving -------------------------------------------------------
+
+    def model(self) -> SpireModel:
+        """The current serving ensemble.
+
+        Reference-owned rooflines serve verbatim; stream-owned metrics
+        serve their latest incremental fit once past the sample floor.
+        Quarantined metrics are withheld.  Raises :class:`FitError` when
+        nothing is servable yet (e.g. mid-warmup).
+        """
+        rooflines = dict(self._reference)
+        for metric in self._online.metrics:
+            if metric in self._quarantined:
+                continue
+            roofline = self._online.roofline(metric)
+            if roofline is not None:
+                rooflines[metric] = roofline
+        if not rooflines:
+            raise FitError("the stream has no servable metric yet")
+        return SpireModel(
+            rooflines,
+            work_unit=self._online.work_unit,
+            time_unit=self._online.time_unit,
+        )
+
+    def report(self) -> DriftReport:
+        """The drift ladder's verdict so far (phases attached when any)."""
+        if len(self._tracker):
+            self._report.phases = self._tracker.profile()
+        self._report.refit_counts = self._monitor.refit_counts
+        self._report.quarantined_metrics = sorted(self._quarantined)
+        return self._report

@@ -207,9 +207,14 @@ class TestDispatch:
             GuardConfig(policy="explode")
 
     def test_all_guarded_kernels_named(self):
-        assert len(GUARDED_KERNELS) == 12
-        assert len(set(GUARDED_KERNELS)) == 12
-        for kernel in ("fused_experiment", "trace.fused_run", "shm.transport"):
+        assert len(GUARDED_KERNELS) == 13
+        assert len(set(GUARDED_KERNELS)) == 13
+        for kernel in (
+            "fused_experiment",
+            "trace.fused_run",
+            "shm.transport",
+            "stream.update",
+        ):
             assert kernel in GUARDED_KERNELS
 
 

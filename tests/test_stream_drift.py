@@ -1,0 +1,300 @@
+"""Acceptance tests for the refute-and-refine drift ladder.
+
+The scenario the tentpole promises: a trained model watches a live
+stream; when one metric's samples refute its roofline, exactly that
+metric is quarantined and refit from recent windows while every other
+metric's roofline stays *bit-identical* — and repeated refutation walks
+the ladder down to a stale verdict that demands a batch retrain.
+
+The streams here replay the model's own training samples, so the
+fault-free baseline is clean by construction (every roofline is an upper
+bound of its training data).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import SpireModel, TrainOptions
+from repro.core.sample import Sample, SampleSet
+from repro.errors import ConfigError
+from repro.guard.dispatch import registry, reset_guards
+from repro.runtime.faults import (
+    DRIFT_INJECT,
+    STALE_WINDOW,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.stream import (
+    DriftMonitor,
+    DriftPolicy,
+    StreamOptions,
+    replay_stream,
+    windows_from_records,
+)
+
+METRICS = ("llc.miss", "br.misp", "tlb.walk")
+
+
+def _make_records(rng, per_window=12, windows=6):
+    """A deterministic multi-metric log with roofline-shaped throughput."""
+    records = []
+    for _ in range(windows * per_window):
+        metric = rng.choice(METRICS)
+        x = rng.uniform(0.5, 64.0)
+        peak = 4.0 + 2.0 * METRICS.index(metric)
+        y = min(x, peak) * rng.uniform(0.5, 1.0)
+        time = rng.uniform(1.0, 4.0)
+        work = y * time
+        records.append(
+            {
+                "metric": metric,
+                "time": time,
+                "work": work,
+                "metric_count": work / x,
+            }
+        )
+    return records
+
+
+@pytest.fixture(autouse=True)
+def _fresh_guards():
+    reset_guards()
+    yield
+    reset_guards()
+
+
+@pytest.fixture
+def trained():
+    rng = random.Random(4242)
+    records = _make_records(rng)
+    samples = SampleSet(
+        [
+            Sample(
+                r["metric"],
+                time=r["time"],
+                work=r["work"],
+                metric_count=r["metric_count"],
+            )
+            for r in records
+        ]
+    )
+    model = SpireModel.train(samples)
+    windows = windows_from_records(records, 12)
+    return model, windows
+
+
+class TestCleanBaseline:
+    def test_training_replay_never_drifts(self, trained):
+        model, windows = trained
+        result = replay_stream(windows, model=model)
+        assert result.report.ok
+        assert result.events == []
+        assert not result.report.stale
+        # Everything still reference-owned and served verbatim.
+        for metric in model.metrics:
+            assert result.model.roofline(metric).to_dict(
+                include_training=True
+            ) == model.roofline(metric).to_dict(include_training=True)
+
+
+class TestDriftInjection:
+    VICTIM = "llc.miss"
+
+    def _fault(self, window=2, factor=4.0):
+        return FaultPlan(
+            specs=(
+                FaultSpec(
+                    workload=self.VICTIM,
+                    kind=DRIFT_INJECT,
+                    factor=factor,
+                    window=window,
+                ),
+            )
+        )
+
+    def test_victim_is_refuted_and_refit(self, trained):
+        model, windows = trained
+        result = replay_stream(windows, model=model, faults=self._fault())
+        actions = {e.action for e in result.events if e.metric == self.VICTIM}
+        assert "refit" in actions
+        assert self.VICTIM in result.ingestor.stream_metrics
+        assert self.VICTIM not in result.ingestor.reference_metrics
+        assert result.report.refit_counts.get(self.VICTIM, 0) >= 1
+
+    def test_bystanders_stay_bit_identical(self, trained):
+        model, windows = trained
+        baseline = replay_stream(windows, model=model)
+        faulted = replay_stream(windows, model=model, faults=self._fault())
+        for metric in METRICS:
+            if metric == self.VICTIM:
+                continue
+            assert faulted.model.roofline(metric).to_dict(
+                include_training=True
+            ) == baseline.model.roofline(metric).to_dict(
+                include_training=True
+            )
+        assert {e.metric for e in faulted.events} == {self.VICTIM}
+
+    def test_refit_model_covers_drifted_samples(self, trained):
+        """After repair the served bound covers the shifted regime."""
+        model, windows = trained
+        result = replay_stream(windows, model=model, faults=self._fault())
+        roofline = result.model.roofline(self.VICTIM)
+        last = windows[-1]
+        for record in last:
+            if record["metric"] != self.VICTIM:
+                continue
+            x = 4.0 * record["work"] / (4.0 * record["metric_count"])
+            y = 4.0 * record["work"] / record["time"]
+            bound = roofline.estimate(x)
+            assert bound >= y - 1e-6 * max(1.0, y)
+
+    def test_drift_surfaces_on_health_report(self, trained):
+        model, windows = trained
+        replay_stream(windows, model=model, faults=self._fault())
+        health = registry().health_report()
+        assert self.VICTIM in health.drifted_metrics
+        assert not health.ok
+        assert "drift" in health.render()
+
+    def test_repeated_refutation_goes_stale(self, trained):
+        model, windows = trained
+        policy = DriftPolicy(max_refits=1)
+        # Re-drift the victim with a *growing* factor each window so every
+        # refit's bound is refuted again by the next window.
+        plan = FaultPlan(
+            specs=tuple(
+                FaultSpec(
+                    workload=self.VICTIM,
+                    kind=DRIFT_INJECT,
+                    factor=8.0,
+                    window=w,
+                )
+                for w in range(2, len(windows))
+            )
+        )
+        result = replay_stream(
+            windows,
+            model=model,
+            options=StreamOptions(policy=policy),
+            faults=plan,
+        )
+        assert result.report.stale
+        assert "max_refits" in result.report.stale_reason
+        actions = [e.action for e in result.events if e.metric == self.VICTIM]
+        assert "stale" in actions
+        assert "STALE" in result.report.render()
+
+    def test_quarantined_when_too_few_recent_samples(self, trained):
+        model, windows = trained
+        options = StreamOptions(
+            policy=DriftPolicy(refit_history=1),
+            train=TrainOptions(min_samples_per_metric=64),
+        )
+        result = replay_stream(
+            windows, model=model, options=options, faults=self._fault()
+        )
+        quarantines = [
+            e for e in result.events if e.action == "quarantined"
+        ]
+        assert quarantines and quarantines[0].metric == self.VICTIM
+        assert self.VICTIM in result.report.quarantined_metrics
+        # Withheld from serving: the victim is in no served ensemble.
+        assert self.VICTIM not in result.model.metrics
+
+
+class TestNoModelStream:
+    def test_learns_from_scratch_with_warmup(self, trained):
+        _, windows = trained
+        result = replay_stream(windows, options=StreamOptions())
+        assert result.model is not None
+        assert set(result.model.metrics) == set(METRICS)
+        for metric in METRICS:
+            assert metric in result.ingestor.stream_metrics
+
+    def test_stale_window_stalls_and_quarantines_late_data(self, trained):
+        from repro.errors import DegradedDataWarning
+
+        model, windows = trained
+        plan = FaultPlan(
+            specs=(FaultSpec(workload="*", kind=STALE_WINDOW, window=2),)
+        )
+        with pytest.warns(DegradedDataWarning, match="out-of-order"):
+            result = replay_stream(windows, model=model, faults=plan)
+        stalls = [e for e in result.events if e.action == "stalled"]
+        assert [e.window for e in stalls] == [2]
+        reasons = [q.reason for q in result.quality.quarantined]
+        assert "out-of-order timestamp" in reasons
+
+
+class TestDriftMonitorUnit:
+    def _roofline(self):
+        samples = SampleSet(
+            [
+                Sample("m", time=1.0, work=min(x, 8.0), metric_count=min(x, 8.0) / x)
+                for x in (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0)
+            ]
+        )
+        return SpireModel.train(samples).roofline("m")
+
+    def test_clean_absorbed_refuted_ladder(self):
+        monitor = DriftMonitor(DriftPolicy(min_violations=3))
+        roofline = self._roofline()
+        xs = np.asarray([1.0, 2.0, 4.0, 16.0])
+        clean = monitor.assess(roofline, xs, np.asarray([0.5, 1.0, 2.0, 4.0]))
+        assert clean.verdict == "clean"
+        absorbed = monitor.assess(
+            roofline, xs, np.asarray([5.0, 1.0, 2.0, 4.0])
+        )
+        assert absorbed.verdict == "absorbed"
+        assert absorbed.violations == 1
+        refuted = monitor.assess(roofline, xs, np.asarray([5.0, 9.0, 9.0, 9.0]))
+        assert refuted.verdict == "refuted"
+        assert refuted.worst_excess > 0
+
+    def test_empty_window_is_clean(self):
+        monitor = DriftMonitor()
+        verdict = monitor.assess(
+            self._roofline(), np.asarray([]), np.asarray([])
+        )
+        assert verdict.verdict == "clean"
+        assert verdict.samples == 0
+
+    def test_note_refit_counts_to_stale(self):
+        monitor = DriftMonitor(DriftPolicy(max_refits=2))
+        assert monitor.note_refit("m") is False
+        assert monitor.note_refit("m") is False
+        assert monitor.note_refit("m") is True
+        assert monitor.refit_counts == {"m": 3}
+
+    def test_window_stale_fraction(self):
+        monitor = DriftMonitor(DriftPolicy(stale_fraction=0.5))
+        assert not monitor.window_stale(4, 2)
+        assert monitor.window_stale(4, 3)
+        assert not monitor.window_stale(0, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tolerance": -1.0},
+            {"min_violations": 0},
+            {"refute_fraction": 0.0},
+            {"refute_fraction": 1.5},
+            {"max_refits": 0},
+            {"stale_fraction": 0.0},
+            {"refit_history": 0},
+        ],
+    )
+    def test_policy_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            DriftPolicy(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"window_samples": 0}, {"warmup_windows": 0}],
+    )
+    def test_stream_options_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            StreamOptions(**kwargs)

@@ -1,0 +1,248 @@
+"""Incremental-vs-batch parity for the streaming ensemble.
+
+The headline promise of :mod:`repro.stream.incremental` is *bit*
+equivalence: an :class:`OnlineSpire` that saw the samples one at a time
+— with refreshes interleaved anywhere — serves exactly the roofline a
+batch :func:`fit_metric_roofline_arrays` over the same arrays produces,
+field for field including retained training points.  Hypothesis drives
+arbitrary insertion orders, apex moves, ties, infinite intensities and
+refresh schedules against that oracle; the guard tests prove the
+``"stream.update"`` kernel sentinel actually referees the same check at
+runtime and degrades to the batch path on divergence.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ensemble import TrainOptions
+from repro.core.roofline import RooflineFitOptions, fit_metric_roofline_arrays
+from repro.errors import DataError, FitError
+from repro.geometry.pareto import pareto_front_arrays
+from repro.guard.dispatch import (
+    GuardConfig,
+    inject_divergence,
+    registry,
+    reset_guards,
+)
+from repro.stream.incremental import MetricStreamState, OnlineSpire
+
+# A small value grid encourages ties, duplicates and apex churn far more
+# often than uniform floats would.
+_VALUES = st.one_of(
+    st.sampled_from([1.0, 2.0, 4.0, 8.0, 100.0]),
+    st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def raw_sample(draw):
+    time = draw(_VALUES)
+    work = draw(_VALUES)
+    count = draw(st.one_of(st.just(0.0), _VALUES))
+    return (time, work, count)
+
+
+@st.composite
+def stream_case(draw):
+    samples = draw(st.lists(raw_sample(), min_size=1, max_size=50))
+    # Refresh after each of these (0-based) insert positions.
+    refreshes = draw(
+        st.sets(st.integers(min_value=0, max_value=len(samples) - 1))
+    )
+    return samples, refreshes
+
+
+def _batch_fit(samples, options):
+    xs = np.asarray(
+        [math.inf if c == 0 else w / c for (_, w, c) in samples],
+        dtype=np.float64,
+    )
+    ys = np.asarray([w / t for (t, w, _) in samples], dtype=np.float64)
+    return fit_metric_roofline_arrays("m", xs, ys, options=options.roofline)
+
+
+def _run_stream(samples, refreshes, options):
+    online = OnlineSpire(options=options)
+    for i, (time, work, count) in enumerate(samples):
+        online.insert("m", time=time, work=work, metric_count=count)
+        if i in refreshes:
+            online.refresh()
+    online.refresh()
+    return online
+
+
+@pytest.fixture(autouse=True)
+def _unguarded():
+    """Parity tests measure the incremental path itself, not the guard."""
+    reset_guards(GuardConfig(check_rate=0))
+    yield
+    reset_guards()
+
+
+class TestBatchParity:
+    @settings(max_examples=80, deadline=None)
+    @given(stream_case())
+    def test_incremental_equals_batch(self, case):
+        samples, refreshes = case
+        options = TrainOptions(min_samples_per_metric=1)
+        online = _run_stream(samples, refreshes, options)
+        got = online.roofline("m")
+        expected = _batch_fit(samples, options)
+        assert got.direction == expected.direction
+        assert got.to_dict(include_training=True) == expected.to_dict(
+            include_training=True
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream_case())
+    def test_incremental_equals_batch_trend_mode(self, case):
+        samples, refreshes = case
+        options = TrainOptions(
+            roofline=RooflineFitOptions(direction_mode="trend"),
+            min_samples_per_metric=1,
+        )
+        online = _run_stream(samples, refreshes, options)
+        got = online.roofline("m")
+        expected = _batch_fit(samples, options)
+        assert got.to_dict(include_training=True) == expected.to_dict(
+            include_training=True
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(raw_sample(), min_size=1, max_size=40))
+    def test_front_matches_batch_pareto(self, samples):
+        """The maintained front is the Pareto front of the finite points."""
+        state = MetricStreamState("m")
+        for time, work, count in samples:
+            intensity = math.inf if count == 0 else work / count
+            state.insert(intensity, work / time)
+        if not state.fin_x:
+            assert state.front_x == []
+            return
+        fx, fy = pareto_front_arrays(
+            np.asarray(state.fin_x), np.asarray(state.fin_y)
+        )
+        assert set(zip(state.front_x, state.front_y)) == set(
+            zip(fx.tolist(), fy.tolist())
+        )
+
+    def test_apex_tie_prefers_smaller_intensity(self):
+        options = TrainOptions(min_samples_per_metric=1)
+        samples = [(1.0, 8.0, 2.0), (1.0, 8.0, 1.0), (1.0, 8.0, 4.0)]
+        online = _run_stream(samples, set(), options)
+        expected = _batch_fit(samples, options)
+        assert online.roofline("m").apex == expected.apex
+        assert online.roofline("m").apex.x == 2.0
+
+    def test_all_infinite_intensities(self):
+        options = TrainOptions(min_samples_per_metric=1)
+        samples = [(1.0, 3.0, 0.0), (1.0, 7.0, 0.0)]
+        online = _run_stream(samples, {0}, options)
+        expected = _batch_fit(samples, options)
+        assert online.roofline("m").to_dict(
+            include_training=True
+        ) == expected.to_dict(include_training=True)
+
+    def test_candidate_pruning_shrinks_state(self):
+        """Points strictly under the fitted chain are dropped for good."""
+        online = OnlineSpire(options=TrainOptions(min_samples_per_metric=1))
+        online.insert("m", time=1.0, work=100.0, metric_count=1.0)  # apex
+        online.insert("m", time=1.0, work=50.0, metric_count=1.0)
+        online.refresh()
+        state = online.state("m")
+        kept = len(state.cand_x)
+        for work in (1.0, 2.0, 3.0):  # far below the chain near x ~ 1-3
+            online.insert("m", time=100.0, work=work, metric_count=work)
+        online.refresh()
+        assert len(state.cand_x) <= kept + 1
+        samples = [(1.0, 100.0, 1.0), (1.0, 50.0, 1.0),
+                   (100.0, 1.0, 1.0), (100.0, 2.0, 2.0), (100.0, 3.0, 3.0)]
+        expected = _batch_fit(samples, TrainOptions(min_samples_per_metric=1))
+        assert online.roofline("m").to_dict(
+            include_training=True
+        ) == expected.to_dict(include_training=True)
+
+
+class TestValidation:
+    def test_rejects_empty_metric(self):
+        with pytest.raises(DataError):
+            OnlineSpire().insert("", time=1.0, work=1.0, metric_count=1.0)
+
+    @pytest.mark.parametrize("time", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects_bad_time(self, time):
+        with pytest.raises(DataError):
+            OnlineSpire().insert("m", time=time, work=1.0, metric_count=1.0)
+
+    @pytest.mark.parametrize("work", [-1.0, math.inf, math.nan])
+    def test_rejects_bad_work(self, work):
+        with pytest.raises(DataError):
+            OnlineSpire().insert("m", time=1.0, work=work, metric_count=1.0)
+
+    @pytest.mark.parametrize("count", [-1.0, math.inf, math.nan])
+    def test_rejects_bad_count(self, count):
+        with pytest.raises(DataError):
+            OnlineSpire().insert("m", time=1.0, work=1.0, metric_count=count)
+
+    def test_starved_metric_withheld(self):
+        online = OnlineSpire(options=TrainOptions(min_samples_per_metric=2))
+        online.insert("m", time=1.0, work=4.0, metric_count=2.0)
+        online.refresh()
+        assert online.roofline("m") is None
+        with pytest.raises(FitError):
+            online.model()
+        online.insert("m", time=1.0, work=8.0, metric_count=2.0)
+        assert "m" in online.model().metrics
+
+    def test_reset_metric_forgets_state(self):
+        online = OnlineSpire(options=TrainOptions(min_samples_per_metric=1))
+        online.insert("m", time=1.0, work=4.0, metric_count=2.0)
+        online.refresh()
+        online.reset_metric("m")
+        assert online.state("m") is None
+        assert online.roofline("m") is None
+        assert online.metrics == []
+
+
+class TestStreamUpdateGuard:
+    def setup_method(self):
+        reset_guards(GuardConfig(check_rate=1))
+
+    def teardown_method(self):
+        reset_guards()
+
+    def _feed(self, online, n=12):
+        for i in range(1, n + 1):
+            online.insert("m", time=1.0, work=float(i), metric_count=1.0)
+            online.refresh()
+
+    def test_every_refit_is_oracle_checked_at_rate_one(self):
+        online = OnlineSpire(options=TrainOptions(min_samples_per_metric=1))
+        self._feed(online)
+        report = registry().health_report()
+        health = report.kernels["stream.update"]
+        assert health.checks == 12
+        assert not health.tripped
+        assert not report.divergences
+
+    def test_injected_divergence_degrades_to_batch(self):
+        from repro.errors import DegradedDataWarning
+
+        online = OnlineSpire(options=TrainOptions(min_samples_per_metric=1))
+        inject_divergence("stream.update")
+        with pytest.warns(DegradedDataWarning, match="stream.update"):
+            self._feed(online)
+        report = registry().health_report()
+        assert report.kernels["stream.update"].tripped
+        assert [d.kernel for d in report.divergences] == ["stream.update"]
+        assert not report.ok
+        # Degraded, not broken: the served fit still matches the oracle.
+        samples = [(1.0, float(i), 1.0) for i in range(1, 13)]
+        expected = _batch_fit(samples, TrainOptions(min_samples_per_metric=1))
+        assert online.roofline("m").to_dict(
+            include_training=True
+        ) == expected.to_dict(include_training=True)

@@ -1,0 +1,264 @@
+"""Streaming ingestion: chunked perf parsing, screening, faults, CLI.
+
+Covers the front door of :mod:`repro.stream.ingest` — records, sample
+sets and raw ``perf stat -x,`` chunks split anywhere — plus the new
+stream fault kinds in :mod:`repro.runtime.faults` and the ``spire
+stream`` / ``spire faultsim --drift`` entry points.
+"""
+
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, DegradedDataWarning
+from repro.guard.dispatch import reset_guards
+from repro.runtime.faults import (
+    DRIFT_INJECT,
+    STALE_WINDOW,
+    STREAM_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.stream import StreamIngestor, StreamOptions, windows_from_records
+
+PERF_TEXT = """\
+# synthetic perf stat -I output
+1.000234,1000000,,instructions,1999881203,100.00,,
+1.000234,1450034,,cycles,1999881203,100.00,,
+1.000234,8123,,br_misp_retired.all_branches,499970301,25.00,,
+2.000456,2000000,,instructions,1999881203,100.00,,
+2.000456,2250034,,cycles,1999881203,100.00,,
+2.000456,<not counted>,,br_misp_retired.all_branches,0,0.00,,
+2.000456,1995,,longest_lat_cache.miss,499970301,25.00,,
+3.000789,1500000,,instructions,1999881203,100.00,,
+3.000789,1750034,,cycles,1999881203,100.00,,
+3.000789,4321,,longest_lat_cache.miss,499970301,25.00,,
+"""
+
+
+def _record(metric="m", time=1.0, work=4.0, count=2.0, timestamp=None):
+    row = {"metric": metric, "time": time, "work": work, "metric_count": count}
+    if timestamp is not None:
+        row["timestamp"] = timestamp
+    return row
+
+
+@pytest.fixture(autouse=True)
+def _fresh_guards():
+    reset_guards()
+    yield
+    reset_guards()
+
+
+class TestPerfChunking:
+    def _drain(self, chunk_size):
+        ingestor = StreamIngestor(options=StreamOptions(window_samples=1000))
+        for start in range(0, len(PERF_TEXT), chunk_size):
+            ingestor.push_perf(PERF_TEXT[start:start + chunk_size])
+        ingestor.flush()
+        return ingestor
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, len(PERF_TEXT)])
+    def test_any_chunking_yields_the_same_samples(self, chunk_size):
+        """Mid-line, mid-interval splits change nothing."""
+        whole = self._drain(len(PERF_TEXT))
+        chunked = self._drain(chunk_size)
+        assert chunked.pending_samples == whole.pending_samples
+        assert chunked.pending_samples > 0
+
+    def test_open_interval_waits_for_newer_timestamp(self):
+        ingestor = StreamIngestor(options=StreamOptions(window_samples=1000))
+        lines = PERF_TEXT.splitlines(keepends=True)
+        ingestor.push_perf("".join(lines[:4]))  # all of interval 1, no newer
+        first = ingestor.pending_samples
+        ingestor.push_perf("".join(lines[4:]))
+        ingestor.flush()
+        assert ingestor.pending_samples > first
+
+    def test_salvage_feeds_the_quality_report(self):
+        ingestor = StreamIngestor(options=StreamOptions(window_samples=1000))
+        ingestor.push_perf(PERF_TEXT)
+        ingestor.push_perf("garbage-without-fields\n")
+        ingestor.flush()
+        report = ingestor.report()
+        reasons = [q.reason for q in report.quality.quarantined]
+        assert "counter not counted" in reasons
+        assert "truncated perf record" in reasons
+        assert report.quality.kept > 0
+
+
+class TestScreening:
+    def test_out_of_order_timestamps_quarantined(self):
+        ingestor = StreamIngestor(options=StreamOptions(window_samples=1000))
+        ingestor.push_records([_record(timestamp=2.0)])
+        with pytest.warns(DegradedDataWarning, match="out-of-order"):
+            ingestor.push_records([_record(timestamp=1.0)])
+        report = ingestor.report()
+        assert [q.reason for q in report.quality.quarantined] == [
+            "out-of-order timestamp"
+        ]
+        assert ingestor.pending_samples == 1
+
+    def test_value_sanitizer_still_applies(self):
+        ingestor = StreamIngestor(options=StreamOptions(window_samples=1000))
+        with pytest.warns(DegradedDataWarning):
+            ingestor.push_records(
+                [_record(), _record(time=-1.0), _record(work=float("nan"))]
+            )
+        report = ingestor.report()
+        assert report.quality.kept == 1
+        assert len(report.quality.quarantined) == 2
+
+    def test_window_auto_seals_at_size(self):
+        ingestor = StreamIngestor(options=StreamOptions(window_samples=3))
+        ingestor.push_records([_record(work=float(i + 1)) for i in range(7)])
+        assert ingestor.window_count == 2
+        assert ingestor.pending_samples == 1
+
+    def test_no_model_skips_drift_checks_during_warmup(self):
+        options = StreamOptions(window_samples=4, warmup_windows=2)
+        ingestor = StreamIngestor(options=options)
+        # Warmup windows: wildly inconsistent data, yet no drift events.
+        ingestor.push_records(
+            [_record(work=float(i + 1), count=1.0) for i in range(8)]
+        )
+        assert ingestor.window_count == 2
+        assert ingestor.events == []
+        # Past warmup the same metric is now checked against its own fit.
+        ingestor.push_records(
+            [_record(work=100.0 * (i + 1), count=1.0) for i in range(4)]
+        )
+        assert ingestor.window_count == 3
+        assert ingestor.events != []
+
+
+class TestWindowsFromRecords:
+    def test_slices_consecutively(self):
+        windows = windows_from_records([_record(work=float(i)) for i in range(5)], 2)
+        assert [len(w) for w in windows] == [2, 2, 1]
+        assert windows[0][0]["work"] == 0.0
+
+    def test_rejects_bad_window_size(self):
+        with pytest.raises(ValueError):
+            windows_from_records([], 0)
+
+
+class TestStreamFaultKinds:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(workload="w", kind=DRIFT_INJECT, factor=0.0)
+        with pytest.raises(ConfigError):
+            FaultSpec(workload="w", kind=STALE_WINDOW, window=-1)
+
+    def test_stream_faults_accessor_excludes_runner_kinds(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(workload="w", kind="crash"),
+                FaultSpec(workload="m", kind=DRIFT_INJECT),
+                FaultSpec(workload="*", kind=STALE_WINDOW),
+            )
+        )
+        assert [s.kind for s in plan.stream_faults()] == list(STREAM_KINDS)
+        assert "w" in plan.injected_workloads()
+        assert "m" not in plan.injected_workloads()
+
+    def test_random_plan_backward_compatible(self):
+        """Adding stream draws must not disturb pre-existing plans."""
+        names = ["a", "b", "c"]
+        before = FaultPlan.random(names, seed=9, crashes=2, hangs=1)
+        after = FaultPlan.random(
+            names, seed=9, crashes=2, hangs=1, drift_injects=2, stale_windows=1
+        )
+        assert after.specs[: len(before.specs)] == before.specs
+        extra = after.specs[len(before.specs):]
+        assert [s.kind for s in extra] == [
+            DRIFT_INJECT, DRIFT_INJECT, STALE_WINDOW,
+        ]
+        for spec in extra:
+            assert spec.factor > 0
+            assert spec.window >= 0
+
+
+@pytest.fixture
+def stream_csv(tmp_path):
+    path = tmp_path / "stream.csv"
+    assert (
+        main(
+            [
+                "simulate",
+                "tnn",
+                "--out",
+                str(path),
+                "--windows",
+                "60",
+                "--no-multiplex",
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestStreamCLI:
+    def test_stream_csv_without_model(self, stream_csv, capsys):
+        assert main(["stream", "--data", str(stream_csv), "--window", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "stream:" in out
+        assert "serving" in out
+
+    def test_stream_csv_with_model(self, stream_csv, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        assert (
+            main(["train", str(stream_csv), "--model", str(model_path)]) == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "stream",
+                    "--data",
+                    str(stream_csv),
+                    "--model",
+                    str(model_path),
+                    "--window",
+                    "128",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stream:" in out
+
+    def test_stream_perf_format(self, tmp_path, capsys):
+        log = tmp_path / "perf.log"
+        log.write_text(PERF_TEXT)
+        assert (
+            main(
+                [
+                    "stream",
+                    "--data",
+                    str(log),
+                    "--format",
+                    "perf",
+                    "--window",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stream:" in out
+
+    def test_stream_missing_file_fails_cleanly(self, capsys):
+        assert main(["stream", "--data", "/nonexistent/x.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_faultsim_drift_scenario_passes(self, capsys):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert main(["faultsim", "--drift"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "refit" in out
+        assert "bit-identical" in out
