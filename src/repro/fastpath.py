@@ -20,9 +20,10 @@ import os
 import threading
 from contextlib import contextmanager
 
-__all__ = ["force_scalar", "scalar_fallback_enabled"]
+__all__ = ["force_scalar", "scalar_fallback_enabled", "wavefront_enabled"]
 
 _FALLBACK_OFF = ("", "0", "false", "no", "off")
+_WAVEFRONT_OFF = ("0", "false", "no", "off")
 
 _local = threading.local()
 
@@ -57,4 +58,20 @@ def scalar_fallback_enabled() -> bool:
     return (
         os.environ.get("SPIRE_SCALAR_FALLBACK", "").strip().lower()
         not in _FALLBACK_OFF
+    )
+
+
+def wavefront_enabled() -> bool:
+    """True when the wavefront-compressed block recurrence may run.
+
+    On by default; ``SPIRE_WAVEFRONT=0`` routes every block through the
+    exact scalar recurrence while keeping the rest of the vectorized
+    path.  The scalar-fallback switches above subsume this one: when
+    they force the scalar oracle, the block executor never runs at all.
+    """
+    if scalar_fallback_enabled():
+        return False
+    return (
+        os.environ.get("SPIRE_WAVEFRONT", "").strip().lower()
+        not in _WAVEFRONT_OFF
     )

@@ -76,6 +76,7 @@ GUARDED_KERNELS = (
     "simulate_run",
     "fused_experiment",
     "trace.fused_run",
+    "trace.block_recurrence",
     "shm.transport",
     "stream.update",
 )
@@ -99,6 +100,11 @@ DEFAULT_RATE_OVERRIDES = {
     # rate 8 keeps the amortized overhead well inside the 5% budget.
     "fused_experiment": 8,
     "trace.fused_run": 64,
+    # One block_recurrence check re-runs a whole 16k-uop block through
+    # the scalar loop (on a deep-copied pipeline), so the oracle costs
+    # roughly one fast block; rate 512 keeps that amortized well under
+    # the overhead budget while still checking every full-scale run.
+    "trace.block_recurrence": 512,
     "shm.transport": 64,
     # One stream.update call refits one metric from its maintained
     # structures; its oracle is a full batch rebuild of that metric, so

@@ -30,9 +30,12 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from time import perf_counter
+
 from repro.errors import ConfigError
-from repro.fastpath import force_scalar
+from repro.fastpath import force_scalar, wavefront_enabled
 from repro.guard.dispatch import kernel_guard
+from repro.trace import phases, wavefront
 from repro.trace.branch import GsharePredictor
 from repro.trace.cache import CacheHierarchy
 from repro.trace.uops import KINDS, MicroOp
@@ -133,6 +136,63 @@ class PipelineCounters:
 
 _COUNTER_FIELDS = tuple(spec.name for spec in fields(PipelineCounters))
 _COUNTER_KEYS = tuple("trace." + name for name in _COUNTER_FIELDS)
+
+
+class _BlockColumns:
+    """Per-block column bundle the recurrence regions share."""
+
+    __slots__ = (
+        "kind",
+        "hits",
+        "dest",
+        "latency",
+        "src_offsets",
+        "src_values",
+        "correct",
+        "src1",
+        "_sources_list",
+    )
+
+    def __init__(
+        self, kind, hits, dest, latency, src_offsets, src_values, correct
+    ):
+        self.kind = kind
+        self.hits = hits
+        self.dest = dest
+        self.latency = latency
+        self.src_offsets = src_offsets
+        self.src_values = src_values
+        self.correct = correct
+        self.src1 = None
+        self._sources_list = None
+
+    def sources_list(self) -> list:
+        """The packed source column as a list, materialized on demand."""
+        if self._sources_list is None:
+            self._sources_list = self.src_values.tolist()
+        return self._sources_list
+
+
+class _BlockState:
+    """Mutable recurrence state handed between regions of one block."""
+
+    __slots__ = (
+        "fetch_ready",
+        "fetched",
+        "divider_free",
+        "last_retire",
+        "dispatch",
+        "registers",
+        "rob",
+        "retire",
+        "operand_wait",
+        "fu_contention",
+        "rob_stall",
+        "redirect_stall",
+        "branch_cursor",
+        "boundary_idx",
+        "flushed",
+    )
 
 
 class TracePipeline:
@@ -437,11 +497,8 @@ class TracePipeline:
         for start in range(0, n, block_size):
             stop = min(start + block_size, n)
             relative = [b - start for b in boundaries if start < b <= stop]
-            self._execute_block(
-                trace.slice(start, stop),
-                boundaries=relative,
-                snapshots=snapshots,
-            )
+            block = trace if (start == 0 and stop == n) else trace.slice(start, stop)
+            self._execute_block(block, boundaries=relative, snapshots=snapshots)
         return snapshots
 
     def _execute_array_fast(
@@ -449,7 +506,9 @@ class TracePipeline:
     ) -> PipelineCounters:
         n = len(trace)
         for start in range(0, n, block_size):
-            self._execute_block(trace.slice(start, min(start + block_size, n)))
+            stop = min(start + block_size, n)
+            block = trace if (start == 0 and stop == n) else trace.slice(start, stop)
+            self._execute_block(block)
         return self.counters
 
     def _execute_block(
@@ -458,12 +517,61 @@ class TracePipeline:
         boundaries: "list[int] | None" = None,
         snapshots: "list[PipelineCounters] | None" = None,
     ) -> None:
+        """One block through the recurrence, wavefront path guarded.
+
+        Dispatches through the ``"trace.block_recurrence"`` kernel
+        guard: sampled calls deep-copy the pipeline, run the block both
+        with and without the wavefront spans, and compare counters and
+        window snapshots exactly.  A divergence adopts the scalar-loop
+        state and trips the wavefront path for the process.
+        ``SPIRE_WAVEFRONT=0`` skips the spans without the guard.
+        """
+        if len(block) == 0:
+            return
+        if not wavefront_enabled():
+            self._execute_block_impl(block, boundaries, snapshots, False)
+            return
+        guard = kernel_guard("trace.block_recurrence")
+        if not guard.use_fast():
+            self._execute_block_impl(block, boundaries, snapshots, False)
+            return
+        if not guard.should_check():
+            self._execute_block_impl(block, boundaries, snapshots, True)
+            return
+        reference = copy.deepcopy(self)
+        fast_snapshots = None if snapshots is None else []
+        self._execute_block_impl(block, boundaries, fast_snapshots, True)
+        ref_snapshots = None if snapshots is None else []
+        reference._execute_block_impl(block, boundaries, ref_snapshots, False)
+        ok = self.counters.as_dict() == reference.counters.as_dict()
+        if ok and snapshots is not None:
+            ok = [s.as_dict() for s in fast_snapshots] == [
+                s.as_dict() for s in ref_snapshots
+            ]
+        if guard.resolve(ok):
+            if snapshots is not None:
+                snapshots.extend(fast_snapshots)
+            return
+        self.__dict__.clear()
+        self.__dict__.update(reference.__dict__)
+        if snapshots is not None:
+            snapshots.extend(ref_snapshots)
+
+    def _execute_block_impl(
+        self,
+        block: "TraceArray",
+        boundaries: "list[int] | None",
+        snapshots: "list[PipelineCounters] | None",
+        use_wavefront: bool,
+    ) -> None:
         cfg = self.config
         counters = self.counters
         n = len(block)
         if n == 0:
             return
         kind_column = block.kind
+        timing = phases.enabled()
+        tick = perf_counter() if timing else 0.0
 
         # Vectorized pre-pass.  These three components consume the trace
         # in program order independent of scheduling, so batching them is
@@ -474,10 +582,15 @@ class TracePipeline:
         branch_mask = kind_column == _BRANCH_CODE
         n_branches = int(branch_mask.sum())
         if n_branches:
-            correct = self.predictor.update_batch(
-                block.pc[branch_mask], block.taken[branch_mask]
-            ).tolist()
+            correct_column = np.asarray(
+                self.predictor.update_batch(
+                    block.pc[branch_mask], block.taken[branch_mask]
+                ),
+                dtype=np.bool_,
+            )
+            correct = correct_column.tolist()
         else:
+            correct_column = np.zeros(0, dtype=np.bool_)
             correct = []
         load_mask = kind_column == _LOAD_CODE
         n_loads = int(load_mask.sum())
@@ -487,9 +600,13 @@ class TracePipeline:
         # Precomputed latency schedule: scatter the per-load hierarchy
         # latencies and the divider occupancy into one column so the
         # recurrence reads a single list with no per-uop cursor chasing.
-        # The block's latency array can be a view into a fused trace, so
-        # scatter into a copy.
-        latency_column = block.latency.copy()
+        # With nothing to scatter the trace's own column serves as-is;
+        # otherwise scatter into a copy (the block's latency array can
+        # be a view into a fused trace).
+        if n_loads or n_divides:
+            latency_column = block.latency.copy()
+        else:
+            latency_column = block.latency
         if n_loads:
             levels, load_latencies = self.caches.access_batch(
                 block.address[load_mask]
@@ -499,6 +616,9 @@ class TracePipeline:
             levels = load_latencies = np.zeros(0, dtype=np.int64)
         if n_divides:
             latency_column[div_mask] = cfg.divider_occupancy
+        if timing:
+            phases.add("prepass", perf_counter() - tick)
+            tick = perf_counter()
 
         if boundaries is None:
             counters.icache_misses += icache_misses
@@ -568,58 +688,260 @@ class TracePipeline:
                 counters.divides += d_hi - d_lo
                 counters.divider_busy_cycles += (d_hi - d_lo) * busy
 
-        # Column extraction for the sequential recurrence.
-        kinds = kind_column.tolist()
-        hits = icache_hit.tolist()
-        dests = block.dest.tolist()
-        base_latency = latency_column.tolist()
-        offsets = block.src_offsets.tolist()
-        sources = block.src_values.tolist()
+        if timing:
+            phases.add("counters", perf_counter() - tick)
 
-        # Register scoreboard as a flat list (ready cycles are >= 1, so 0
-        # doubles as "never written" — the scalar dict's .get default).
+        # Shared recurrence state, normalized for region handoff: the
+        # wavefront solver and the scalar loop alternate over regions of
+        # the block, exchanging state through this bundle.  The register
+        # scoreboard is a flat array (ready cycles are >= 1, so 0 doubles
+        # as "never written" — the scalar dict's .get default).
         max_register = block.max_register()
         if self._register_ready:
             max_register = max(max_register, max(self._register_ready))
-        registers = [0] * (max_register + 1)
+        registers = np.zeros(max(max_register + 1, 1), dtype=np.int64)
         for register, cycle in self._register_ready.items():
             registers[register] = cycle
+
+        state = _BlockState()
+        state.fetch_ready = self._fetch_ready
+        state.fetched = self._fetched_this_cycle
+        state.divider_free = self._divider_free
+        state.last_retire = self._last_retire
+        state.dispatch = self._dispatch_floor
+        state.registers = registers
+        state.rob = list(self._rob)
+        state.retire = list(self._retire_times)
+        state.operand_wait = 0
+        state.fu_contention = 0
+        state.rob_stall = 0
+        state.redirect_stall = 0
+        state.branch_cursor = 0
+        state.boundary_idx = 0
+        state.flushed = 0
+
+        boundary_list = boundaries if boundaries else []
+
+        def settle(boundary: int) -> None:
+            # Window boundary: settle the counters exactly as a
+            # per-window execute_array call would have and snapshot.
+            counters.operand_wait_cycles += state.operand_wait
+            counters.fu_contention_cycles += state.fu_contention
+            counters.rob_stall_cycles += state.rob_stall
+            counters.redirect_stall_cycles += state.redirect_stall
+            state.operand_wait = 0
+            state.fu_contention = 0
+            state.rob_stall = 0
+            state.redirect_stall = 0
+            flush(state.flushed, boundary)
+            state.flushed = boundary
+            if state.last_retire > counters.cycles:
+                counters.cycles = state.last_retire
+            if snapshots is not None:
+                snapshots.append(counters.copy())
+
+        cols = _BlockColumns(
+            kind_column,
+            icache_hit,
+            block.dest,
+            latency_column,
+            block.src_offsets,
+            block.src_values,
+            correct,
+        )
+
+        if use_wavefront:
+            src1, breaker = block.single_source()
+            cols.src1 = src1
+            if n_divides:
+                breaker |= div_mask
+            if n_branches:
+                mispredicted = np.flatnonzero(branch_mask)[~correct_column]
+                if len(mispredicted):
+                    breaker[mispredicted] = True
+            regions = wavefront.plan_regions(
+                breaker, wavefront.configured_min_span()
+            )
+            wavefront.record_block(n)
+            fu = wavefront.FuBookings(self)
+            # Chronic-hostility memory spans regions AND blocks: once
+            # consecutive regions end hostile (the solver kept paying
+            # full chunk setup for sliver commits), later spans go
+            # straight to the scalar loop, re-probing occasionally in
+            # case the workload's contention profile shifts.
+            wf_hostile = getattr(self, "_wf_hostile_regions", 0)
+            wf_skipped = getattr(self, "_wf_skipped_regions", 0)
+            for lo, hi, is_span in regions:
+                if not is_span:
+                    fu.flush(state.dispatch)
+                    if timing:
+                        tick = perf_counter()
+                    self._run_scalar_region(
+                        cols, state, lo, hi, boundary_list, settle
+                    )
+                    if timing:
+                        phases.add(
+                            "recurrence_scalar", perf_counter() - tick
+                        )
+                    continue
+                if wf_hostile >= wavefront.HOSTILE_BLOCK_OFF:
+                    if (wf_skipped + 1) % wavefront.HOSTILE_REPROBE:
+                        wf_skipped += 1
+                        fu.flush(state.dispatch)
+                        if timing:
+                            tick = perf_counter()
+                        self._run_scalar_region(
+                            cols, state, lo, hi, boundary_list, settle
+                        )
+                        if timing:
+                            phases.add(
+                                "recurrence_scalar", perf_counter() - tick
+                            )
+                        continue
+                    wf_skipped += 1
+                # Span: alternate solver and scalar loop.  An
+                # uncertifiable row (FU contention, miss/stall overlap)
+                # stops the solver at an exact prefix; the scalar loop
+                # carries execution past it and the solver re-enters.
+                # The scalar stride backs off exponentially when the
+                # solver keeps stopping short, so chronically contended
+                # stretches degrade to the plain scalar loop instead of
+                # thrashing on solve-discard cycles.
+                pos = lo
+                stride = wavefront.RETRY_STRIDE_MIN
+                hint: dict = {}
+                while pos < hi:
+                    if timing:
+                        tick = perf_counter()
+                    committed = wavefront.run_span(
+                        cfg, state, cols, fu, pos, hi, boundary_list,
+                        settle, hint,
+                    )
+                    if timing:
+                        phases.add(
+                            "recurrence_wavefront", perf_counter() - tick
+                        )
+                    pos += committed
+                    if pos >= hi:
+                        break
+                    fu.flush(state.dispatch)
+                    step = min(hi, pos + stride)
+                    if timing:
+                        tick = perf_counter()
+                    self._run_scalar_region(
+                        cols, state, pos, step, boundary_list, settle
+                    )
+                    if timing:
+                        phases.add(
+                            "recurrence_scalar", perf_counter() - tick
+                        )
+                    pos = step
+                    if committed >= wavefront.RETRY_COMMIT_GOOD:
+                        stride = wavefront.RETRY_STRIDE_MIN
+                    else:
+                        stride = min(stride * 2, wavefront.RETRY_STRIDE_MAX)
+                if hint.get("hostile", 0) >= wavefront.HOSTILE_REGION_BAD:
+                    wf_hostile += 1
+                else:
+                    wf_hostile = 0
+                    wf_skipped = 0
+            self._wf_hostile_regions = wf_hostile
+            self._wf_skipped_regions = wf_skipped
+            fu.flush(state.dispatch)
+        else:
+            if timing:
+                tick = perf_counter()
+            self._run_scalar_region(cols, state, 0, n, boundary_list, settle)
+            if timing:
+                phases.add("recurrence_scalar", perf_counter() - tick)
+
+        if flush is not None and state.flushed < n:
+            flush(state.flushed, n)
+
+        self._fetch_ready = state.fetch_ready
+        self._fetched_this_cycle = state.fetched
+        self._divider_free = state.divider_free
+        self._last_retire = state.last_retire
+        self._dispatch_floor = state.dispatch
+        self._register_ready = {
+            register: cycle
+            for register, cycle in enumerate(state.registers.tolist())
+            if cycle
+        }
+        self._rob = deque(state.rob)
+        self._retire_times = deque(state.retire)
+        counters.operand_wait_cycles += state.operand_wait
+        counters.fu_contention_cycles += state.fu_contention
+        counters.rob_stall_cycles += state.rob_stall
+        counters.redirect_stall_cycles += state.redirect_stall
+        counters.cycles = max(counters.cycles, state.last_retire)
+
+    def _run_scalar_region(
+        self,
+        cols: "_BlockColumns",
+        state: "_BlockState",
+        lo: int,
+        hi: int,
+        boundaries: "list[int]",
+        settle,
+    ) -> None:
+        """The exact scalar recurrence over block rows ``[lo, hi)``.
+
+        Reads and writes the shared :class:`_BlockState`; over a whole
+        block this is the pre-wavefront monolithic loop, byte for byte.
+        """
+        span = hi - lo
+        if span <= 0:
+            return
+        cfg = self.config
+        kinds = cols.kind[lo:hi].tolist()
+        hits = cols.hits[lo:hi].tolist()
+        dests = cols.dest[lo:hi].tolist()
+        base_latency = cols.latency[lo:hi].tolist()
+        offsets = cols.src_offsets[lo : hi + 1].tolist()
+        sources = cols.sources_list()
+        correct = cols.correct
+        registers = state.registers.tolist()
 
         width = cfg.width
         rob_size = cfg.rob_size
         redirect_penalty = cfg.redirect_penalty
         icache_penalty = cfg.icache_miss_penalty
         occupancy = cfg.divider_occupancy
-        fetch_ready = self._fetch_ready
-        fetched = self._fetched_this_cycle
-        divider_free = self._divider_free
-        last_retire = self._last_retire
-        dispatch = self._dispatch_floor
+        fetch_ready = state.fetch_ready
+        fetched = state.fetched
+        divider_free = state.divider_free
+        last_retire = state.last_retire
+        dispatch = state.dispatch
         ring_size = self._fu_ring_size
         mask = ring_size - 1
         ring_by_code: list = [None] * len(KINDS)
-        operand_wait = fu_contention = rob_stall = redirect_stall = 0
-        branch_cursor = 0
-        boundary_iter = iter(boundaries) if boundaries else iter(())
-        next_boundary = next(boundary_iter, -1)
-        flushed = 0
+        operand_wait = state.operand_wait
+        fu_contention = state.fu_contention
+        rob_stall = state.rob_stall
+        redirect_stall = state.redirect_stall
+        branch_cursor = state.branch_cursor
+        boundary_idx = state.boundary_idx
+        next_boundary = (
+            boundaries[boundary_idx] if boundary_idx < len(boundaries) else -1
+        )
 
         # The ROB and retire windows are bounded FIFOs (rob_size / width
-        # entries), so inside the block they run as fixed-size ring lists
+        # entries), so inside the region they run as fixed-size ring lists
         # — no deque method dispatch or len() calls per uop — and are
-        # rebuilt as deques at the block boundary.
-        rob_entries = list(self._rob)
+        # rebuilt as plain lists at the region boundary.
+        rob_entries = state.rob
         rob_count = len(rob_entries)
         rob_buf = rob_entries + [0] * (rob_size - rob_count)
         rob_head = 0
         rob_tail = rob_count % rob_size
-        retire_entries = list(self._retire_times)
+        retire_entries = state.retire
         retire_count = len(retire_entries)
         retire_buf = retire_entries + [0] * (width - retire_count)
         retire_head = 0
         retire_tail = retire_count % width
 
-        for i in range(n):
+        for i in range(span):
             code = kinds[i]
             if not hits[i]:
                 fetch_ready += icache_penalty
@@ -737,53 +1059,46 @@ class TracePipeline:
             if rob_tail == rob_size:
                 rob_tail = 0
 
-            if i + 1 == next_boundary:
-                # Window boundary: settle the counters exactly as a
-                # per-window execute_array call would have and snapshot.
-                counters.operand_wait_cycles += operand_wait
-                counters.fu_contention_cycles += fu_contention
-                counters.rob_stall_cycles += rob_stall
-                counters.redirect_stall_cycles += redirect_stall
+            if lo + i + 1 == next_boundary:
+                state.operand_wait = operand_wait
+                state.fu_contention = fu_contention
+                state.rob_stall = rob_stall
+                state.redirect_stall = redirect_stall
+                state.last_retire = last_retire
+                settle(next_boundary)
                 operand_wait = fu_contention = rob_stall = redirect_stall = 0
-                flush(flushed, next_boundary)
-                flushed = next_boundary
-                if last_retire > counters.cycles:
-                    counters.cycles = last_retire
-                if snapshots is not None:
-                    snapshots.append(counters.copy())
-                next_boundary = next(boundary_iter, -1)
+                boundary_idx += 1
+                next_boundary = (
+                    boundaries[boundary_idx]
+                    if boundary_idx < len(boundaries)
+                    else -1
+                )
 
-        if flush is not None and flushed < n:
-            flush(flushed, n)
-
-        self._fetch_ready = fetch_ready
-        self._fetched_this_cycle = fetched
-        self._divider_free = divider_free
-        self._last_retire = last_retire
-        self._dispatch_floor = dispatch
-        self._register_ready = {
-            register: cycle for register, cycle in enumerate(registers) if cycle
-        }
+        state.fetch_ready = fetch_ready
+        state.fetched = fetched
+        state.divider_free = divider_free
+        state.last_retire = last_retire
+        state.dispatch = dispatch
+        state.registers = np.asarray(registers, dtype=np.int64)
+        state.operand_wait = operand_wait
+        state.fu_contention = fu_contention
+        state.rob_stall = rob_stall
+        state.redirect_stall = redirect_stall
+        state.branch_cursor = branch_cursor
+        state.boundary_idx = boundary_idx
         if rob_head + rob_count <= rob_size:
-            self._rob = deque(rob_buf[rob_head : rob_head + rob_count])
+            state.rob = rob_buf[rob_head : rob_head + rob_count]
         else:
-            self._rob = deque(
+            state.rob = (
                 rob_buf[rob_head:] + rob_buf[: rob_head + rob_count - rob_size]
             )
         if retire_head + retire_count <= width:
-            self._retire_times = deque(
-                retire_buf[retire_head : retire_head + retire_count]
-            )
+            state.retire = retire_buf[retire_head : retire_head + retire_count]
         else:
-            self._retire_times = deque(
+            state.retire = (
                 retire_buf[retire_head:]
                 + retire_buf[: retire_head + retire_count - width]
             )
-        counters.operand_wait_cycles += operand_wait
-        counters.fu_contention_cycles += fu_contention
-        counters.rob_stall_cycles += rob_stall
-        counters.redirect_stall_cycles += redirect_stall
-        counters.cycles = max(counters.cycles, last_retire)
 
     def snapshot(self) -> PipelineCounters:
         """A copy of the running totals."""

@@ -11,6 +11,8 @@ Two layers of guarantees:
   hypothesis inputs including mispredict redirects and ROB-full stalls.
 """
 
+import contextlib
+import os
 import random
 from dataclasses import fields
 
@@ -20,6 +22,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
+from repro.trace import wavefront
 from repro.trace import (
     KERNELS,
     CacheHierarchy,
@@ -411,3 +414,151 @@ def test_simulate_run_fallback_routes_per_window(monkeypatch):
     specs = _suite_specs()[:5]
     core.simulate_run(specs, random.Random(1))
     assert len(calls) == 5
+
+
+# ----------------------------------------------------------------------
+# Wavefront-compressed recurrence parity
+# ----------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def _env(**overrides):
+    """Set/unset env vars for one example (hypothesis-safe, unlike the
+    function-scoped monkeypatch fixture)."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    for key, value in overrides.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@st.composite
+def clustered_trace_ops(draw):
+    """Adversarial wavefront inputs.
+
+    Same-kind clusters contend for one functional-unit ring; cache-
+    missing loads inject latency spikes into otherwise-uniform spans;
+    dependency chains couple rows across chunk cuts; divs, multi-source
+    rows, and mispredicting branches land span breakers at random
+    offsets so regions straddle every boundary the planner can emit.
+    """
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=64, max_value=900))
+    spiky = draw(st.booleans())
+    rng = random.Random(seed)
+    ops = []
+    last_dest = None
+    while len(ops) < n:
+        kind = rng.choice(KINDS)
+        for _ in range(rng.randint(1, 48)):  # FU-kind clustering
+            if len(ops) >= n:
+                break
+            i = len(ops)
+            pc = (i % 256) * 4
+            sources = ()
+            if last_dest is not None and rng.random() < 0.5:
+                sources = (last_dest,)
+                if rng.random() < 0.1:  # multi-source rows break spans
+                    sources = (last_dest, rng.randint(1, 16))
+            if kind in ("load", "store"):
+                address = (
+                    rng.randrange(1 << 22)
+                    if spiky and rng.random() < 0.4
+                    else (i % 64) * 64
+                )
+                dest = rng.randint(1, 16) if kind == "load" else None
+                ops.append(
+                    MicroOp(
+                        kind, dest=dest, sources=sources,
+                        address=address, pc=pc,
+                    )
+                )
+                last_dest = dest if dest is not None else last_dest
+            elif kind == "branch":
+                ops.append(
+                    MicroOp(
+                        "branch", sources=sources,
+                        taken=rng.random() < 0.85, pc=pc,
+                    )
+                )
+            else:
+                dest = rng.randint(1, 16)
+                ops.append(MicroOp(kind, dest=dest, sources=sources, pc=pc))
+                last_dest = dest
+    return ops
+
+
+@settings(max_examples=25, deadline=None)
+@given(clustered_trace_ops())
+def test_wavefront_parity_on_clustered_traces(ops):
+    # MIN_SPAN=8 forces span planning far below the production
+    # threshold so tiny hypothesis traces reach the wavefront path;
+    # the scalar MicroOp loop is the ground truth.
+    scalar = TracePipeline()
+    wave = TracePipeline()
+    scalar.execute(ops)
+    with _env(SPIRE_WAVEFRONT_MIN_SPAN="8", SPIRE_WAVEFRONT=None):
+        wave.execute_array(TraceArray.from_microops(ops), block_size=256)
+    _assert_pipelines_equal(scalar, wave)
+
+
+@settings(max_examples=15, deadline=None)
+@given(clustered_trace_ops())
+def test_wavefront_parity_rob_boundary_straddles(ops):
+    # A tiny ROB makes chunk pop times depend on in-chunk retires, so
+    # every oversized solver chunk straddles the ROB boundary; a small
+    # block size cuts spans at block boundaries on top of that.
+    config = PipelineConfig(width=2, rob_size=8)
+    scalar = TracePipeline(config=config)
+    wave = TracePipeline(config=config)
+    scalar.execute(ops)
+    with _env(SPIRE_WAVEFRONT_MIN_SPAN="8", SPIRE_WAVEFRONT=None):
+        wave.execute_array(TraceArray.from_microops(ops), block_size=96)
+    _assert_pipelines_equal(scalar, wave)
+
+
+@pytest.mark.parametrize("kernel", ("codebloat", "pointer_chase", "stream"))
+def test_wavefront_windowed_snapshots_unchanged(kernel):
+    # Window boundaries settle counters mid-span; the sampled records
+    # must not move when the wavefront path is enabled across them.
+    kwargs = dict(
+        n_uops=4_000, window_uops=700, intensities=(0.3, 0.9), seed=11
+    )
+    with _env(SPIRE_WAVEFRONT="0", SPIRE_WAVEFRONT_MIN_SPAN="8"):
+        off = collect_trace_samples(kernel, **kwargs)
+    with _env(SPIRE_WAVEFRONT=None, SPIRE_WAVEFRONT_MIN_SPAN="8"):
+        on = collect_trace_samples(kernel, **kwargs)
+    assert on.final_counters == off.final_counters
+    assert on.instructions == off.instructions
+    assert on.cycles == off.cycles
+    assert on.samples.to_records() == off.samples.to_records()
+
+
+def test_scalar_fallback_routes_around_wavefront(monkeypatch):
+    # SPIRE_SCALAR_FALLBACK=1 must bypass the wavefront machinery
+    # entirely (zero blocks recorded), not merely match its output.
+    monkeypatch.setenv("SPIRE_SCALAR_FALLBACK", "1")
+    monkeypatch.setenv("SPIRE_WAVEFRONT_MIN_SPAN", "1")
+    wavefront.reset_stats()
+    fallback = collect_trace_samples(
+        "stream", n_uops=2_000, window_uops=500, seed=3
+    )
+    stats = wavefront.stats()
+    assert stats["blocks"] == 0
+    assert stats["uops"] == 0
+    monkeypatch.delenv("SPIRE_SCALAR_FALLBACK")
+    monkeypatch.delenv("SPIRE_WAVEFRONT_MIN_SPAN")
+    vectorized = collect_trace_samples(
+        "stream", n_uops=2_000, window_uops=500, seed=3
+    )
+    assert fallback.final_counters == vectorized.final_counters
+    assert fallback.samples.to_records() == vectorized.samples.to_records()
