@@ -5,18 +5,20 @@ bench to refresh ``BENCH_summary.json``, or with ``--check`` in CI to
 ratio-gate a fresh run against the committed reduced-scale baseline
 (see ``benchmarks/baselines/``).  Exits non-zero when the gate fails.
 
+``--check`` accepts a summary file, a single ``BENCH_*.json`` artifact,
+or the whole ``benchmarks/baselines/`` directory (artifacts merged).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/collect.py
     PYTHONPATH=src python benchmarks/collect.py \\
-        --check benchmarks/baselines/BENCH_sim_baseline.json \\
+        --check benchmarks/baselines \\
         --min-coverage 0.25
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -41,7 +43,8 @@ def main(argv=None) -> int:
         "--check",
         type=Path,
         metavar="BASELINE",
-        help="baseline summary to ratio-gate against (CI mode)",
+        help="baseline to ratio-gate against: summary file, single "
+        "BENCH_*.json artifact, or a directory of them (CI mode)",
     )
     parser.add_argument(
         "--min-ratio",
@@ -63,7 +66,7 @@ def main(argv=None) -> int:
 
     if args.check is None:
         return 0
-    baseline = json.loads(args.check.read_text())
+    baseline = benchtrack.load_baseline(args.check)
     failures = benchtrack.check_against_baseline(
         summary,
         baseline,

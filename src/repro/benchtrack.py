@@ -26,6 +26,7 @@ from pathlib import Path
 __all__ = [
     "check_against_baseline",
     "extract_metrics",
+    "load_baseline",
     "summarize",
     "write_summary",
 ]
@@ -90,6 +91,39 @@ def write_summary(out_dir: "Path | str") -> Path:
     target = out_dir / SUMMARY_NAME
     target.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     return target
+
+
+def load_baseline(path: "Path | str") -> dict:
+    """Load a gate baseline from a summary file, artifact, or directory.
+
+    Three shapes are accepted, so committed baselines can grow one
+    artifact per bench instead of one monolithic summary:
+
+    - a summary file (``{"artifacts": {...}}``) is returned as-is;
+    - a single ``BENCH_<name>.json`` artifact becomes a one-entry
+      summary keyed by ``<name>``;
+    - a directory is merged: every ``*.json`` inside contributes either
+      its ``artifacts`` mapping (summary-shaped files) or its own
+      extracted metrics (artifact-shaped files).
+    """
+    path = Path(path)
+    if path.is_dir():
+        merged: dict[str, dict[str, float]] = {}
+        for entry in sorted(path.glob("*.json")):
+            for name, metrics in load_baseline(entry)["artifacts"].items():
+                merged.setdefault(name, {}).update(metrics)
+        return {"artifacts": merged}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(payload, dict) and isinstance(
+        payload.get("artifacts"), dict
+    ):
+        return payload
+    name = path.stem
+    if name.startswith("BENCH_"):
+        name = name[len("BENCH_") :]
+    if name.endswith("_baseline"):
+        name = name[: -len("_baseline")]
+    return {"artifacts": {name: extract_metrics(payload)}}
 
 
 def check_against_baseline(

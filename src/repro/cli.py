@@ -22,7 +22,11 @@ Subcommands mirror the paper's workflow:
 - ``trace``     — run a kernel on the trace-driven second substrate;
 - ``stream``    — feed a live counter log through windowed ingestion,
   drift detection and refute-and-refine repair (see
-  ``docs/streaming.md``).
+  ``docs/streaming.md``);
+- ``serve``     — run the micro-batched asyncio HTTP inference server
+  (see ``docs/serving.md``);
+- ``bench-summary`` — merge benchmark artifacts and ratio-gate them
+  against a committed baseline.
 """
 
 from __future__ import annotations
@@ -634,12 +638,23 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
 
     Every cache entry and checkpoint is checksum-verified; failures are
     quarantined (moved into ``.quarantine/``, never deleted).  ``--prune``
-    empties the quarantine afterwards.  Exit code 0 means the directory is
-    fully healthy and the quarantine is empty.
+    empties the quarantine afterwards.  With ``--serve-url`` the doctor
+    instead probes a running ``spire serve`` process and renders its
+    long-lived state: registry occupancy and evictions, micro-batch fill,
+    backpressure and guard counters.  Exit code 0 means healthy.
     """
     import os
 
-    from repro.guard.doctor import doctor_cache_dir
+    from repro.guard.doctor import (
+        doctor_cache_dir,
+        probe_server,
+        render_server_health,
+    )
+
+    if args.serve_url:
+        payload = probe_server(args.serve_url)
+        print(render_server_health(payload))
+        return 0 if payload.get("ok") else 1
 
     directory = (
         args.cache_dir
@@ -649,6 +664,68 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     report = doctor_cache_dir(directory, prune=args.prune)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the micro-batched asyncio inference server.
+
+    Models named with ``--model name=path.json`` are packed into the
+    artifact store before the server starts; anything already packed
+    under ``--store-dir`` is served as well.  The server answers
+    ``POST /v1/estimate`` and ``/v1/analyze`` (JSON or raw ``perf stat``
+    CSV bodies), ``GET /v1/models`` and ``GET /health``.
+    """
+    import asyncio
+
+    from repro.serve import ServeConfig, SpireServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store_dir,
+        capacity=args.capacity,
+        micro_batch=not args.no_batch,
+        max_batch=args.max_batch,
+        window=args.window_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        load_shed=args.load_shed,
+    )
+    server = SpireServer(config)
+    for spec in args.model:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SpireError(
+                f"--model expects name=path.json, got {spec!r}"
+            )
+        server.registry.install(name, load_model(path))
+        print(f"installed model {name!r} from {path}")
+
+    async def _run() -> None:
+        await server.start()
+        mode = "off" if args.no_batch else (
+            f"on (max {config.max_batch}, window "
+            f"{config.window * 1000:g} ms)"
+        )
+        print(
+            f"serving {len(server.registry.names())} model(s) on "
+            f"http://{config.host}:{server.port} — micro-batch {mode}",
+            flush=True,
+        )
+        try:
+            if args.max_runtime > 0:
+                try:
+                    await asyncio.wait_for(
+                        server.serve_forever(), args.max_runtime
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await server.serve_forever()
+        finally:
+            await server.stop()
+
+    asyncio.run(_run())
+    return 0
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
@@ -757,12 +834,11 @@ def _cmd_bench_summary(args: argparse.Namespace) -> int:
     Aggregates the tracked metrics (speedups, guard overhead, wavefront
     span coverage) from every ``BENCH_*.json`` under ``--out-dir``.
     With ``--check`` the fresh summary is ratio-gated against a
-    committed baseline: exit code 1 means a speedup collapsed below
-    ``--min-ratio`` of its recorded value or span coverage fell through
-    ``--min-coverage``.
+    committed baseline (a summary file, one ``BENCH_*.json`` artifact,
+    or a directory of artifacts): exit code 1 means a speedup collapsed
+    below ``--min-ratio`` of its recorded value or span coverage fell
+    through ``--min-coverage``.
     """
-    import json as _json
-
     from repro import benchtrack
 
     out_dir = Path(args.out_dir)
@@ -781,7 +857,7 @@ def _cmd_bench_summary(args: argparse.Namespace) -> int:
 
     if not args.check:
         return 0
-    baseline = _json.loads(Path(args.check).read_text(encoding="utf-8"))
+    baseline = benchtrack.load_baseline(args.check)
     failures = benchtrack.check_against_baseline(
         summary,
         baseline,
@@ -1003,7 +1079,75 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="delete quarantined files after the scan",
     )
+    p.add_argument(
+        "--serve-url",
+        default="",
+        metavar="URL",
+        help="probe a running `spire serve` process instead of a cache dir",
+    )
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the micro-batched HTTP inference server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8583)
+    p.add_argument(
+        "--store-dir",
+        default="models",
+        help="packed-model artifact store (default: ./models)",
+    )
+    p.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="pack a trained model JSON into the store before starting "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--capacity",
+        type=int,
+        default=4,
+        help="models kept mapped in memory at once (LRU, default 4)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="most requests fused into one evaluation (default 64)",
+    )
+    p.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch coalescing deadline in ms (default 2)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="per-model pending-request bound before backpressure",
+    )
+    p.add_argument(
+        "--load-shed",
+        choices=["reject", "oldest"],
+        default="reject",
+        help="full-queue policy: reject newest (429) or shed oldest (503)",
+    )
+    p.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable micro-batching; evaluate each request alone",
+    )
+    p.add_argument(
+        "--max-runtime",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = run forever; smoke tests)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "derived", help="standard counter ratios (IPC, MPKI, ...) for a workload"

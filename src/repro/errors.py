@@ -35,6 +35,22 @@ class WorkerCrashError(SpireError):
     """Raised when a worker process died (or a crash was injected) mid-task."""
 
 
+class ServeOverloadError(SpireError):
+    """Raised when the serving layer sheds a request under backpressure.
+
+    Carries ``retry_after`` (seconds) so the HTTP layer can answer with
+    ``429`` + ``Retry-After``; ``shed`` marks a request that was already
+    queued and then evicted by the ``oldest`` load-shed policy (``503``).
+    """
+
+    def __init__(
+        self, message: str, retry_after: float = 0.05, shed: bool = False
+    ):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.shed = shed
+
+
 class GuardDivergenceError(SpireError):
     """Raised when a guarded kernel diverges from its scalar oracle and the
     guard policy is ``raise`` (the default policy degrades instead)."""

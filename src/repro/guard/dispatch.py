@@ -79,6 +79,7 @@ GUARDED_KERNELS = (
     "trace.block_recurrence",
     "shm.transport",
     "stream.update",
+    "serve.batch_estimate",
 )
 
 DEFAULT_CHECK_RATE = 256
@@ -111,6 +112,12 @@ DEFAULT_RATE_OVERRIDES = {
     # rate 64 bounds the amortized oracle cost per refit while still
     # checking every long-lived stream many times over.
     "stream.update": 64,
+    # One serve.batch_estimate call evaluates a whole fused micro-batch;
+    # its oracle replays every request in the batch through the scalar
+    # per-request path, so a check costs roughly max_batch fast calls.
+    # Rate 64 keeps the amortized overhead per served request small
+    # while still checking a busy server many times a minute.
+    "serve.batch_estimate": 64,
 }
 
 RATE_ENV = "SPIRE_GUARD_RATE"

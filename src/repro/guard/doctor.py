@@ -16,7 +16,12 @@ from pathlib import Path
 from repro.errors import DataError
 from repro.guard.artifact import quarantine_dir, quarantine_file, verify_payload
 
-__all__ = ["DoctorReport", "doctor_cache_dir"]
+__all__ = [
+    "DoctorReport",
+    "doctor_cache_dir",
+    "probe_server",
+    "render_server_health",
+]
 
 
 @dataclass
@@ -141,3 +146,66 @@ def doctor_cache_dir(
                 pass
 
     return report
+
+
+def probe_server(url: str, timeout: float = 5.0) -> dict:
+    """Fetch ``/health`` from a running ``spire serve`` process.
+
+    ``url`` is either the server root (``http://host:port``) or the
+    health endpoint itself.  Returns the decoded JSON payload; raises
+    :class:`~repro.errors.DataError` when the server is unreachable or
+    does not answer with a SPIRE health document.
+    """
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    target = url.rstrip("/")
+    if not target.endswith("/health"):
+        target += "/health"
+    if not target.startswith(("http://", "https://")):
+        target = "http://" + target
+    try:
+        with urlopen(target, timeout=timeout) as response:  # noqa: S310
+            payload = json.loads(response.read().decode("utf-8"))
+    except (URLError, OSError, TimeoutError, ValueError) as exc:
+        raise DataError(f"cannot probe server at {target}: {exc}") from None
+    if not isinstance(payload, dict) or "health" not in payload:
+        raise DataError(f"{target}: response is not a SPIRE health document")
+    return payload
+
+
+def render_server_health(payload: dict) -> str:
+    """Human-readable view of a :func:`probe_server` payload.
+
+    Starts from the server's own render and appends the long-lived
+    process detail the one-line summary elides: micro-batch fill
+    histogram, hostility-breaker counters, and per-kernel guard state.
+    """
+    lines = [str(payload.get("render", "")).rstrip()]
+    health = payload.get("health", {})
+    serve = health.get("serve_state") or {}
+
+    fill = serve.get("batch_fill", {})
+    histogram = fill.get("histogram") or {}
+    if any(histogram.values()):
+        buckets = "  ".join(
+            f"{label}:{count}" for label, count in histogram.items() if count
+        )
+        lines.append(f"  batch fill histogram: {buckets}")
+
+    hostility = serve.get("hostility") or {}
+    if hostility.get("spans_attempted"):
+        lines.append(
+            "  hostility breaker: "
+            f"{hostility.get('spans_attempted', 0)} span(s) attempted, "
+            f"{hostility.get('spans_rejected', 0)} rejected, "
+            f"coverage {hostility.get('span_coverage', 0.0):.2f}"
+        )
+
+    for name, kernel in sorted(health.get("kernels", {}).items()):
+        state = "tripped" if kernel.get("tripped") else "fast"
+        lines.append(
+            f"  guard {name}: {kernel.get('calls', 0)} call(s), "
+            f"{kernel.get('checks', 0)} oracle check(s), {state}"
+        )
+    return "\n".join(line for line in lines if line)

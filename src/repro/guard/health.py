@@ -89,6 +89,11 @@ class HealthReport:
     guardrail_hits: list[GuardrailHit] = field(default_factory=list)
     artifacts_quarantined: list[str] = field(default_factory=list)
     drift_events: list[DriftEvent] = field(default_factory=list)
+    #: Long-lived-process state attached by a running server before the
+    #: report is serialized: model-registry occupancy and evictions,
+    #: micro-batch fill histogram, backpressure counters (see
+    #: :mod:`repro.serve.stats`).  ``None`` for batch runs.
+    serve_state: "dict | None" = None
 
     @property
     def checks_run(self) -> int:
@@ -118,7 +123,7 @@ class HealthReport:
         )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "kernels": {n: k.to_dict() for n, k in sorted(self.kernels.items())},
             "divergences": [
                 {
@@ -146,6 +151,9 @@ class HealthReport:
                 for e in self.drift_events
             ],
         }
+        if self.serve_state is not None:
+            payload["serve_state"] = self.serve_state
+        return payload
 
     def render(self) -> str:
         """A terse human-readable summary for CLI output."""
@@ -182,5 +190,27 @@ class HealthReport:
             lines.append(
                 f"  drift [{event.metric}] window {event.window}: "
                 f"{event.action}, {stats}{detail}"
+            )
+        if self.serve_state is not None:
+            registry = self.serve_state.get("registry", {})
+            fill = self.serve_state.get("batch_fill", {})
+            back = self.serve_state.get("backpressure", {})
+            lines.append(
+                "  serve: "
+                f"{self.serve_state.get('requests', 0)} request(s), "
+                f"{self.serve_state.get('batches', 0)} micro-batch(es), "
+                f"mean fill {fill.get('mean', 0.0):.2f}"
+            )
+            lines.append(
+                f"  serve registry: {registry.get('occupancy', 0)}/"
+                f"{registry.get('capacity', 0)} resident, "
+                f"{registry.get('loads', 0)} load(s), "
+                f"{registry.get('evictions', 0)} eviction(s), "
+                f"{registry.get('verify_failures', 0)} verify failure(s)"
+            )
+            lines.append(
+                f"  serve backpressure: {back.get('rejected', 0)} rejected, "
+                f"{back.get('shed', 0)} shed, queue high-water "
+                f"{back.get('queue_high_water', 0)}"
             )
         return "\n".join(lines)

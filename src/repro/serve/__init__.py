@@ -1,0 +1,34 @@
+"""SPIRE model serving: micro-batched asyncio HTTP inference.
+
+The serving layer (PR 9) turns trained models into a long-running
+endpoint:
+
+- :mod:`repro.serve.batching` — the adaptive micro-batcher and the
+  ``serve.batch_estimate`` guarded kernel: concurrent requests fuse into
+  one columnar evaluation, scattered back bit-identically to the
+  per-request path;
+- :mod:`repro.serve.registry` — packed ``.spm`` artifacts with integrity
+  headers, mmap zero-copy reloads, per-model LRU residency;
+- :mod:`repro.serve.server` — the stdlib-asyncio HTTP/JSON front door
+  (``spire serve``), with bounded queues, 429 + ``Retry-After``
+  backpressure and a probe-able ``/health``;
+- :mod:`repro.serve.stats` — long-lived-process counters surfaced
+  through :class:`~repro.guard.health.HealthReport.serve_state`.
+"""
+
+from repro.serve.batching import MicroBatcher, batch_estimate, fused_estimate
+from repro.serve.registry import ModelRegistry, map_model, pack_model
+from repro.serve.server import ServeConfig, SpireServer
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "MicroBatcher",
+    "ModelRegistry",
+    "ServeConfig",
+    "ServeStats",
+    "SpireServer",
+    "batch_estimate",
+    "fused_estimate",
+    "map_model",
+    "pack_model",
+]

@@ -109,7 +109,10 @@ class StreamIngestor:
             maxlen=self.options.policy.refit_history
         )
         self._quarantined: set[str] = set()
-        self._tail = ""                       # partial CSV line between chunks
+        # Partial CSV line between chunks, kept as pieces: joining on
+        # every newline-free chunk would re-copy the whole buffered
+        # prefix each time (quadratic over fine-grained chunking).
+        self._tail_parts: list[str] = []
         self._perf_interval: list[PerfRecord] = []  # open perf interval
 
     # -- Introspection -------------------------------------------------
@@ -186,11 +189,19 @@ class StreamIngestor:
         because its counter group may still be in flight.  Malformed
         lines are salvaged into the quality report, never raised.
         """
-        self._tail += chunk
-        lines = self._tail.split("\n")
-        self._tail = lines.pop()
-        if not lines:
+        newline = chunk.find("\n")
+        if newline < 0:
+            # Nothing completes here; buffer the piece and touch the
+            # already-buffered prefix zero times.
+            if chunk:
+                self._tail_parts.append(chunk)
             return
+        self._tail_parts.append(chunk[:newline])
+        first = "".join(self._tail_parts)
+        lines = chunk[newline + 1 :].split("\n")
+        tail = lines.pop()
+        self._tail_parts = [tail] if tail else []
+        lines.insert(0, first)
         parsed = parse_perf_lines(
             lines,
             self._parser.separator,
@@ -206,9 +217,8 @@ class StreamIngestor:
 
     def flush(self) -> None:
         """Convert any buffered partial CSV state into pending samples."""
-        if self._tail:
-            leftover, self._tail = self._tail, ""
-            self.push_perf(leftover + "\n")
+        if self._tail_parts:
+            self.push_perf("\n")
         if self._perf_interval:
             self._close_perf_interval()
 

@@ -1,0 +1,648 @@
+"""The serving layer: fused batching parity, registry, backpressure, HTTP.
+
+The load-bearing property is the micro-batcher's bit-identity contract:
+whatever requests arrive, however they are partitioned into batches,
+every response must equal — to the bit — what that request would get
+from :meth:`SpireModel.estimate` evaluated alone.  Hypothesis drives
+arbitrary request mixes (covered/uncovered metrics, zero counts that
+produce infinite intensity, empty requests) through arbitrary batch
+splits and asserts exact equality.  The rest covers the registry's
+packed-artifact path (zero-copy mmap, LRU eviction, corrupt-on-reload
+quarantine), the backpressure policies, guard degradation, and the HTTP
+front door end to end over real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpireModel, TrainOptions
+from repro.core.columns import SampleArray
+from repro.errors import (
+    DataError,
+    DegradedDataWarning,
+    EstimationError,
+    ServeOverloadError,
+)
+from repro.guard.dispatch import (
+    GUARDED_KERNELS,
+    GuardConfig,
+    health_report,
+    inject_divergence,
+    reset_guards,
+)
+from repro.serve import (
+    MicroBatcher,
+    ModelRegistry,
+    ServeConfig,
+    SpireServer,
+    batch_estimate,
+    map_model,
+    pack_model,
+)
+
+GUARD_ENV_PREFIXES = ("SPIRE_GUARD", "SPIRE_GUARDRAIL", "SPIRE_SCALAR_FALLBACK")
+
+METRICS = [f"m.{i}" for i in range(5)]
+
+
+@pytest.fixture(autouse=True)
+def fresh_guards(monkeypatch):
+    for name in list(os.environ):
+        if name.startswith(GUARD_ENV_PREFIXES):
+            monkeypatch.delenv(name, raising=False)
+    reset_guards()
+    yield
+    reset_guards()
+
+
+def _train_model(metrics=METRICS, seed=7) -> SpireModel:
+    rng = random.Random(seed)
+    records = []
+    for index, metric in enumerate(metrics):
+        peak = 2.0 + index
+        for _ in range(40):
+            x = rng.uniform(0.25, 64.0)
+            y = min(x, peak) * rng.uniform(0.3, 1.0)
+            t = rng.uniform(1.0, 8.0)
+            records.append(
+                {
+                    "metric": metric,
+                    "time": t,
+                    "work": y * t,
+                    "metric_count": (y * t) / x,
+                }
+            )
+    array = SampleArray.from_records(records, validate=True)
+    return SpireModel.train(
+        array.to_sample_set(), TrainOptions(min_samples_per_metric=1)
+    )
+
+
+@pytest.fixture(scope="module")
+def model() -> SpireModel:
+    return _train_model()
+
+
+def _array_from_rows(rows) -> SampleArray:
+    names = [name for name, _, _, _ in rows]
+    times = [t for _, t, _, _ in rows]
+    works = [w for _, _, w, _ in rows]
+    counts = [c for _, _, _, c in rows]
+    return SampleArray.from_lists(names, times, works, counts)
+
+
+def _reference(model: SpireModel, array: SampleArray):
+    try:
+        return model.estimate(array.to_sample_set())
+    except EstimationError as exc:
+        return exc
+
+
+def _assert_identical(got, want) -> None:
+    """Bit-for-bit: values, key order, and error text all match."""
+    if isinstance(want, EstimationError):
+        assert isinstance(got, EstimationError)
+        assert str(got) == str(want)
+        return
+    assert isinstance(got, type(want))
+    assert got.per_metric == want.per_metric
+    assert list(got.per_metric) == list(want.per_metric)
+    assert got.sample_counts == want.sample_counts
+    assert got.skipped_metrics == want.skipped_metrics
+    assert got.throughput == want.throughput
+    assert got.limiting_metric == want.limiting_metric
+
+
+# ---------------------------------------------------------------------------
+# batch_estimate: fused kernel parity
+# ---------------------------------------------------------------------------
+
+_finite = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_count = st.one_of(st.just(0.0), _finite)  # 0 metric_count => intensity inf
+_row = st.tuples(
+    st.sampled_from(METRICS + ["uncovered.a", "uncovered.b"]),
+    _finite,
+    _finite,
+    _count,
+)
+_request = st.lists(_row, min_size=0, max_size=7)
+_requests = st.lists(_request, min_size=1, max_size=8)
+
+
+class TestBatchEstimateParity:
+    @given(requests=_requests)
+    @settings(max_examples=60, deadline=None)
+    def test_fused_matches_per_request(self, requests):
+        model = _train_model()
+        reset_guards(GuardConfig(check_rate=0))  # pure fast path
+        arrays = [_array_from_rows(rows) for rows in requests]
+        results = batch_estimate(model, arrays)
+        assert len(results) == len(arrays)
+        for got, array in zip(results, arrays):
+            _assert_identical(got, _reference(model, array))
+
+    @given(requests=_requests)
+    @settings(max_examples=30, deadline=None)
+    def test_guarded_every_call_stays_clean(self, requests):
+        model = _train_model()
+        reset_guards(GuardConfig(check_rate=1))  # oracle checks every batch
+        arrays = [_array_from_rows(rows) for rows in requests]
+        results = batch_estimate(model, arrays)
+        for got, array in zip(results, arrays):
+            _assert_identical(got, _reference(model, array))
+        health = health_report()
+        assert not health.divergences
+        assert health.kernels["serve.batch_estimate"].checks >= 1
+
+    def test_kernel_is_registered(self):
+        assert "serve.batch_estimate" in GUARDED_KERNELS
+
+    def test_empty_request_fails_alone(self, model):
+        reset_guards(GuardConfig(check_rate=0))
+        good = _array_from_rows([("m.0", 1.0, 2.0, 1.0)])
+        empty = SampleArray.from_lists([], [], [], [])
+        results = batch_estimate(model, [empty, good])
+        assert isinstance(results[0], EstimationError)
+        assert "empty" in str(results[0])
+        _assert_identical(results[1], _reference(model, good))
+
+    def test_uncovered_request_fails_alone(self, model):
+        reset_guards(GuardConfig(check_rate=0))
+        good = _array_from_rows([("m.1", 1.0, 2.0, 1.0)])
+        alien = _array_from_rows([("uncovered.a", 1.0, 2.0, 1.0)])
+        results = batch_estimate(model, [alien, good])
+        assert isinstance(results[0], EstimationError)
+        assert "covered" in str(results[0])
+        _assert_identical(results[1], _reference(model, good))
+
+    def test_injected_divergence_degrades_to_per_request(self, model):
+        reset_guards(GuardConfig(check_rate=1))
+        inject_divergence("serve.batch_estimate")
+        arrays = [
+            _array_from_rows([("m.0", 1.0, 2.0, 1.0), ("m.1", 2.0, 3.0, 1.5)]),
+            _array_from_rows([("m.2", 1.0, 4.0, 2.0)]),
+        ]
+        with pytest.warns(DegradedDataWarning, match="injected divergence"):
+            first = batch_estimate(model, arrays)
+        health = health_report()
+        assert health.divergences and health.divergences[0].injected
+        assert "serve.batch_estimate" in health.tripped_kernels
+        # Tripped: the degraded path serves per-request results, still
+        # identical to the reference.
+        second = batch_estimate(model, arrays)
+        for results in (first, second):
+            for got, array in zip(results, arrays):
+                _assert_identical(got, _reference(model, array))
+
+
+# ---------------------------------------------------------------------------
+# registry: packed artifacts, mmap, LRU
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_pack_map_roundtrip_is_zero_copy(self, model, tmp_path):
+        path = pack_model(model, tmp_path / "m.spm")
+        mapped, mapping = map_model(path)
+        try:
+            assert sorted(mapped.metrics) == sorted(model.metrics)
+            probe = np.asarray([0.3, 1.7, 42.0, np.inf])
+            for metric in model.metrics:
+                want = model.roofline(metric).estimate_batch(
+                    probe.copy(), validated=True
+                )
+                got = mapped.roofline(metric).estimate_batch(
+                    probe.copy(), validated=True
+                )
+                assert got.tolist() == want.tolist()
+                bx, by, _ = mapped.roofline(metric).function._evaluation_arrays()
+                assert not bx.flags.owndata  # views into the mapping
+                assert not by.flags.owndata
+        finally:
+            del mapped
+            try:
+                mapping.close()
+            except BufferError:
+                pass
+
+    def test_lru_eviction(self, model, tmp_path):
+        registry = ModelRegistry(tmp_path, capacity=2)
+        for name in ("a", "b", "c"):
+            registry.install(name, model)
+            registry.get(name)
+        snapshot = registry.snapshot()
+        assert snapshot["occupancy"] == 2
+        assert snapshot["evictions"] == 1
+        assert snapshot["resident"] == ["b", "c"]  # a was oldest
+        registry.get("a")  # remaps from disk, evicting b
+        assert registry.snapshot()["resident"] == ["c", "a"]
+        registry.close()
+        assert registry.snapshot()["occupancy"] == 0
+
+    def test_corrupt_artifact_on_reload_is_quarantined(self, model, tmp_path):
+        registry = ModelRegistry(tmp_path, capacity=2)
+        path = registry.install("victim", model)
+        registry.get("victim")
+        registry.evict("victim")
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # flip a payload byte: checksum must catch it
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataError, match="checksum mismatch"):
+            registry.get("victim")
+        assert registry.snapshot()["verify_failures"] == 1
+        assert not path.exists()  # moved, never served
+        quarantined = list((tmp_path / ".quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert health_report().artifacts_quarantined
+
+    def test_model_names_are_sandboxed(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for name in ("", "a/b", "a\\b", ".hidden"):
+            with pytest.raises(DataError, match="invalid model name"):
+                registry.path_for(name)
+
+
+# ---------------------------------------------------------------------------
+# micro-batcher: coalescing, interleavings, backpressure
+# ---------------------------------------------------------------------------
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestMicroBatcher:
+    def test_interleaved_submissions_match_reference(self, model):
+        reset_guards(GuardConfig(check_rate=0))
+        second = _train_model(metrics=["n.0", "n.1"], seed=11)
+        models = {"first": model, "second": second}
+        rng = random.Random(3)
+        plan = []
+        for index in range(40):
+            name = rng.choice(["first", "second"])
+            pool = METRICS if name == "first" else ["n.0", "n.1"]
+            rows = [
+                (
+                    rng.choice(pool + ["uncovered.z"]),
+                    rng.uniform(0.5, 4.0),
+                    rng.uniform(0.5, 8.0),
+                    rng.choice([0.0, rng.uniform(0.1, 8.0)]),
+                )
+                for _ in range(rng.randint(1, 6))
+            ]
+            plan.append((name, _array_from_rows(rows)))
+
+        async def drive():
+            batcher = MicroBatcher(
+                lambda name: models[name], max_batch=8, window=0.01
+            )
+            try:
+
+                async def one(name, array, delay):
+                    await asyncio.sleep(delay)
+                    try:
+                        return await batcher.submit(name, array)
+                    except EstimationError as exc:
+                        return exc
+
+                return await asyncio.gather(
+                    *(
+                        one(name, array, (i % 5) * 0.003)
+                        for i, (name, array) in enumerate(plan)
+                    )
+                )
+            finally:
+                await batcher.close()
+
+        results = _run(drive())
+        for (name, array), got in zip(plan, results):
+            _assert_identical(got, _reference(models[name], array))
+
+    def test_full_queue_rejects_with_retry_after(self, model):
+        async def drive():
+            blocked = asyncio.Event()
+
+            def resolve(name):
+                return model
+
+            batcher = MicroBatcher(
+                resolve, max_batch=64, window=30.0, queue_limit=2
+            )
+            array = _array_from_rows([("m.0", 1.0, 2.0, 1.0)])
+            first = asyncio.ensure_future(batcher.submit("m", array))
+            second = asyncio.ensure_future(batcher.submit("m", array))
+            await asyncio.sleep(0.05)  # both sit waiting out the window
+            with pytest.raises(ServeOverloadError) as excinfo:
+                await batcher.submit("m", array)
+            assert excinfo.value.retry_after > 0
+            assert not excinfo.value.shed
+            for future in (first, second):
+                future.cancel()
+            await batcher.close()
+            del blocked
+
+        _run(drive())
+
+    def test_oldest_policy_sheds_first_request(self, model):
+        reset_guards(GuardConfig(check_rate=0))
+
+        async def drive():
+            batcher = MicroBatcher(
+                lambda name: model,
+                max_batch=64,
+                window=0.2,
+                queue_limit=1,
+                load_shed="oldest",
+            )
+            array = _array_from_rows([("m.0", 1.0, 2.0, 1.0)])
+            first = asyncio.ensure_future(batcher.submit("m", array))
+            await asyncio.sleep(0.01)
+            second = asyncio.ensure_future(batcher.submit("m", array))
+            with pytest.raises(ServeOverloadError) as excinfo:
+                await first
+            assert excinfo.value.shed
+            result = await second
+            _assert_identical(result, _reference(model, array))
+            await batcher.close()
+
+        _run(drive())
+
+    def test_closed_batcher_refuses(self, model):
+        async def drive():
+            batcher = MicroBatcher(lambda name: model)
+            await batcher.close()
+            with pytest.raises(ServeOverloadError):
+                await batcher.submit(
+                    "m", _array_from_rows([("m.0", 1.0, 2.0, 1.0)])
+                )
+
+        _run(drive())
+
+
+# ---------------------------------------------------------------------------
+# HTTP front door
+# ---------------------------------------------------------------------------
+
+
+async def _http(host, port, method, target, body=b"", content_type="application/json"):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+        header = await reader.readuntil(b"\r\n\r\n")
+        status = int(header.split(b" ", 2)[1])
+        length = 0
+        headers = {}
+        for line in header.split(b"\r\n")[1:]:
+            if b":" in line:
+                key, value = line.split(b":", 1)
+                headers[key.strip().lower().decode()] = value.strip().decode()
+        length = int(headers.get("content-length", "0"))
+        payload = json.loads((await reader.readexactly(length)).decode())
+        return status, payload, headers
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _serve_config(tmp_path, **kwargs) -> ServeConfig:
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("store_dir", str(tmp_path / "store"))
+    return ServeConfig(**kwargs)
+
+
+class TestServer:
+    def test_estimate_analyze_and_errors(self, model, tmp_path):
+        reset_guards(GuardConfig(check_rate=0))
+        config = _serve_config(tmp_path)
+        server = SpireServer(config)
+        server.registry.install("demo", model)
+        array = _array_from_rows(
+            [("m.0", 1.0, 2.0, 1.0), ("m.1", 2.0, 6.0, 1.5)]
+        )
+        want = model.estimate(array.to_sample_set())
+        body = json.dumps(
+            {
+                "model": "demo",
+                "samples": [
+                    {"metric": "m.0", "time": 1.0, "work": 2.0,
+                     "metric_count": 1.0},
+                    {"metric": "m.1", "time": 2.0, "work": 6.0,
+                     "metric_count": 1.5},
+                ],
+            }
+        ).encode()
+
+        async def drive():
+            await server.start()
+            host, port = config.host, server.port
+            try:
+                status, payload, _ = await _http(
+                    host, port, "POST", "/v1/estimate", body
+                )
+                assert status == 200
+                roundtrip = json.loads(json.dumps(want.per_metric))
+                assert payload["per_metric"] == roundtrip
+                assert payload["limiting_metric"] == want.limiting_metric
+
+                status, payload, _ = await _http(
+                    host, port, "POST", "/v1/analyze", body
+                )
+                assert status == 200
+                assert [r["metric"] for r in payload["ranking"]]
+                assert payload["measured_throughput"] is not None
+
+                status, payload, _ = await _http(
+                    host, port, "GET", "/v1/models"
+                )
+                assert status == 200 and payload["models"] == ["demo"]
+
+                status, payload, _ = await _http(
+                    host, port, "POST", "/v1/estimate",
+                    json.dumps({"model": "ghost", "samples": []}).encode(),
+                )
+                assert status == 404
+
+                status, payload, _ = await _http(
+                    host, port, "POST", "/v1/estimate", b"{broken"
+                )
+                assert status == 400
+
+                status, _, _ = await _http(host, port, "GET", "/nope")
+                assert status == 404
+            finally:
+                await server.stop()
+
+        _run(drive())
+
+    def test_csv_body_and_health(self, model, tmp_path):
+        reset_guards(GuardConfig(check_rate=0))
+        # The CSV path serves perf events; train a model over them.
+        perf_model = _train_model(metrics=["instructions", "cache-misses"])
+        config = _serve_config(tmp_path)
+        server = SpireServer(config)
+        server.registry.install("perf", perf_model)
+        csv = (
+            "1.0,100,,instructions,1,100.0,,\n"
+            "1.0,200,,cycles,1,100.0,,\n"
+            "1.0,40,,cache-misses,1,100.0,,\n"
+            "2.0,100,,instructions,1,100.0,,\n"
+            "2.0,210,,cycles,1,100.0,,\n"
+            "2.0,35,,cache-misses,1,100.0,,\n"
+        ).encode()
+
+        async def drive():
+            await server.start()
+            host, port = config.host, server.port
+            try:
+                status, payload, _ = await _http(
+                    host, port, "POST", "/v1/estimate?model=perf", csv,
+                    content_type="text/csv",
+                )
+                assert status == 200
+                assert payload["model"] == "perf"
+                assert payload["per_metric"]
+
+                status, _, _ = await _http(
+                    host, port, "POST", "/v1/estimate", csv,
+                    content_type="text/csv",
+                )
+                assert status == 400  # model name must ride the query
+
+                status, payload, _ = await _http(host, port, "GET", "/health")
+                assert status == 200
+                serve_state = payload["health"]["serve_state"]
+                assert serve_state["requests"] >= 2
+                assert serve_state["registry"]["occupancy"] == 1
+                assert serve_state["batcher"]["enabled"]
+                assert "render" in payload
+            finally:
+                await server.stop()
+
+        _run(drive())
+
+    def test_backpressure_maps_to_429(self, model, tmp_path):
+        reset_guards(GuardConfig(check_rate=0))
+        config = _serve_config(
+            tmp_path, queue_limit=1, window=0.5, max_batch=64
+        )
+        server = SpireServer(config)
+        server.registry.install("demo", model)
+        body = json.dumps(
+            {
+                "model": "demo",
+                "samples": [
+                    {"metric": "m.0", "time": 1.0, "work": 2.0,
+                     "metric_count": 1.0}
+                ],
+            }
+        ).encode()
+
+        async def drive():
+            await server.start()
+            host, port = config.host, server.port
+            try:
+                first = asyncio.ensure_future(
+                    _http(host, port, "POST", "/v1/estimate", body)
+                )
+                await asyncio.sleep(0.1)  # parked in the batch window
+                status, payload, headers = await _http(
+                    host, port, "POST", "/v1/estimate", body
+                )
+                assert status == 429
+                assert float(headers["retry-after"]) > 0
+                assert server.stats.snapshot()["backpressure"]["rejected"] == 1
+                status, _, _ = await first
+                assert status == 200
+            finally:
+                await server.stop()
+
+        _run(drive())
+
+    def test_doctor_probe_reads_live_server(self, model, tmp_path):
+        from repro.guard.doctor import probe_server, render_server_health
+
+        reset_guards(GuardConfig(check_rate=0))
+        config = _serve_config(tmp_path)
+        server = SpireServer(config)
+        server.registry.install("demo", model)
+
+        async def drive():
+            await server.start()
+            url = f"http://{config.host}:{server.port}"
+            try:
+                loop = asyncio.get_running_loop()
+                payload = await loop.run_in_executor(
+                    None, probe_server, url
+                )
+                assert payload["ok"]
+                text = render_server_health(payload)
+                assert "serve registry" in text
+            finally:
+                await server.stop()
+
+        _run(drive())
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_serve_runs_and_exits(self, model, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import save_model
+
+        save_model(model, tmp_path / "demo.json")
+        code = main(
+            [
+                "serve",
+                "--model", f"demo={tmp_path / 'demo.json'}",
+                "--store-dir", str(tmp_path / "store"),
+                "--port", "0",
+                "--max-runtime", "0.3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "installed model 'demo'" in out
+        assert "serving 1 model(s)" in out
+
+    def test_serve_rejects_malformed_model_spec(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve", "--model", "nope", "--store-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "name=path.json" in capsys.readouterr().err
+
+    def test_doctor_probe_unreachable_server_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        code = main(["doctor", "--serve-url", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "cannot probe server" in capsys.readouterr().err

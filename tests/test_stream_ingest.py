@@ -67,6 +67,20 @@ class TestPerfChunking:
         assert chunked.pending_samples == whole.pending_samples
         assert chunked.pending_samples > 0
 
+    def test_newline_free_chunks_buffer_without_parsing(self):
+        """A line only parses once its newline arrives — no per-chunk
+        re-scan of the buffered prefix, no spurious salvage entries."""
+        ingestor = StreamIngestor(options=StreamOptions(window_samples=1000))
+        for char in PERF_TEXT.replace("\n", "|"):
+            # Feed character-wise with no newline ever arriving: nothing
+            # may parse, nothing may be salvaged as malformed.
+            ingestor.push_perf(char if char != "|" else "")
+            assert ingestor.report().quality.total == 0
+        assert ingestor.pending_samples == 0
+        whole = self._drain(len(PERF_TEXT))
+        chunked = self._drain(1)
+        assert chunked.pending_samples == whole.pending_samples
+
     def test_open_interval_waits_for_newer_timestamp(self):
         ingestor = StreamIngestor(options=StreamOptions(window_samples=1000))
         lines = PERF_TEXT.splitlines(keepends=True)
