@@ -290,3 +290,214 @@ def test_serve_throughput():
     text = json.dumps(payload, indent=2, sort_keys=True)
     print(text)
     write_artifact("BENCH_serve.json", text)
+
+
+# ---------------------------------------------------------------------------
+# Robustness bench: hot-rollover latency and crash-recovery time
+# ---------------------------------------------------------------------------
+#
+# Both are gated as budget ratios (``speedup_* = budget / measured``):
+# wall clock does not compare across hosts, but "a rollover completes
+# within its 2 s budget" and "a killed worker is back inside 10 s" are
+# portable claims, and benchtrack's ratio gate catches them collapsing.
+
+ROLLOVER_BUDGET_MS = 2_000.0
+RECOVERY_BUDGET_MS = 10_000.0
+ROLL_METRICS = ["roll.0", "roll.1", "roll.2"]
+
+
+def _roll_body(rows: int = 12, seed: int = 3) -> bytes:
+    rng = random.Random(seed)
+    return json.dumps(
+        {
+            "model": "roll",
+            "columns": {
+                "metrics": [
+                    ROLL_METRICS[i % len(ROLL_METRICS)] for i in range(rows)
+                ],
+                "time": [rng.uniform(1.0, 4.0) for _ in range(rows)],
+                "work": [rng.uniform(1.0, 8.0) for _ in range(rows)],
+                "metric_count": [rng.uniform(0.2, 4.0) for _ in range(rows)],
+            },
+        }
+    ).encode()
+
+
+async def _install_once(host: str, port: int, blob: bytes) -> float:
+    """One hot install over a fresh connection; client-observed ms."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            "POST /v1/models/install?model=roll HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Content-Type: application/octet-stream\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        started = time.perf_counter()
+        writer.write(head + blob)
+        await writer.drain()
+        header = await reader.readuntil(b"\r\n\r\n")
+        status = int(header.split(b" ", 2)[1])
+        length = 0
+        for line in header.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        await reader.readexactly(length)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        assert status == 200, f"install failed with {status}"
+        return elapsed_ms
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _measure_rollover(installs: int) -> dict:
+    """Hot-install latency with request load in flight the whole time."""
+    import tempfile
+
+    from pathlib import Path
+
+    from repro.serve.chaos import train_chaos_model
+    from repro.serve.registry import pack_model
+
+    versions = [
+        train_chaos_model(ROLL_METRICS, seed=seed) for seed in (7, 23)
+    ]
+    blobs = []
+    for index, version in enumerate(versions):
+        fd, tmp = tempfile.mkstemp(suffix=f".v{index}.spm")
+        os.close(fd)
+        pack_model(version, tmp)
+        blobs.append(Path(tmp).read_bytes())
+        os.unlink(tmp)
+
+    config = ServeConfig(port=0, window=0.001)
+    server = SpireServer(config)
+    server.registry.install("roll", versions[0])
+    await server.start()
+    try:
+        body = _roll_body()
+        stop = asyncio.Event()
+
+        async def _background_load() -> int:
+            served = 0
+            while not stop.is_set():
+                latencies: list[float] = []
+                await _client(
+                    config.host, server.port, body, 4, latencies, None
+                )
+                served += 4
+            return served
+
+        load = asyncio.ensure_future(_background_load())
+        durations = []
+        for index in range(installs):
+            durations.append(
+                await _install_once(
+                    config.host, server.port, blobs[index % 2]
+                )
+            )
+            await asyncio.sleep(0.02)
+        stop.set()
+        served = await load
+        durations.sort()
+        p99 = durations[max(0, int(len(durations) * 0.99) - 1)]
+        return {
+            "installs": installs,
+            "requests_during": served,
+            "rollover_p50_ms": round(durations[len(durations) // 2], 2),
+            "rollover_p99_ms": round(p99, 2),
+            "rollover_max_ms": round(durations[-1], 2),
+        }
+    finally:
+        await server.stop()
+
+
+def _measure_recovery(kills: int) -> dict:
+    """SIGKILL a worker; time to the supervisor's "recovered" event."""
+    import tempfile
+
+    from repro.serve.chaos import train_chaos_model
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.supervisor import ServeSupervisor, SupervisorConfig
+
+    with tempfile.TemporaryDirectory(prefix="spire-bench-fleet-") as store:
+        registry = ModelRegistry(store)
+        registry.install("roll", train_chaos_model(ROLL_METRICS, seed=7))
+        registry.close()
+        supervisor = ServeSupervisor(
+            ServeConfig(port=0, store_dir=store, window=0.001),
+            SupervisorConfig(
+                workers=2,
+                heartbeat_interval=0.15,
+                heartbeat_timeout=3.0,
+                backoff_base=0.05,
+                backoff_cap=0.5,
+                start_timeout=60.0,
+            ),
+        )
+        recoveries = []
+        try:
+            supervisor.start()
+            supervisor.wait_ready()
+            for _ in range(kills):
+                seen = sum(
+                    1
+                    for event in supervisor.snapshot()["events"]
+                    if event["action"] == "recovered"
+                )
+                supervisor.kill_worker(0)
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    supervisor.step(timeout=0.1)
+                    events = [
+                        event
+                        for event in supervisor.snapshot()["events"]
+                        if event["action"] == "recovered"
+                    ]
+                    if len(events) > seen:
+                        recoveries.append(events[-1]["recovery_ms"])
+                        break
+                else:  # pragma: no cover - diagnostic
+                    raise AssertionError(
+                        f"worker never recovered: {supervisor.snapshot()}"
+                    )
+        finally:
+            supervisor.stop()
+    return {
+        "kills": kills,
+        "worker_kill_recovery_ms": round(max(recoveries), 2),
+        "recovery_ms_all": [round(r, 2) for r in recoveries],
+    }
+
+
+def test_serve_robustness():
+    run_full = os.environ.get("SPIRE_BENCH_SERVE_FULL", "1") != "0"
+    installs = 20 if run_full else 6
+    kills = 3 if run_full else 1
+
+    with guard_rate(0):
+        payload = asyncio.run(_measure_rollover(installs))
+    payload.update(_measure_recovery(kills))
+
+    payload["rollover_budget_ms"] = ROLLOVER_BUDGET_MS
+    payload["recovery_budget_ms"] = RECOVERY_BUDGET_MS
+    payload["speedup_rollover_vs_budget"] = round(
+        ROLLOVER_BUDGET_MS / payload["rollover_p99_ms"], 2
+    )
+    payload["speedup_recovery_vs_budget"] = round(
+        RECOVERY_BUDGET_MS / payload["worker_kill_recovery_ms"], 2
+    )
+
+    # Absolute sanity floors: a rollover or a restart that blows its
+    # budget outright is broken regardless of what the baseline says.
+    assert payload["rollover_p99_ms"] <= ROLLOVER_BUDGET_MS, payload
+    assert payload["worker_kill_recovery_ms"] <= RECOVERY_BUDGET_MS, payload
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    write_artifact("BENCH_serve_robustness.json", text)

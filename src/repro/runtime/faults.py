@@ -31,6 +31,17 @@ each targeting one workload by name:
                           ``workload`` field names the metric)
 ``stale-window``          one stream window stalls: it seals empty and its
                           samples arrive late, behind newer timestamps
+``worker-crash``          one supervised serving worker dies (SIGKILL) under
+                          load (the ``workload`` field names the slot, e.g.
+                          ``"1"``, or ``"*"`` for a seed-chosen slot)
+``worker-hang``           one serving worker's event loop wedges: heartbeats
+                          stop and the supervisor must kill + restart it
+``rollover-corrupt-artifact``  a hot model install carries a corrupted packed
+                          artifact; it must be quarantined, never served
+                          (the ``workload`` field names the model)
+``quota-storm``           one model's clients burst far past its admission
+                          quota; the storm must 429 without disturbing
+                          other models (the ``workload`` names the model)
 ========================  ====================================================
 
 Faults are *transient by default* (``times=1``): they fire on the first
@@ -58,6 +69,10 @@ CORRUPT_CACHE_ENTRY = "corrupt-cache-entry"
 DIVERGE_KERNEL = "diverge-kernel"
 DRIFT_INJECT = "drift-inject"
 STALE_WINDOW = "stale-window"
+WORKER_CRASH = "worker-crash"
+WORKER_HANG = "worker-hang"
+ROLLOVER_CORRUPT_ARTIFACT = "rollover-corrupt-artifact"
+QUOTA_STORM = "quota-storm"
 
 FAULT_KINDS = (
     CRASH,
@@ -69,6 +84,10 @@ FAULT_KINDS = (
     DIVERGE_KERNEL,
     DRIFT_INJECT,
     STALE_WINDOW,
+    WORKER_CRASH,
+    WORKER_HANG,
+    ROLLOVER_CORRUPT_ARTIFACT,
+    QUOTA_STORM,
 )
 
 #: Fault kinds handled by the runner (they abort the whole task attempt).
@@ -84,6 +103,15 @@ GUARD_KINDS = (CORRUPT_CACHE_ENTRY, DIVERGE_KERNEL)
 #: samples late (out of timestamp order).  The ``workload`` field names the
 #: target metric (``"*"`` for stale-window, which is metric-agnostic).
 STREAM_KINDS = (DRIFT_INJECT, STALE_WINDOW)
+#: Fault kinds handled by the serving layer's chaos harness
+#: (:mod:`repro.serve.chaos`); ``workload`` names a worker slot or a
+#: model, never an experiment workload.
+SERVE_KINDS = (
+    WORKER_CRASH,
+    WORKER_HANG,
+    ROLLOVER_CORRUPT_ARTIFACT,
+    QUOTA_STORM,
+)
 
 #: Default victims for random ``diverge-kernel`` faults: kernels that run
 #: in the parent process, where the guard registry's trip is visible to
@@ -183,7 +211,11 @@ class FaultPlan:
         """
         seen: dict[str, None] = {}
         for spec in self.specs:
-            if spec.kind in GUARD_KINDS or spec.kind in STREAM_KINDS:
+            if (
+                spec.kind in GUARD_KINDS
+                or spec.kind in STREAM_KINDS
+                or spec.kind in SERVE_KINDS
+            ):
                 continue
             seen.setdefault(spec.workload, None)
         return list(seen)
@@ -199,6 +231,10 @@ class FaultPlan:
     def stream_faults(self) -> tuple[FaultSpec, ...]:
         """The streaming replay specs; ``workload`` names a metric."""
         return tuple(s for s in self.specs if s.kind in STREAM_KINDS)
+
+    def serve_faults(self) -> tuple[FaultSpec, ...]:
+        """The serve-layer chaos specs; ``workload`` names a slot or model."""
+        return tuple(s for s in self.specs if s.kind in SERVE_KINDS)
 
     @classmethod
     def random(
@@ -218,6 +254,12 @@ class FaultPlan:
         kernels: Sequence[str] = (),
         drift_injects: int = 0,
         stale_windows: int = 0,
+        worker_crashes: int = 0,
+        worker_hangs: int = 0,
+        rollover_corruptions: int = 0,
+        quota_storms: int = 0,
+        serve_slots: int = 0,
+        serve_models: Sequence[str] = (),
     ) -> "FaultPlan":
         """A seed-driven plan over distinct victims drawn from ``workloads``.
 
@@ -318,6 +360,50 @@ class FaultPlan:
                     window=rng.randrange(1, 4),
                 )
             )
+
+        # Serve kinds are format-4: their draws come after every older
+        # kind's, so existing (seed, counts) plans stay bit-identical.
+        # ``serve_slots`` sizes the worker fleet the victims are drawn
+        # from; ``serve_models`` names the served models storms and
+        # corrupt rollovers may target.
+        def slot_victim() -> str:
+            return str(rng.randrange(serve_slots)) if serve_slots else "*"
+
+        model_pool = list(serve_models)
+
+        def model_victim() -> str:
+            return rng.choice(model_pool) if model_pool else "*"
+
+        for _ in range(worker_crashes):
+            specs.append(
+                FaultSpec(workload=slot_victim(), kind=WORKER_CRASH, times=times)
+            )
+        for _ in range(worker_hangs):
+            specs.append(
+                FaultSpec(
+                    workload=slot_victim(),
+                    kind=WORKER_HANG,
+                    times=times,
+                    hang_seconds=hang_seconds,
+                )
+            )
+        for _ in range(rollover_corruptions):
+            specs.append(
+                FaultSpec(
+                    workload=model_victim(),
+                    kind=ROLLOVER_CORRUPT_ARTIFACT,
+                    times=times,
+                )
+            )
+        for _ in range(quota_storms):
+            specs.append(
+                FaultSpec(
+                    workload=model_victim(),
+                    kind=QUOTA_STORM,
+                    times=times,
+                    factor=float(rng.choice((4, 8, 16))),
+                )
+            )
         return cls(specs=tuple(specs))
 
 
@@ -372,8 +458,13 @@ __all__ = [
     "GUARD_KINDS",
     "HANG",
     "PARENT_SIDE_KERNELS",
+    "QUOTA_STORM",
+    "ROLLOVER_CORRUPT_ARTIFACT",
     "RUNNER_KINDS",
+    "SERVE_KINDS",
     "STALE_WINDOW",
     "STREAM_KINDS",
+    "WORKER_CRASH",
+    "WORKER_HANG",
     "trip_runner_fault",
 ]

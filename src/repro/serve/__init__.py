@@ -1,34 +1,62 @@
-"""SPIRE model serving: micro-batched asyncio HTTP inference.
+"""SPIRE model serving: micro-batched, supervised HTTP inference.
 
 The serving layer (PR 9) turns trained models into a long-running
-endpoint:
+endpoint; PR 10 makes that endpoint survivable:
 
 - :mod:`repro.serve.batching` — the adaptive micro-batcher and the
   ``serve.batch_estimate`` guarded kernel: concurrent requests fuse into
   one columnar evaluation, scattered back bit-identically to the
   per-request path;
 - :mod:`repro.serve.registry` — packed ``.spm`` artifacts with integrity
-  headers, mmap zero-copy reloads, per-model LRU residency;
+  headers, mmap zero-copy reloads, per-model LRU residency and
+  single-flight concurrent loads;
 - :mod:`repro.serve.server` — the stdlib-asyncio HTTP/JSON front door
   (``spire serve``), with bounded queues, 429 + ``Retry-After``
-  backpressure and a probe-able ``/health``;
+  backpressure, graceful drain and a probe-able ``/health``;
+- :mod:`repro.serve.quotas` — deterministic token-bucket admission
+  control, per model, surfaced as clean 429s;
+- :mod:`repro.serve.rollover` — hot model installs: stage, verify,
+  canary, atomic swap; corrupt artifacts are quarantined, never served;
+- :mod:`repro.serve.supervisor` — the multi-worker parent: forks N
+  workers sharing one port, restarts crashed/wedged workers with
+  exponential backoff, marks flapping slots stale;
+- :mod:`repro.serve.chaos` — the serve-layer fault harness behind
+  ``spire faultsim --serve``;
 - :mod:`repro.serve.stats` — long-lived-process counters surfaced
   through :class:`~repro.guard.health.HealthReport.serve_state`.
 """
 
 from repro.serve.batching import MicroBatcher, batch_estimate, fused_estimate
+from repro.serve.chaos import ChaosHarness, run_serve_chaos
+from repro.serve.quotas import AdmissionController, QuotaPolicy, TokenBucket
 from repro.serve.registry import ModelRegistry, map_model, pack_model
+from repro.serve.rollover import RolloverEvent, RolloverManager
 from repro.serve.server import ServeConfig, SpireServer
 from repro.serve.stats import ServeStats
+from repro.serve.supervisor import (
+    ServeSupervisor,
+    SupervisorConfig,
+    backoff_delay,
+)
 
 __all__ = [
+    "AdmissionController",
+    "ChaosHarness",
     "MicroBatcher",
     "ModelRegistry",
+    "QuotaPolicy",
+    "RolloverEvent",
+    "RolloverManager",
     "ServeConfig",
     "ServeStats",
+    "ServeSupervisor",
     "SpireServer",
+    "SupervisorConfig",
+    "TokenBucket",
+    "backoff_delay",
     "batch_estimate",
     "fused_estimate",
     "map_model",
     "pack_model",
+    "run_serve_chaos",
 ]

@@ -306,7 +306,9 @@ class MicroBatcher:
         """
         if self._closed:
             raise ServeOverloadError(
-                "server is shutting down", retry_after=self.retry_after
+                "server is shutting down",
+                retry_after=self.retry_after,
+                shed=True,
             )
         lane = self._lanes.get(model_name)
         if lane is None:
@@ -345,21 +347,30 @@ class MicroBatcher:
 
     async def _run_lane(self, lane: "_Lane") -> None:
         loop = asyncio.get_running_loop()
-        while not self._closed:
+        while True:
             if not lane.queue:
+                if self._closed:
+                    return
                 lane.event.clear()
+                if lane.queue or self._closed:  # raced with a set()
+                    continue
                 await lane.event.wait()
                 continue
-            deadline = lane.queue[0].enqueued + self.window
-            while len(lane.queue) < self.max_batch:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
-                lane.event.clear()
-                try:
-                    await asyncio.wait_for(lane.event.wait(), remaining)
-                except asyncio.TimeoutError:
-                    break
+            if not self._closed:
+                # Normal operation: wait out the batching window unless
+                # the size trigger (or a drain) fires first.  A draining
+                # batcher skips the wait entirely and flushes the queue
+                # in full-batch passes.
+                deadline = lane.queue[0].enqueued + self.window
+                while len(lane.queue) < self.max_batch and not self._closed:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    lane.event.clear()
+                    try:
+                        await asyncio.wait_for(lane.event.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        break
             batch = [
                 lane.queue.popleft()
                 for _ in range(min(self.max_batch, len(lane.queue)))
@@ -382,8 +393,36 @@ class MicroBatcher:
                 else:
                     pending.future.set_result(result)
 
+    async def drain(self) -> int:
+        """Flush every queued request through evaluation, then shut down.
+
+        The graceful half of shutdown: new submissions are refused
+        (``503``) immediately, but everything already queued is
+        evaluated — lane runners skip the batching window and burn down
+        their queues in full-batch passes.  Returns the number of
+        requests flushed this way.
+        """
+        self._closed = True
+        flushed = sum(len(lane.queue) for lane in self._lanes.values())
+        for lane in self._lanes.values():
+            lane.event.set()
+        tasks = [lane.task for lane in self._lanes.values() if lane.task]
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._lanes.clear()
+        return flushed
+
     async def close(self) -> None:
-        """Cancel lane runners and fail anything still queued."""
+        """Cancel lane runners and fail anything still queued with 503.
+
+        The hard half of shutdown: queued requests get an immediate
+        ``ServeOverloadError`` with ``shed=True`` (the HTTP ``503``
+        path) instead of hanging on a keep-alive connection that will
+        never answer.
+        """
         self._closed = True
         for lane in self._lanes.values():
             if lane.task is not None:
@@ -395,6 +434,7 @@ class MicroBatcher:
                         ServeOverloadError(
                             "server is shutting down",
                             retry_after=self.retry_after,
+                            shed=True,
                         )
                     )
         tasks = [lane.task for lane in self._lanes.values() if lane.task]

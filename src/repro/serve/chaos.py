@@ -1,0 +1,774 @@
+"""Serve-layer chaos harness: acceptance scenarios for the supervised fleet.
+
+``spire faultsim --serve`` drives a real multi-process fleet — a
+:class:`~repro.serve.supervisor.ServeSupervisor` with forked workers
+sharing one port — through the serve fault kinds of
+:mod:`repro.runtime.faults` and checks the robustness invariants the
+serving tier promises:
+
+``worker-crash``
+    SIGKILL one worker mid-load.  Only requests in flight on the victim
+    may fail; every response that does arrive is **bit-identical** to
+    the estimate computed locally from the same samples (which is the
+    undisturbed run, by the serving layer's determinism contract), and
+    the supervisor restarts the slot within its backoff budget.
+``worker-hang``
+    Wedge one worker's event loop via the ``/debug/hang`` chaos route.
+    Its heartbeats stop, the supervisor kills and restarts it, and the
+    survivors' responses stay bit-identical throughout.
+``rollover-corrupt-artifact``
+    Hot-install a corrupted packed artifact under load: the install must
+    answer ``422``, the artifact must land in quarantine, and the old
+    model must keep serving bit-identically.  A good install afterwards
+    must swap with **zero failed requests** — every response matches the
+    old or the new model exactly, and the new model reaches every
+    worker through the supervisor's reload broadcast.
+``quota-storm``
+    Hammer one model far past its admission quota: the storm gets
+    ``429`` + ``Retry-After`` (never ``5xx``), and a bystander model
+    sees zero failures and bit-identical responses.
+
+Every scenario ends with a graceful drain (``stop(drain=True)``) and
+reports its measurements in a JSON-ready dict for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.columns import SampleArray
+from repro.core.ensemble import SpireModel, TrainOptions
+from repro.errors import SpireError
+from repro.runtime.faults import (
+    QUOTA_STORM,
+    ROLLOVER_CORRUPT_ARTIFACT,
+    SERVE_KINDS,
+    WORKER_CRASH,
+    WORKER_HANG,
+    FaultPlan,
+)
+from repro.serve.quotas import QuotaPolicy
+from repro.serve.registry import pack_model
+from repro.serve.rollover import STAGING_DIRNAME
+from repro.serve.server import ServeConfig
+from repro.serve.supervisor import (
+    ServeSupervisor,
+    SupervisorConfig,
+    backoff_delay,
+)
+
+__all__ = ["ChaosHarness", "ScenarioResult", "run_serve_chaos"]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic fixtures
+# ---------------------------------------------------------------------------
+
+
+def train_chaos_model(metrics: "list[str]", seed: int) -> SpireModel:
+    """A small deterministic model (same generator family as the tests)."""
+    rng = random.Random(seed)
+    records = []
+    for index, metric in enumerate(metrics):
+        peak = 2.0 + index
+        for _ in range(40):
+            x = rng.uniform(0.25, 64.0)
+            y = min(x, peak) * rng.uniform(0.3, 1.0)
+            t = rng.uniform(1.0, 8.0)
+            records.append(
+                {
+                    "metric": metric,
+                    "time": t,
+                    "work": y * t,
+                    "metric_count": (y * t) / x,
+                }
+            )
+    array = SampleArray.from_records(records, validate=True)
+    return SpireModel.train(
+        array.to_sample_set(), TrainOptions(min_samples_per_metric=1)
+    )
+
+
+def _request_rows(metrics: "list[str]", rng: random.Random) -> list:
+    rows = []
+    for _ in range(rng.randint(1, 5)):
+        rows.append(
+            (
+                rng.choice(metrics),
+                rng.uniform(0.5, 4.0),
+                rng.uniform(0.5, 8.0),
+                rng.uniform(0.1, 4.0),
+            )
+        )
+    return rows
+
+
+def _columns_body(model: str, rows: list) -> bytes:
+    return json.dumps(
+        {
+            "model": model,
+            "columns": {
+                "metrics": [r[0] for r in rows],
+                "time": [r[1] for r in rows],
+                "work": [r[2] for r in rows],
+                "metric_count": [r[3] for r in rows],
+            },
+        }
+    ).encode("utf-8")
+
+
+def _expected_per_metric(model: SpireModel, rows: list) -> "dict | None":
+    """The bit-identity oracle: the estimate this request gets locally."""
+    array = SampleArray.from_lists(
+        [r[0] for r in rows],
+        [r[1] for r in rows],
+        [r[2] for r in rows],
+        [r[3] for r in rows],
+    )
+    try:
+        estimate = model.estimate(array.to_sample_set())
+    except SpireError:
+        return None
+    # One JSON round trip, matching what the HTTP response undergoes;
+    # Python's float repr is shortest-round-trip so values stay exact.
+    return json.loads(json.dumps(estimate.per_metric))
+
+
+# ---------------------------------------------------------------------------
+# Raw-socket HTTP client (per-request connections for clean attribution)
+# ---------------------------------------------------------------------------
+
+
+def _http(
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    timeout: float = 10.0,
+) -> "tuple[int, dict, dict]":
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: chaos\r\nConnection: close\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        sock.sendall(head.encode("latin-1") + body)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    finally:
+        sock.close()
+    raw_head, _, payload = data.partition(b"\r\n\r\n")
+    if not raw_head:
+        raise ConnectionError("empty response")
+    status = int(raw_head.split(b" ", 2)[1])
+    headers = {}
+    for line in raw_head.split(b"\r\n")[1:]:
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(payload) if payload else {}
+
+
+@dataclass
+class _Outcome:
+    index: int
+    status: "int | None" = None   # None = transport failure
+    worker: "str | None" = None
+    per_metric: "dict | None" = None
+    retry_after: "str | None" = None
+    error: str = ""
+
+
+def _drive_load(
+    port: int,
+    requests: "list[tuple[str, bytes]]",
+    threads: int = 4,
+    mid_load: "object | None" = None,
+    mid_at: "int | None" = None,
+) -> "list[_Outcome]":
+    """Send every request (round-robin over ``threads`` workers).
+
+    ``mid_load`` is a callable fired once, by whichever worker thread
+    reaches request index ``mid_at`` first — the chaos injection point.
+    """
+    outcomes = [_Outcome(index=i) for i in range(len(requests))]
+    cursor = {"next": 0}
+    lock = threading.Lock()
+    fired = threading.Event()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(requests):
+                    return
+                cursor["next"] = index + 1
+            if (
+                mid_load is not None
+                and mid_at is not None
+                and index >= mid_at
+                and not fired.is_set()
+            ):
+                fired.set()
+                mid_load()
+            path, body = requests[index]
+            out = outcomes[index]
+            try:
+                status, headers, payload = _http(
+                    port, "POST", path, body
+                )
+            except (OSError, ValueError, ConnectionError) as exc:
+                out.error = type(exc).__name__
+                continue
+            out.status = status
+            out.worker = headers.get("x-spire-worker")
+            out.retry_after = headers.get("retry-after")
+            if isinstance(payload, dict):
+                out.per_metric = payload.get("per_metric")
+                if status >= 400:
+                    out.error = str(payload.get("error", ""))[:120]
+
+    pool = [
+        threading.Thread(target=worker, daemon=True) for _ in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Scenario results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    name: str
+    ok: bool = True
+    failures: "list[str]" = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def fail(self, reason: str) -> None:
+        self.ok = False
+        self.failures.append(reason)
+
+    def check(self, condition: bool, reason: str) -> None:
+        if not condition:
+            self.fail(reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "failures": self.failures,
+            "metrics": self.metrics,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+
+
+class ChaosHarness:
+    """Owns the model store and runs one fleet per scenario."""
+
+    def __init__(
+        self,
+        store_dir: "str | Path",
+        workers: int = 4,
+        requests: int = 48,
+        seed: int = 0,
+        metrics: "list[str] | None" = None,
+    ):
+        self.store_dir = Path(store_dir)
+        self.workers = workers
+        self.requests = requests
+        self.seed = seed
+        self.metrics = metrics or [f"m.{i}" for i in range(4)]
+        self.models = {
+            "alpha": train_chaos_model(self.metrics, seed=seed + 7),
+            "beta": train_chaos_model(self.metrics, seed=seed + 11),
+        }
+        # The rollover replacement for alpha: same metrics, new fits.
+        self.alpha_v2 = train_chaos_model(self.metrics, seed=seed + 23)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        for name, model in self.models.items():
+            pack_model(model, self.store_dir / f"{name}.spm")
+
+    # -- fleet plumbing ------------------------------------------------
+
+    def _supervisor(
+        self, quotas: "dict[str, QuotaPolicy] | None" = None
+    ) -> "tuple[ServeSupervisor, threading.Event, threading.Thread]":
+        serve = ServeConfig(
+            port=0,
+            store_dir=str(self.store_dir),
+            debug_faults=True,
+            quotas=quotas,
+            drain_timeout=10.0,
+        )
+        config = SupervisorConfig(
+            workers=self.workers,
+            heartbeat_interval=0.15,
+            heartbeat_timeout=2.5,
+            backoff_base=0.05,
+            backoff_cap=1.0,
+            max_restarts=5,
+            flap_window=30.0,
+            drain_timeout=10.0,
+        )
+        supervisor = ServeSupervisor(serve, config)
+        supervisor.start()
+        supervisor.wait_ready()
+        stop = threading.Event()
+        monitor = threading.Thread(
+            target=supervisor.run, kwargs={"until": stop}, daemon=True
+        )
+        monitor.start()
+        return supervisor, stop, monitor
+
+    def _teardown(
+        self,
+        supervisor: ServeSupervisor,
+        stop: threading.Event,
+        monitor: threading.Thread,
+        result: ScenarioResult,
+    ) -> None:
+        stop.set()
+        monitor.join(timeout=10.0)
+        started = time.perf_counter()
+        supervisor.stop(drain=True)
+        result.metrics["drain_ms"] = round(
+            (time.perf_counter() - started) * 1e3, 1
+        )
+
+    def _request_set(
+        self, model: str, count: "int | None" = None, salt: int = 0
+    ) -> "tuple[list[tuple[str, bytes]], list[dict | None]]":
+        rng = random.Random(self.seed * 1000 + salt)
+        requests, expected = [], []
+        for _ in range(count if count is not None else self.requests):
+            rows = _request_rows(self.metrics, rng)
+            requests.append(("/v1/estimate", _columns_body(model, rows)))
+            expected.append(
+                _expected_per_metric(self.models[model], rows)
+                if model in self.models
+                else None
+            )
+        return requests, expected
+
+    def _check_identical(
+        self,
+        result: ScenarioResult,
+        outcomes: "list[_Outcome]",
+        expected: "list[dict | None]",
+        allow_failures: bool,
+    ) -> int:
+        """Every 200 must match its local oracle bit-for-bit."""
+        failures = 0
+        for out, want in zip(outcomes, expected):
+            if out.status == 200:
+                result.check(
+                    out.per_metric == want,
+                    f"request {out.index} diverged from the local "
+                    f"estimate: {out.per_metric} != {want}",
+                )
+            else:
+                failures += 1
+                if not allow_failures:
+                    result.fail(
+                        f"request {out.index} failed: status "
+                        f"{out.status} {out.error}"
+                    )
+        return failures
+
+    # -- scenarios -----------------------------------------------------
+
+    def worker_crash(self, slot: int) -> ScenarioResult:
+        result = ScenarioResult(name=f"worker-crash[slot={slot}]")
+        supervisor, stop, monitor = self._supervisor()
+        try:
+            requests, expected = self._request_set("alpha", salt=1)
+            kill_at = len(requests) // 3
+            outcomes = _drive_load(
+                supervisor.port,
+                requests,
+                mid_load=lambda: supervisor.kill_worker(slot),
+                mid_at=kill_at,
+            )
+            failures = self._check_identical(
+                result, outcomes, expected, allow_failures=True
+            )
+            result.metrics["requests"] = len(requests)
+            result.metrics["failed_requests"] = failures
+            # Only the victim's in-flight work may fail: with one
+            # connection per request, that is bounded by the driver's
+            # concurrency, not the request count.
+            result.check(
+                failures <= 4,
+                f"{failures} request(s) failed; only the victim's "
+                "in-flight requests may",
+            )
+            recovery = self._await_recovery(supervisor, result)
+            if recovery is not None:
+                budget_ms = (
+                    backoff_delay(supervisor.config, 0)
+                    + supervisor.config.start_timeout
+                ) * 1e3
+                result.metrics["recovery_ms"] = round(recovery, 1)
+                result.check(
+                    recovery <= budget_ms,
+                    f"recovery took {recovery:.0f}ms, budget "
+                    f"{budget_ms:.0f}ms",
+                )
+            snap = supervisor.snapshot()
+            result.check(
+                snap["restart_total"] >= 1, "no restart was recorded"
+            )
+            result.check(
+                not snap["stale_slots"],
+                f"slots went stale: {snap['stale_slots']}",
+            )
+            # The fleet still answers, bit-identically.
+            after, after_want = self._request_set("alpha", count=8, salt=2)
+            post = _drive_load(supervisor.port, after)
+            self._check_identical(result, post, after_want, False)
+        finally:
+            self._teardown(supervisor, stop, monitor, result)
+        return result
+
+    def worker_hang(self, slot: int, hang_seconds: float) -> ScenarioResult:
+        result = ScenarioResult(name=f"worker-hang[slot={slot}]")
+        supervisor, stop, monitor = self._supervisor()
+        try:
+            def wedge() -> None:
+                # Fired from a load thread; the request itself will die
+                # with the worker, so ignore transport errors.
+                try:
+                    _http(
+                        supervisor.port,
+                        "POST",
+                        f"/debug/hang?seconds={hang_seconds:g}",
+                        timeout=1.0,
+                    )
+                except (OSError, ValueError, ConnectionError):
+                    pass
+
+            requests, expected = self._request_set("alpha", salt=3)
+            outcomes = _drive_load(
+                supervisor.port,
+                requests,
+                mid_load=wedge,
+                mid_at=len(requests) // 3,
+            )
+            failures = self._check_identical(
+                result, outcomes, expected, allow_failures=True
+            )
+            result.metrics["failed_requests"] = failures
+            recovery = self._await_recovery(
+                supervisor, result, extra=supervisor.config.heartbeat_timeout
+            )
+            if recovery is not None:
+                result.metrics["recovery_ms"] = round(recovery, 1)
+            events = supervisor.snapshot()["events"]
+            result.check(
+                any(
+                    e.get("action") == "restart"
+                    and e.get("reason") == "wedged"
+                    for e in events
+                ),
+                f"no wedged-restart event in {events}",
+            )
+            after, after_want = self._request_set("alpha", count=8, salt=4)
+            post = _drive_load(supervisor.port, after)
+            self._check_identical(result, post, after_want, False)
+        finally:
+            self._teardown(supervisor, stop, monitor, result)
+        return result
+
+    def rollover(self, model: str) -> ScenarioResult:
+        result = ScenarioResult(name=f"rollover[{model}]")
+        supervisor, stop, monitor = self._supervisor()
+        try:
+            good_blob = pack_model(
+                self.alpha_v2, self.store_dir / ".chaos-v2.spm"
+            ).read_bytes()
+            (self.store_dir / ".chaos-v2.spm").unlink()
+            corrupt = good_blob[:-24] + b"\x00" * 24
+
+            def install(blob: bytes) -> "tuple[int, dict]":
+                status, _, payload = _http(
+                    supervisor.port,
+                    "POST",
+                    f"/v1/models/install?model={model}",
+                    blob,
+                    content_type="application/octet-stream",
+                )
+                return status, payload
+
+            # Phase 1: corrupted artifact under load — 422, quarantined,
+            # old model keeps serving bit-identically with no failures.
+            requests, expected = self._request_set(model, salt=5)
+            install_state: dict = {}
+            outcomes = _drive_load(
+                supervisor.port,
+                requests,
+                mid_load=lambda: install_state.update(
+                    zip(("status", "payload"), install(corrupt))
+                ),
+                mid_at=len(requests) // 3,
+            )
+            self._check_identical(result, outcomes, expected, False)
+            result.check(
+                install_state.get("status") == 422,
+                f"corrupt install answered {install_state.get('status')}, "
+                "expected 422",
+            )
+            quarantine = (
+                self.store_dir / STAGING_DIRNAME / ".quarantine"
+            )
+            result.check(
+                quarantine.is_dir() and any(quarantine.iterdir()),
+                "corrupt artifact was not quarantined",
+            )
+
+            # Phase 2: good artifact under load — zero failures, every
+            # response matches old or new model exactly, and the new
+            # model propagates to every worker.
+            old_want = expected
+            rng = random.Random(self.seed * 1000 + 6)
+            rows_set = [
+                _request_rows(self.metrics, rng)
+                for _ in range(self.requests)
+            ]
+            requests2 = [
+                ("/v1/estimate", _columns_body(model, rows))
+                for rows in rows_set
+            ]
+            want_old = [
+                _expected_per_metric(self.models[model], rows)
+                for rows in rows_set
+            ]
+            want_new = [
+                _expected_per_metric(self.alpha_v2, rows)
+                for rows in rows_set
+            ]
+            started = time.perf_counter()
+            outcomes2 = _drive_load(
+                supervisor.port,
+                requests2,
+                mid_load=lambda: install_state.update(
+                    {"good": install(good_blob)}
+                ),
+                mid_at=len(requests2) // 3,
+            )
+            good_status = install_state.get("good", (None, {}))[0]
+            result.check(
+                good_status == 200,
+                f"good install answered {good_status}, expected 200",
+            )
+            for out, old, new in zip(outcomes2, want_old, want_new):
+                result.check(
+                    out.status == 200,
+                    f"request {out.index} failed mid-rollover: "
+                    f"{out.status} {out.error}",
+                )
+                if out.status == 200:
+                    result.check(
+                        out.per_metric in (old, new),
+                        f"request {out.index} matches neither model "
+                        "version bit-identically",
+                    )
+
+            # Propagation: poll until every worker slot serves v2.
+            deadline = time.monotonic() + 10.0
+            serving_new: "set[str]" = set()
+            probe_rows = rows_set[0]
+            probe = _columns_body(model, probe_rows)
+            probe_new = _expected_per_metric(self.alpha_v2, probe_rows)
+            while time.monotonic() < deadline:
+                status, headers, payload = _http(
+                    supervisor.port, "POST", "/v1/estimate", probe
+                )
+                if (
+                    status == 200
+                    and payload.get("per_metric") == probe_new
+                ):
+                    worker = headers.get("x-spire-worker")
+                    if worker is not None:
+                        serving_new.add(worker)
+                if len(serving_new) >= self.workers:
+                    break
+                time.sleep(0.02)
+            result.metrics["rollover_propagation_ms"] = round(
+                (time.perf_counter() - started) * 1e3, 1
+            )
+            result.check(
+                len(serving_new) >= self.workers,
+                f"only worker(s) {sorted(serving_new)} of "
+                f"{self.workers} adopted the rollover",
+            )
+            result.metrics["old_responses"] = sum(
+                1
+                for out, old in zip(outcomes2, want_old)
+                if out.per_metric == old
+            )
+            result.metrics["new_responses"] = sum(
+                1
+                for out, new in zip(outcomes2, want_new)
+                if out.per_metric == new
+            )
+        finally:
+            self._teardown(supervisor, stop, monitor, result)
+            # Restore the original artifact for later scenarios.
+            pack_model(
+                self.models[model], self.store_dir / f"{model}.spm"
+            )
+        return result
+
+    def quota_storm(self, model: str, factor: float) -> ScenarioResult:
+        result = ScenarioResult(name=f"quota-storm[{model}]")
+        bystander = "beta" if model != "beta" else "alpha"
+        # Buckets are per worker process, so the fleet-effective rate is
+        # workers * rate; keep it far below the storm's request rate.
+        quotas = {model: QuotaPolicy(rate=10.0, burst=2.0)}
+        supervisor, stop, monitor = self._supervisor(quotas=quotas)
+        try:
+            storm_count = int(self.requests * max(factor, 2.0) / 2)
+            storm, _ = self._request_set(model, count=storm_count, salt=8)
+            calm, calm_want = self._request_set(bystander, salt=9)
+
+            calm_out: "list[_Outcome]" = []
+
+            def run_calm() -> None:
+                calm_out.extend(
+                    _drive_load(supervisor.port, calm, threads=2)
+                )
+
+            calm_thread = threading.Thread(target=run_calm, daemon=True)
+            calm_thread.start()
+            storm_out = _drive_load(supervisor.port, storm, threads=4)
+            calm_thread.join(timeout=60.0)
+
+            rejected = [o for o in storm_out if o.status == 429]
+            server_errors = [
+                o
+                for o in storm_out
+                if o.status is not None and o.status >= 500
+            ]
+            result.metrics["storm_requests"] = len(storm)
+            result.metrics["storm_429"] = len(rejected)
+            result.check(
+                len(rejected) > 0,
+                "the storm was never quota-limited (no 429s)",
+            )
+            result.check(
+                not server_errors,
+                f"storm triggered {len(server_errors)} 5xx responses",
+            )
+            result.check(
+                all(o.retry_after for o in rejected),
+                "429 responses are missing Retry-After",
+            )
+            # The bystander model must be completely undisturbed.
+            result.check(
+                len(calm_out) == len(calm),
+                f"bystander load incomplete: {len(calm_out)}/{len(calm)}",
+            )
+            self._check_identical(result, calm_out, calm_want, False)
+            result.metrics["bystander_requests"] = len(calm)
+        finally:
+            self._teardown(supervisor, stop, monitor, result)
+        return result
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _await_recovery(
+        supervisor: ServeSupervisor,
+        result: ScenarioResult,
+        extra: float = 0.0,
+    ) -> "float | None":
+        """Wait for a 'recovered' event; the monitor thread produces it."""
+        deadline = (
+            time.monotonic()
+            + supervisor.config.start_timeout
+            + supervisor.config.backoff_cap
+            + extra
+        )
+        while time.monotonic() < deadline:
+            for event in supervisor.snapshot()["events"]:
+                if event.get("action") == "recovered":
+                    return float(event["recovery_ms"])
+            time.sleep(0.05)
+        result.fail("worker never recovered (no 'recovered' event)")
+        return None
+
+    # -- plan dispatch -------------------------------------------------
+
+    def run_plan(self, plan: FaultPlan) -> dict:
+        """Run one scenario per serve fault spec; return the JSON report."""
+        results: "list[ScenarioResult]" = []
+        for spec in plan.serve_faults():
+            if spec.kind == WORKER_CRASH:
+                slot = self._slot_of(spec.workload)
+                results.append(self.worker_crash(slot))
+            elif spec.kind == WORKER_HANG:
+                slot = self._slot_of(spec.workload)
+                results.append(
+                    self.worker_hang(slot, min(spec.hang_seconds, 60.0))
+                )
+            elif spec.kind == ROLLOVER_CORRUPT_ARTIFACT:
+                model = (
+                    spec.workload if spec.workload in self.models else "alpha"
+                )
+                results.append(self.rollover(model))
+            elif spec.kind == QUOTA_STORM:
+                model = (
+                    spec.workload if spec.workload in self.models else "alpha"
+                )
+                results.append(self.quota_storm(model, spec.factor))
+        return {
+            "ok": all(r.ok for r in results),
+            "workers": self.workers,
+            "requests_per_scenario": self.requests,
+            "seed": self.seed,
+            "kinds_supported": list(SERVE_KINDS),
+            "scenarios": [r.to_dict() for r in results],
+        }
+
+    def _slot_of(self, workload: str) -> int:
+        try:
+            slot = int(workload)
+        except ValueError:
+            return 0
+        return slot % self.workers
+
+
+def run_serve_chaos(
+    store_dir: "str | Path",
+    plan: FaultPlan,
+    workers: int = 4,
+    requests: int = 48,
+    seed: int = 0,
+) -> dict:
+    """Convenience wrapper used by ``spire faultsim --serve``."""
+    harness = ChaosHarness(
+        store_dir, workers=workers, requests=requests, seed=seed
+    )
+    return harness.run_plan(plan)

@@ -1,0 +1,188 @@
+"""Per-model admission quotas: token buckets ahead of the batcher lanes.
+
+The micro-batcher's queue limit protects the *server* from unbounded
+memory, but it is per-lane and reactive: a client storm on one model
+fills that model's lane and, because every queued request still costs an
+evaluation pass, steals wall clock from every other lane on the shared
+event loop.  Admission quotas bound the *rate* a model may consume
+before its requests ever reach a lane: each model gets a token bucket
+(``rate`` tokens/second, ``burst`` capacity) and a request that finds
+the bucket empty is refused immediately with the exact number of
+seconds until the next token — the ``Retry-After`` the HTTP layer
+already knows how to send.  Overload on one model therefore costs that
+model 429s and costs its neighbours nothing.
+
+The clock is injectable so tests (and the fault harness's quota-storm
+scenario) can drive the buckets deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError, ServeOverloadError
+
+__all__ = ["AdmissionController", "QuotaPolicy", "TokenBucket"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuotaPolicy:
+    """One model's admission budget.
+
+    ``rate`` is the sustained admission rate in requests per second;
+    ``burst`` is the bucket capacity — how far a quiet model may get
+    ahead of its sustained rate before refusals start.
+    """
+
+    rate: float
+    burst: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError("quota rate must be positive (requests/second)")
+        if self.burst < 0:
+            raise ConfigError("quota burst cannot be negative")
+
+    @property
+    def capacity(self) -> float:
+        """Bucket capacity: at least one whole request."""
+        return max(self.burst, 1.0)
+
+    @classmethod
+    def parse(cls, raw: str) -> "QuotaPolicy":
+        """Parse the CLI shape ``RATE`` or ``RATE:BURST``."""
+        rate_text, _, burst_text = raw.partition(":")
+        try:
+            rate = float(rate_text)
+            burst = float(burst_text) if burst_text else 0.0
+        except ValueError:
+            raise ConfigError(
+                f"quota must be RATE or RATE:BURST, got {raw!r}"
+            ) from None
+        return cls(rate=rate, burst=burst)
+
+
+class TokenBucket:
+    """A standard token bucket with a deterministic, injectable clock."""
+
+    __slots__ = ("policy", "_clock", "_tokens", "_updated", "_lock")
+
+    def __init__(
+        self,
+        policy: QuotaPolicy,
+        clock: "Callable[[], float]" = time.monotonic,
+    ):
+        self.policy = policy
+        self._clock = clock
+        self._tokens = policy.capacity  # a fresh bucket starts full
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self._updated, 0.0)
+        self._updated = now
+        self._tokens = min(
+            self.policy.capacity, self._tokens + elapsed * self.policy.rate
+        )
+
+    def admit(self, cost: float = 1.0) -> "float | None":
+        """Take ``cost`` tokens; ``None`` on admission, else seconds to wait.
+
+        The returned delay is exact for the injected clock: after waiting
+        that long the same ``cost`` is guaranteed to be admitted (absent
+        competing callers).
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return None
+            return (cost - self._tokens) / self.policy.rate
+
+    def level(self) -> float:
+        """Current token count (after refill), for introspection."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class AdmissionController:
+    """Token-bucket admission ahead of the micro-batcher lanes.
+
+    ``policies`` maps model names to :class:`QuotaPolicy`; ``default``
+    applies to models without an explicit policy (``None`` means
+    unlimited — the controller never refuses them).  Refusals raise
+    :class:`~repro.errors.ServeOverloadError` with ``quota=True`` and a
+    ``retry_after`` computed from the bucket, which the HTTP layer maps
+    to ``429`` + ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        policies: "dict[str, QuotaPolicy] | None" = None,
+        default: "QuotaPolicy | None" = None,
+        clock: "Callable[[], float]" = time.monotonic,
+        stats=None,
+    ):
+        self._policies = dict(policies or {})
+        self._default = default
+        self._clock = clock
+        self._buckets: "dict[str, TokenBucket]" = {}
+        self._lock = threading.Lock()
+        self.stats = stats
+
+    def policy_for(self, model: str) -> "QuotaPolicy | None":
+        return self._policies.get(model, self._default)
+
+    def _bucket(self, model: str) -> "TokenBucket | None":
+        policy = self.policy_for(model)
+        if policy is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(model)
+            if bucket is None:
+                bucket = TokenBucket(policy, clock=self._clock)
+                self._buckets[model] = bucket
+            return bucket
+
+    def admit(self, model: str) -> None:
+        """Admit one request for ``model`` or raise the 429-shaped error."""
+        bucket = self._bucket(model)
+        if bucket is None:
+            return
+        delay = bucket.admit()
+        if delay is None:
+            return
+        if self.stats is not None:
+            self.stats.note_quota_rejected(model)
+        raise ServeOverloadError(
+            f"admission quota exhausted for model {model!r} "
+            f"({bucket.policy.rate:g} req/s, burst {bucket.policy.capacity:g})",
+            retry_after=delay,
+            quota=True,
+        )
+
+    def snapshot(self) -> dict:
+        """Policies and live bucket levels for ``serve_state``."""
+        with self._lock:
+            levels = {
+                name: round(bucket.level(), 3)
+                for name, bucket in self._buckets.items()
+            }
+        payload: dict = {
+            "policies": {
+                name: {"rate": p.rate, "burst": p.capacity}
+                for name, p in sorted(self._policies.items())
+            },
+            "levels": levels,
+        }
+        if self._default is not None:
+            payload["default"] = {
+                "rate": self._default.rate,
+                "burst": self._default.capacity,
+            }
+        return payload

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import mmap
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
@@ -285,19 +286,30 @@ class _Resident:
 
 
 class ModelRegistry:
-    """Per-model LRU over the packed artifact store."""
+    """Per-model LRU over the packed artifact store.
 
-    def __init__(self, store_dir: "str | Path", capacity: int = 4):
+    Cold loads are *single-flight*: when two callers race on the same
+    unmapped model, one pays the sha256 verify + mmap and the other
+    waits on it (counted as ``single_flight_waits`` and, when a
+    :class:`~repro.serve.stats.ServeStats` is attached, as
+    ``lock_contention``) instead of duplicating the work.
+    """
+
+    def __init__(self, store_dir: "str | Path", capacity: int = 4, stats=None):
         if capacity < 1:
             raise DataError("registry capacity must be at least 1")
         self.store_dir = Path(store_dir)
         self.capacity = capacity
+        self.stats = stats
         self._resident: "OrderedDict[str, _Resident]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._load_locks: "dict[str, threading.Lock]" = {}
         self.hits = 0
         self.misses = 0
         self.loads = 0
         self.evictions = 0
         self.verify_failures = 0
+        self.single_flight_waits = 0
 
     def path_for(self, name: str) -> Path:
         if not name or "/" in name or "\\" in name or name.startswith("."):
@@ -307,68 +319,128 @@ class ModelRegistry:
     def install(self, name: str, model: SpireModel) -> Path:
         """Pack ``model`` into the store; a resident copy is invalidated."""
         path = pack_model(model, self.path_for(name))
-        stale = self._resident.pop(name, None)
+        with self._lock:
+            stale = self._resident.pop(name, None)
         if stale is not None:
             _release(stale.mapping)
         return path
 
+    def replace_resident(
+        self, name: str, model: SpireModel, mapping: mmap.mmap
+    ) -> None:
+        """Atomically swap the resident entry for ``name`` (hot rollover).
+
+        The new ``(model, mapping)`` must already be verified — this is
+        the registry-alias flip at the end of a rollover.  The old
+        mapping's reference is dropped; requests still holding the old
+        model object keep its pages alive until they finish, so their
+        responses stay bit-identical to pre-rollover serving.
+        """
+        with self._lock:
+            stale = self._resident.pop(name, None)
+            self._resident[name] = _Resident(model, mapping)
+            evict = self._evict_over_capacity_locked()
+        if stale is not None:
+            _release(stale.mapping)
+        for resident in evict:
+            _release(resident.mapping)
+
     def names(self) -> "list[str]":
         """Models available: resident plus packed on disk, sorted."""
-        found = set(self._resident)
+        with self._lock:
+            found = set(self._resident)
         if self.store_dir.is_dir():
             for entry in self.store_dir.glob(f"*{PACKED_MODEL_SUFFIX}"):
                 found.add(entry.stem)
         return sorted(found)
 
     def has(self, name: str) -> bool:
-        return name in self._resident or self.path_for(name).is_file()
+        with self._lock:
+            if name in self._resident:
+                return True
+        return self.path_for(name).is_file()
+
+    def _evict_over_capacity_locked(self) -> "list[_Resident]":
+        evicted: "list[_Resident]" = []
+        while len(self._resident) > self.capacity:
+            _, resident = self._resident.popitem(last=False)
+            evicted.append(resident)
+            self.evictions += 1
+        return evicted
 
     def get(self, name: str) -> SpireModel:
         """The resident model, mapping it in (and evicting) as needed."""
-        resident = self._resident.get(name)
-        if resident is not None:
-            self._resident.move_to_end(name)
-            self.hits += 1
-            return resident.model
-        self.misses += 1
-        path = self.path_for(name)
-        if not path.is_file():
-            raise DataError(f"no packed model named {name!r} in {self.store_dir}")
+        with self._lock:
+            resident = self._resident.get(name)
+            if resident is not None:
+                self._resident.move_to_end(name)
+                self.hits += 1
+                return resident.model
+            self.misses += 1
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+        contended = not load_lock.acquire(blocking=False)
+        if contended:
+            with self._lock:
+                self.single_flight_waits += 1
+            if self.stats is not None:
+                self.stats.note_lock_contention()
+            load_lock.acquire()
         try:
-            model, mapping = map_model(path)
-        except DataError:
-            self.verify_failures += 1
-            raise
-        self.loads += 1
-        self._resident[name] = _Resident(model, mapping)
-        while len(self._resident) > self.capacity:
-            _, evicted = self._resident.popitem(last=False)
-            _release(evicted.mapping)
-            self.evictions += 1
-        return model
+            # The winner may have mapped the model while we waited.
+            with self._lock:
+                resident = self._resident.get(name)
+                if resident is not None:
+                    self._resident.move_to_end(name)
+                    self.hits += 1
+                    return resident.model
+            path = self.path_for(name)
+            if not path.is_file():
+                raise DataError(
+                    f"no packed model named {name!r} in {self.store_dir}"
+                )
+            try:
+                model, mapping = map_model(path)
+            except DataError:
+                with self._lock:
+                    self.verify_failures += 1
+                raise
+            with self._lock:
+                self.loads += 1
+                self._resident[name] = _Resident(model, mapping)
+                evict = self._evict_over_capacity_locked()
+            for resident in evict:
+                _release(resident.mapping)
+            return model
+        finally:
+            load_lock.release()
 
     def evict(self, name: str) -> bool:
-        resident = self._resident.pop(name, None)
-        if resident is None:
-            return False
+        with self._lock:
+            resident = self._resident.pop(name, None)
+            if resident is None:
+                return False
+            self.evictions += 1
         _release(resident.mapping)
-        self.evictions += 1
         return True
 
     def close(self) -> None:
-        for resident in self._resident.values():
+        with self._lock:
+            residents = list(self._resident.values())
+            self._resident.clear()
+        for resident in residents:
             _release(resident.mapping)
-        self._resident.clear()
 
     def snapshot(self) -> dict:
         """Counters for ``serve_state`` (see :mod:`repro.serve.stats`)."""
-        return {
-            "occupancy": len(self._resident),
-            "capacity": self.capacity,
-            "resident": list(self._resident),
-            "hits": self.hits,
-            "misses": self.misses,
-            "loads": self.loads,
-            "evictions": self.evictions,
-            "verify_failures": self.verify_failures,
-        }
+        with self._lock:
+            return {
+                "occupancy": len(self._resident),
+                "capacity": self.capacity,
+                "resident": list(self._resident),
+                "hits": self.hits,
+                "misses": self.misses,
+                "loads": self.loads,
+                "evictions": self.evictions,
+                "verify_failures": self.verify_failures,
+                "single_flight_waits": self.single_flight_waits,
+            }

@@ -1,0 +1,243 @@
+"""Hot model rollover: replace a served model without dropping traffic.
+
+A long-lived server must be able to adopt a retrained model while
+requests are in flight.  The rollover protocol never exposes traffic to
+an unverified artifact:
+
+1. **Stage** — the incoming artifact (a trained model to pack, or raw
+   packed ``.spm`` bytes) is written atomically into a staging slot
+   (``<store>/.staging/<name>.spm``), never the live path.
+2. **Verify** — the staged file is mapped with the same
+   :func:`~repro.serve.registry.map_model` integrity pipeline the cold
+   path uses (format, sha256, structural checks).  A failure quarantines
+   the *staged* file under ``.staging/.quarantine/`` and raises; the
+   live artifact and resident model are untouched.
+3. **Canary** — the staged model answers a synthetic estimate built from
+   its own rooflines' apexes; non-finite or empty output rejects the
+   artifact before any client sees it.
+4. **Swap** — ``os.replace`` moves the staged file over the live path
+   (atomic, same directory tree) and the registry's resident entry is
+   swapped in one lock region.  In-flight requests keep the old model
+   object — the old mmap stays alive until they finish, so their
+   responses are bit-identical to pre-rollover serving — while every
+   subsequent lane resolution gets the new mapping.
+
+In a supervised multi-worker fleet the worker that handled the install
+broadcasts the swap through the supervisor; peer workers :meth:`adopt`
+the new artifact by dropping their resident entry, so their next request
+remaps (single-flight) from the shared store.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.columns import SampleArray
+from repro.core.ensemble import SpireModel
+from repro.errors import DataError, EstimationError
+from repro.guard.artifact import atomic_write_bytes, quarantine_file
+from repro.serve.registry import (
+    PACKED_MODEL_SUFFIX,
+    ModelRegistry,
+    map_model,
+    pack_model,
+)
+
+__all__ = ["RolloverEvent", "RolloverManager", "STAGING_DIRNAME"]
+
+STAGING_DIRNAME = ".staging"
+
+
+@dataclass(frozen=True, slots=True)
+class RolloverEvent:
+    """One install attempt's outcome, kept in the rollover history."""
+
+    model: str
+    action: str        # "installed" | "rejected" | "adopted"
+    detail: str = ""
+    checksum: str = ""
+    duration_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "action": self.action,
+            "detail": self.detail,
+            "checksum": self.checksum,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+
+
+class RolloverManager:
+    """Stage → verify → canary → swap, with a bounded event history."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        canary_rows: int = 4,
+        history_limit: int = 32,
+        on_swap=None,
+    ):
+        self.registry = registry
+        self.canary_rows = canary_rows
+        self.history_limit = history_limit
+        self.installs = 0
+        self.rejected = 0
+        self.adopted = 0
+        self.history: "list[RolloverEvent]" = []
+        #: Called with the model name after a successful swap — the
+        #: supervised worker uses this to broadcast the rollover to its
+        #: peers over the heartbeat pipe.
+        self.on_swap = on_swap
+
+    # -- staging paths -------------------------------------------------
+
+    def staging_dir(self) -> Path:
+        return self.registry.store_dir / STAGING_DIRNAME
+
+    def staging_path(self, name: str) -> Path:
+        self.registry.path_for(name)  # reuse the name sandbox check
+        return self.staging_dir() / f"{name}{PACKED_MODEL_SUFFIX}"
+
+    # -- install entry points ------------------------------------------
+
+    def install_model(self, name: str, model: SpireModel) -> RolloverEvent:
+        """Pack a trained model into staging, then verify/canary/swap."""
+        started = time.perf_counter()
+        staged = pack_model(model, self.staging_path(name))
+        return self._promote(name, staged, started)
+
+    def install_packed(self, name: str, blob: bytes) -> RolloverEvent:
+        """Stage raw packed ``.spm`` bytes, then verify/canary/swap."""
+        started = time.perf_counter()
+        staged = atomic_write_bytes(self.staging_path(name), blob)
+        return self._promote(name, staged, started)
+
+    def adopt(self, name: str) -> bool:
+        """Drop the resident entry so the next request remaps from disk.
+
+        The peer-worker side of a fleet rollover: the shared store
+        already holds the swapped artifact, this worker just stops
+        serving its stale resident copy.  In-flight requests holding the
+        old model object still finish on the old mapping.
+        """
+        dropped = self.registry.evict(name)
+        self.adopted += 1
+        self._record(
+            RolloverEvent(
+                model=name,
+                action="adopted",
+                detail="resident copy dropped" if dropped else "not resident",
+            )
+        )
+        return dropped
+
+    # -- the promotion pipeline ----------------------------------------
+
+    def _promote(self, name: str, staged: Path, started: float) -> RolloverEvent:
+        try:
+            model, mapping = map_model(staged)  # quarantines on failure
+        except DataError as exc:
+            return self._reject(name, started, str(exc))
+        try:
+            self._canary(model)
+        except DataError as exc:
+            try:
+                mapping.close()
+            except BufferError:
+                pass
+            quarantine_file(staged, f"canary failed: {exc}")
+            return self._reject(name, started, f"canary failed: {exc}")
+
+        checksum = self._checksum_of(staged, mapping)
+        live = self.registry.path_for(name)
+        # Atomic alias flip: the file first (os.replace keeps the staged
+        # inode, which is exactly what `mapping` has mapped), then the
+        # resident entry in one registry lock region.
+        os.replace(staged, live)
+        self.registry.replace_resident(name, model, mapping)
+        self.installs += 1
+        event = RolloverEvent(
+            model=name,
+            action="installed",
+            detail=f"{len(model)} roofline(s)",
+            checksum=checksum,
+            duration_ms=(time.perf_counter() - started) * 1e3,
+        )
+        self._record(event)
+        if self.on_swap is not None:
+            self.on_swap(name)
+        return event
+
+    def _canary(self, model: SpireModel) -> None:
+        """A staged model must answer a finite estimate before serving.
+
+        The probe is synthetic but model-specific: each roofline is
+        evaluated at fractions of its own apex intensity, exactly the
+        regime real requests hit.
+        """
+        metrics, times, works, counts = [], [], [], []
+        for metric in model.metrics:
+            apex = model.roofline(metric).apex
+            base = apex.x if math.isfinite(apex.x) and apex.x > 0 else 1.0
+            for step in range(1, self.canary_rows + 1):
+                intensity = base * step / self.canary_rows
+                metrics.append(metric)
+                times.append(1.0)
+                works.append(intensity)
+                counts.append(1.0)
+        if not metrics:
+            raise DataError("staged model has no rooflines")
+        probe = SampleArray.from_lists(metrics, times, works, counts)
+        try:
+            estimate = model.estimate(probe.to_sample_set())
+        except EstimationError as exc:
+            raise DataError(f"canary estimate failed: {exc}") from None
+        for metric, value in estimate.per_metric.items():
+            if not math.isfinite(value) or value < 0:
+                raise DataError(
+                    f"canary produced a non-finite/negative bound for "
+                    f"{metric!r}: {value}"
+                )
+
+    @staticmethod
+    def _checksum_of(path: Path, mapping) -> str:
+        """The artifact's declared payload checksum (already verified)."""
+        try:
+            import json
+
+            newline = mapping.find(b"\n")
+            head = json.loads(mapping[:newline].decode("utf-8"))
+            return str(head["header"]["checksum"])
+        except Exception:  # pragma: no cover - verified heads parse
+            return ""
+
+    def _reject(self, name: str, started: float, reason: str) -> RolloverEvent:
+        self.rejected += 1
+        event = RolloverEvent(
+            model=name,
+            action="rejected",
+            detail=reason,
+            duration_ms=(time.perf_counter() - started) * 1e3,
+        )
+        self._record(event)
+        raise DataError(f"rollover of model {name!r} rejected: {reason}")
+
+    def _record(self, event: RolloverEvent) -> None:
+        self.history.append(event)
+        del self.history[: -self.history_limit]
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Counters + recent history for ``serve_state``."""
+        return {
+            "installs": self.installs,
+            "rejected": self.rejected,
+            "adopted": self.adopted,
+            "history": [event.to_dict() for event in self.history[-8:]],
+        }

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from urllib.parse import parse_qs, urlsplit
 
@@ -46,7 +48,9 @@ from repro.errors import (
 )
 from repro.guard.dispatch import health_report
 from repro.serve.batching import MicroBatcher
+from repro.serve.quotas import AdmissionController, QuotaPolicy
 from repro.serve.registry import ModelRegistry
+from repro.serve.rollover import RolloverManager
 from repro.serve.stats import ServeStats
 from repro.tma.drilldown import drilldown
 from repro.tma.topdown import TopDownAnalyzer
@@ -75,10 +79,26 @@ class ServeConfig:
     work_event: str = "instructions"
     time_event: str = "cycles"
     separator: str = ","
+    # Per-model admission quotas (None entries / no entry = unlimited).
+    quotas: "dict[str, QuotaPolicy] | None" = None
+    default_quota: "QuotaPolicy | None" = None
+    # Supervised-fleet plumbing: SO_REUSEPORT lets N workers share one
+    # port; ``sock`` carries a pre-bound listening socket (the fallback
+    # when REUSEPORT is unavailable — fork-inherited from the parent).
+    reuse_port: bool = False
+    sock: "object | None" = field(default=None, repr=False, compare=False)
+    worker_slot: "int | None" = None
+    # Graceful-shutdown budget: how long stop(drain=True) waits for
+    # busy handlers to write their final responses.
+    drain_timeout: float = 5.0
+    # Chaos only: expose /debug/crash and /debug/hang fault routes.
+    debug_faults: bool = False
 
     def __post_init__(self) -> None:
         if self.max_body < 1:
             raise SpireError("max_body must be positive")
+        if self.drain_timeout < 0:
+            raise SpireError("drain_timeout cannot be negative")
 
 
 @dataclass
@@ -115,10 +135,24 @@ class SpireServer:
 
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
-        self.registry = ModelRegistry(
-            self.config.store_dir, capacity=self.config.capacity
-        )
         self.stats = ServeStats()
+        self.stats.worker_slot = self.config.worker_slot
+        self.registry = ModelRegistry(
+            self.config.store_dir,
+            capacity=self.config.capacity,
+            stats=self.stats,
+        )
+        self.admission = AdmissionController(
+            policies=self.config.quotas,
+            default=self.config.default_quota,
+            stats=self.stats,
+        )
+        self.rollover = RolloverManager(
+            self.registry, on_swap=self._notify_rollover
+        )
+        #: Supervised workers point this at their control channel so a
+        #: successful install is broadcast to peer workers.
+        self.on_rollover: "object | None" = None
         self.batcher: MicroBatcher | None = None
         if self.config.micro_batch:
             self.batcher = MicroBatcher(
@@ -137,16 +171,36 @@ class SpireServer:
         )
         self._server: "asyncio.AbstractServer | None" = None
         self.port = self.config.port
+        self._handler_tasks: "set[asyncio.Task]" = set()
+        self._busy = 0
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+
+    def _notify_rollover(self, name: str) -> None:
+        callback = self.on_rollover
+        if callback is not None:
+            callback(name)
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle_client,
-            host=self.config.host,
-            port=self.config.port,
-            limit=_MAX_HEAD,
-        )
+        if self.config.sock is not None:
+            # Fork-inherited listening socket (the no-REUSEPORT fleet
+            # fallback): the kernel load-balances accepts across workers.
+            self._server = await asyncio.start_server(
+                self._handle_client, sock=self.config.sock, limit=_MAX_HEAD
+            )
+        else:
+            kwargs: dict = {}
+            if self.config.reuse_port:
+                kwargs["reuse_port"] = True
+            self._server = await asyncio.start_server(
+                self._handle_client,
+                host=self.config.host,
+                port=self.config.port,
+                limit=_MAX_HEAD,
+                **kwargs,
+            )
         # Port 0 asks the OS for a free port; report the one we got.
         sockets = self._server.sockets or ()
         if sockets:
@@ -159,33 +213,86 @@ class SpireServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = False) -> None:
+        """Shut down, gracefully (``drain=True``) or hard.
+
+        Ordered either way: the listener closes first so no new
+        connections arrive, then the batcher's queues are settled —
+        *evaluated* on drain, failed with ``503`` on a hard stop — and
+        only then are connection handlers (which still need the event
+        loop to write those final responses) waited on and reaped.
+        Closing transports before settling the queues is exactly the
+        hung-keep-alive bug this ordering exists to prevent.
+        """
+        started = time.perf_counter()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        flushed = 0
         if self.batcher is not None:
-            await self.batcher.close()
+            if drain:
+                flushed = await self.batcher.drain()
+            else:
+                await self.batcher.close()
+        # Busy handlers now hold resolved futures (results or 503s);
+        # give them the drain budget to finish writing.
+        deadline = (
+            self.config.drain_timeout
+            if drain
+            else min(self.config.drain_timeout, 1.0)
+        )
+        if self._busy:
+            try:
+                await asyncio.wait_for(self._idle_event.wait(), deadline)
+            except asyncio.TimeoutError:
+                pass
+        # Idle keep-alive handlers block in read forever; cancel them.
+        for task in list(self._handler_tasks):
+            task.cancel()
+        if self._handler_tasks:
+            await asyncio.gather(
+                *self._handler_tasks, return_exceptions=True
+            )
         self.registry.close()
+        if drain:
+            self.stats.note_drain(
+                (time.perf_counter() - started) * 1e3, flushed
+            )
 
     # -- HTTP plumbing -------------------------------------------------
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
         try:
             while True:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                self.stats.note_request()
-                response = await self._dispatch(request)
-                self.stats.note_response(response.status)
-                close = (
-                    request.headers.get("connection", "").lower() == "close"
-                )
-                writer.write(self._encode(response, close=close))
-                await writer.drain()
+                self._busy += 1
+                self._idle_event.clear()
+                try:
+                    self.stats.note_request()
+                    response = await self._dispatch(request)
+                    self.stats.note_response(response.status)
+                    if self.config.worker_slot is not None:
+                        response.headers.setdefault(
+                            "X-Spire-Worker", str(self.config.worker_slot)
+                        )
+                    close = (
+                        request.headers.get("connection", "").lower()
+                        == "close"
+                    )
+                    writer.write(self._encode(response, close=close))
+                    await writer.drain()
+                finally:
+                    self._busy -= 1
+                    if not self._busy:
+                        self._idle_event.set()
                 if close:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -195,6 +302,8 @@ class SpireServer:
             # the streams done-callback from logging the cancellation.
             pass
         finally:
+            if task is not None:
+                self._handler_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -278,6 +387,14 @@ class SpireServer:
                 return await self._estimate_route(
                     request, full=request.path == "/v1/analyze"
                 )
+            if request.path == "/v1/models/install":
+                if request.method != "POST":
+                    return _Response(405, {"error": "use POST"})
+                return self._install_route(request)
+            if self.config.debug_faults and request.path == "/debug/crash":
+                return self._debug_crash()
+            if self.config.debug_faults and request.path == "/debug/hang":
+                return self._debug_hang(request)
             return _Response(404, {"error": f"no route {request.path!r}"})
         except ServeOverloadError as exc:
             status = 503 if exc.shed else 429
@@ -291,9 +408,15 @@ class SpireServer:
         except _BadRequest as exc:
             return _Response(400, {"error": str(exc)})
         except DataError as exc:
-            # Artifact-level failure (e.g. a corrupt packed model was
-            # quarantined on reload) — the request was well-formed.
-            return _Response(500, {"error": str(exc)})
+            # Artifact-level failure: the request was well-formed but
+            # the model could not be served (e.g. a corrupt packed
+            # artifact was quarantined on reload).  503, not 500 — the
+            # server itself is healthy and a reinstall fixes it.
+            return _Response(
+                503,
+                {"error": str(exc)},
+                headers={"Retry-After": f"{self.config.retry_after:.3f}"},
+            )
 
     def _health(self) -> _Response:
         report = health_report()
@@ -309,6 +432,8 @@ class SpireServer:
                 self.batcher.queue_depths() if self.batcher is not None else {}
             ),
         }
+        serve_state["admission"] = self.admission.snapshot()
+        serve_state["rollover"] = self.rollover.snapshot()
         try:
             from repro.trace.wavefront import stats as wavefront_stats
 
@@ -325,12 +450,57 @@ class SpireServer:
             },
         )
 
+    # -- rollover / chaos routes ---------------------------------------
+
+    def _install_route(self, request: _Request) -> _Response:
+        """Hot-install a packed model artifact (stage/verify/canary/swap)."""
+        content_type = request.headers.get("content-type", "").split(";")[0]
+        if content_type != "application/octet-stream":
+            raise _BadRequest(
+                "install expects a packed .spm artifact as "
+                "Content-Type: application/octet-stream"
+            )
+        name = request.query.get("model", "")
+        if not name:
+            raise _BadRequest(
+                "install names the model in the query string (?model=...)"
+            )
+        try:
+            event = self.rollover.install_packed(name, request.body)
+        except DataError as exc:
+            # A rejected artifact is a client-payload problem (422), not
+            # a serving failure: the old model keeps serving untouched.
+            return _Response(
+                422,
+                {"error": str(exc), "rollover": self.rollover.snapshot()},
+            )
+        return _Response(200, {"installed": name, "event": event.to_dict()})
+
+    def _debug_crash(self) -> _Response:
+        """Chaos route: hard-kill this worker shortly after responding."""
+        loop = asyncio.get_running_loop()
+        loop.call_later(0.05, os._exit, 70)
+        return _Response(200, {"crashing": True})
+
+    def _debug_hang(self, request: _Request) -> _Response:
+        """Chaos route: wedge the event loop (heartbeats stop beating)."""
+        try:
+            seconds = float(request.query.get("seconds", "30") or 30.0)
+        except ValueError:
+            raise _BadRequest("'seconds' must be a number") from None
+        seconds = min(max(seconds, 0.0), 120.0)
+        time.sleep(seconds)  # deliberately synchronous: a real wedge
+        return _Response(200, {"hung_for": seconds})
+
     # -- estimation routes ---------------------------------------------
 
     async def _estimate_route(
         self, request: _Request, full: bool
     ) -> _Response:
         name, array, quality, counts = self._decode_body(request)
+        # Admission quotas come before any disk or lane work: a storm on
+        # one model burns its own budget, not the server's.
+        self.admission.admit(name)
         if not self.registry.has(name):
             return _Response(404, {"error": f"unknown model {name!r}"})
         estimate = await self._evaluate(name, array)

@@ -1,0 +1,574 @@
+"""Supervised multi-worker serving: fork, monitor, restart, rollover.
+
+One :class:`ServeSupervisor` parent owns the port and N forked
+:class:`~repro.serve.server.SpireServer` workers share it:
+
+- **Port sharing.**  The parent claims the port with a bound (never
+  listening) ``SO_REUSEPORT`` socket — holding the reservation so a
+  crashed worker's port cannot be stolen between restarts — and each
+  worker binds its own listening socket with ``reuse_port=True``; the
+  kernel load-balances accepted connections across the group.  Where
+  ``SO_REUSEPORT`` is unavailable the parent binds one *listening*
+  socket before forking and every worker serves on the inherited fd.
+- **Supervision.**  Each worker heartbeats over a duplex
+  :func:`multiprocessing.Pipe`.  A dead process (crash, ``os._exit``,
+  SIGKILL) is detected by liveness; a *wedged* process (event loop
+  blocked, heartbeats silent past ``heartbeat_timeout``) is killed.
+  Either way the slot restarts after a deterministic exponential
+  backoff (``backoff_base * 2^attempt``, capped at ``backoff_cap``).
+  A slot that restarts more than ``max_restarts`` times inside
+  ``flap_window`` seconds is *flapping*: the supervisor marks it stale
+  and stops restarting it — the survivors keep serving and ``spire
+  doctor --serve-url`` reports the degraded fleet.
+- **Rollover propagation.**  A worker that hot-installs a model
+  (``POST /v1/models/install``) notifies the parent, which broadcasts
+  ``reload`` to its peers; they drop their resident copy and remap the
+  swapped artifact from the shared store on their next request.
+- **Drain.**  ``stop(drain=True)`` (and SIGTERM in the CLI) tells every
+  worker to flush its batcher queues and finish in-flight responses
+  before exiting; stragglers are escalated to SIGTERM then SIGKILL.
+
+The monitor is synchronous — ``step()`` advances it one poll cycle so
+tests and the chaos harness can drive supervision deterministically,
+and ``run()`` loops ``step()`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import socket
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+
+from repro.errors import SpireError
+from repro.serve.server import ServeConfig
+
+__all__ = ["ServeSupervisor", "SupervisorConfig"]
+
+
+@dataclass
+class SupervisorConfig:
+    """Knobs for the supervision loop (see ``docs/serving.md``)."""
+
+    workers: int = 2
+    heartbeat_interval: float = 0.25   # worker beat period (seconds)
+    heartbeat_timeout: float = 3.0     # silent longer than this = wedged
+    backoff_base: float = 0.1          # first restart delay (seconds)
+    backoff_cap: float = 2.0           # restart delay ceiling
+    max_restarts: int = 5              # inside flap_window before stale
+    flap_window: float = 30.0
+    start_timeout: float = 15.0        # waiting for a worker's "ready"
+    drain_timeout: float = 5.0
+    fleet_refresh: float = 1.0         # fleet-snapshot broadcast period
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise SpireError("supervisor needs at least one worker")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise SpireError("heartbeat intervals must be positive")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise SpireError(
+                "backoff_base must be positive and backoff_cap >= base"
+            )
+        if self.max_restarts < 1:
+            raise SpireError("max_restarts must be at least 1")
+
+
+def backoff_delay(config: SupervisorConfig, attempt: int) -> float:
+    """Deterministic exponential backoff for restart ``attempt`` (0-based)."""
+    return min(config.backoff_base * (2.0 ** attempt), config.backoff_cap)
+
+
+class _Slot:
+    """One worker position: process, pipe, and restart bookkeeping."""
+
+    __slots__ = (
+        "index", "process", "conn", "ready", "last_beat", "beats",
+        "restarts", "restart_count", "stale", "pending_restart_at",
+        "down_since", "started_at",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.ready = False
+        self.last_beat = 0.0
+        self.beats: dict = {}
+        self.restarts: "deque[float]" = deque()
+        self.restart_count = 0
+        self.stale = False
+        self.pending_restart_at: "float | None" = None
+        self.down_since: "float | None" = None
+        self.started_at = 0.0
+
+
+def _safe_send(conn, message) -> bool:
+    try:
+        conn.send(message)
+        return True
+    except (BrokenPipeError, OSError, ValueError):
+        return False
+
+
+class ServeSupervisor:
+    """Parent process: owns the port, forks workers, restarts the dead."""
+
+    def __init__(
+        self,
+        serve_config: ServeConfig,
+        config: "SupervisorConfig | None" = None,
+    ):
+        self.serve_config = serve_config
+        self.config = config or SupervisorConfig()
+        self.slots = [_Slot(i) for i in range(self.config.workers)]
+        self.events: "list[dict]" = []
+        self.rollovers: "list[str]" = []
+        self.port = serve_config.port
+        self.reuse_port = False
+        self._claim_sock: "socket.socket | None" = None
+        self._listen_sock: "socket.socket | None" = None
+        self._ctx = get_context("fork")
+        self._last_fleet_push = 0.0
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Claim the port and fork every worker slot."""
+        self._claim_port()
+        for slot in self.slots:
+            self._spawn(slot)
+
+    def wait_ready(self, timeout: "float | None" = None) -> None:
+        """Block until every non-stale worker reported ``ready``."""
+        budget = timeout if timeout is not None else self.config.start_timeout
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            self.step(timeout=0.05)
+            if all(s.ready or s.stale for s in self.slots):
+                return
+        pending = [s.index for s in self.slots if not (s.ready or s.stale)]
+        raise SpireError(
+            f"worker slot(s) {pending} not ready within {budget:.1f}s"
+        )
+
+    def _claim_port(self) -> None:
+        host = self.serve_config.host
+        if hasattr(socket, "SO_REUSEPORT"):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                sock.bind((host, self.serve_config.port))
+            except OSError:
+                sock.close()
+            else:
+                # Bound but never listening: holds the reservation (and
+                # resolves port 0) without stealing any connections from
+                # the workers' listening sockets in the group.
+                self._claim_sock = sock
+                self.port = sock.getsockname()[1]
+                self.reuse_port = True
+                return
+        # Fallback: one listening socket, fork-inherited by all workers.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, self.serve_config.port))
+        sock.listen(128)
+        sock.set_inheritable(True)
+        self._listen_sock = sock
+        self.port = sock.getsockname()[1]
+        self.reuse_port = False
+
+    def _worker_config(self, slot: _Slot) -> ServeConfig:
+        if self.reuse_port:
+            return dataclasses.replace(
+                self.serve_config,
+                port=self.port,
+                reuse_port=True,
+                sock=None,
+                worker_slot=slot.index,
+            )
+        return dataclasses.replace(
+            self.serve_config,
+            port=self.port,
+            reuse_port=False,
+            sock=self._listen_sock,
+            worker_slot=slot.index,
+        )
+
+    def _spawn(self, slot: _Slot) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._worker_config(slot), self.config, child_conn),
+            daemon=True,
+            name=f"spire-serve-worker-{slot.index}",
+        )
+        process.start()
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.ready = False
+        slot.pending_restart_at = None
+        slot.last_beat = time.monotonic()
+        slot.started_at = time.monotonic()
+
+    # -- the monitor ---------------------------------------------------
+
+    def step(self, timeout: "float | None" = None) -> None:
+        """One poll cycle: drain pipes, reap the dead, honor backoffs."""
+        wait_for = (
+            timeout if timeout is not None else self.config.heartbeat_interval
+        )
+        conns = [s.conn for s in self.slots if s.conn is not None]
+        if conns:
+            for conn in mp_connection.wait(conns, wait_for):
+                slot = next(s for s in self.slots if s.conn is conn)
+                self._drain_conn(slot)
+        elif wait_for:
+            time.sleep(min(wait_for, 0.05))
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.stale:
+                continue
+            if slot.pending_restart_at is not None:
+                if now >= slot.pending_restart_at:
+                    self._spawn(slot)
+                continue
+            process = slot.process
+            if process is None or not process.is_alive():
+                exitcode = process.exitcode if process is not None else None
+                self._plan_restart(slot, "crashed", exitcode, now)
+                continue
+            if (
+                slot.ready
+                and now - slot.last_beat > self.config.heartbeat_timeout
+            ):
+                # Alive but silent: the event loop is wedged.  Kill it
+                # and treat it like a crash.
+                self._terminate(slot, hard=True)
+                self._plan_restart(slot, "wedged", None, now)
+        self._push_fleet(now)
+
+    def run(
+        self,
+        duration: "float | None" = None,
+        until: "object | None" = None,
+    ) -> None:
+        """Loop ``step()`` for the CLI (``until`` is an Event-like)."""
+        deadline = (
+            time.monotonic() + duration if duration is not None else None
+        )
+        while not self._stopped:
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            if until is not None and until.is_set():
+                return
+            if all(s.stale for s in self.slots):
+                return  # nothing left to supervise
+            self.step()
+
+    def _drain_conn(self, slot: _Slot) -> None:
+        conn = slot.conn
+        if conn is None:
+            return
+        try:
+            while conn.poll():
+                self._handle(slot, conn.recv())
+        except (EOFError, OSError):
+            pass  # liveness check picks the death up
+
+    def _handle(self, slot: _Slot, message) -> None:
+        now = time.monotonic()
+        kind = message[0]
+        if kind == "ready":
+            slot.ready = True
+            slot.last_beat = now
+            # A fresh worker gets the fleet picture immediately so its
+            # /health is doctor-usable without waiting a refresh period.
+            _safe_send(slot.conn, ("fleet", self.snapshot()))
+            if slot.down_since is not None:
+                self.events.append(
+                    {
+                        "slot": slot.index,
+                        "action": "recovered",
+                        "recovery_ms": (now - slot.down_since) * 1e3,
+                    }
+                )
+                slot.down_since = None
+        elif kind == "beat":
+            slot.last_beat = now
+            slot.beats = message[1]
+        elif kind == "rollover":
+            name = message[1]
+            self.rollovers.append(name)
+            self.events.append(
+                {"slot": slot.index, "action": "rollover", "model": name}
+            )
+            self.broadcast_reload(name, exclude=slot.index)
+        elif kind == "stopped":
+            slot.ready = False
+
+    def _plan_restart(
+        self,
+        slot: _Slot,
+        reason: str,
+        exitcode: "int | None",
+        now: float,
+    ) -> None:
+        if slot.conn is not None:
+            slot.conn.close()
+            slot.conn = None
+        if slot.process is not None:
+            slot.process.join(timeout=0.2)
+            slot.process = None
+        slot.ready = False
+        if slot.down_since is None:
+            slot.down_since = now
+        while (
+            slot.restarts
+            and now - slot.restarts[0] > self.config.flap_window
+        ):
+            slot.restarts.popleft()
+        if len(slot.restarts) >= self.config.max_restarts:
+            slot.stale = True
+            slot.pending_restart_at = None
+            self.events.append(
+                {
+                    "slot": slot.index,
+                    "action": "stale",
+                    "reason": reason,
+                    "restarts_in_window": len(slot.restarts),
+                }
+            )
+            self._last_fleet_push = 0.0  # survivors learn right away
+            return
+        delay = backoff_delay(self.config, len(slot.restarts))
+        slot.restarts.append(now)
+        slot.restart_count += 1
+        slot.pending_restart_at = now + delay
+        self.events.append(
+            {
+                "slot": slot.index,
+                "action": "restart",
+                "reason": reason,
+                "exitcode": exitcode,
+                "backoff_s": delay,
+            }
+        )
+
+    def _push_fleet(self, now: float) -> None:
+        if now - self._last_fleet_push < self.config.fleet_refresh:
+            return
+        self._last_fleet_push = now
+        snapshot = self.snapshot()
+        for slot in self.slots:
+            if slot.conn is not None and slot.ready:
+                _safe_send(slot.conn, ("fleet", snapshot))
+
+    # -- fault / rollover fan-out --------------------------------------
+
+    def kill_worker(self, index: int) -> "int | None":
+        """SIGKILL one worker (chaos injection); returns the dead pid."""
+        slot = self.slots[index]
+        process = slot.process
+        if process is None or process.pid is None:
+            return None
+        pid = process.pid
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        return pid
+
+    def broadcast_reload(self, name: str, exclude: "int | None" = None) -> None:
+        for slot in self.slots:
+            if slot.index == exclude or slot.conn is None or not slot.ready:
+                continue
+            _safe_send(slot.conn, ("reload", name))
+
+    # -- shutdown ------------------------------------------------------
+
+    def _terminate(self, slot: _Slot, hard: bool = False) -> None:
+        process = slot.process
+        if process is None or process.pid is None:
+            return
+        try:
+            os.kill(
+                process.pid, signal.SIGKILL if hard else signal.SIGTERM
+            )
+        except ProcessLookupError:
+            pass
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain (or hard-stop) every worker, escalating to SIGKILL."""
+        self._stopped = True
+        for slot in self.slots:
+            if slot.conn is not None:
+                _safe_send(
+                    slot.conn, ("drain",) if drain else ("stop",)
+                )
+        deadline = time.monotonic() + (
+            self.config.drain_timeout + 1.0 if drain else 1.0
+        )
+        for slot in self.slots:
+            if slot.process is None:
+                continue
+            slot.process.join(
+                timeout=max(deadline - time.monotonic(), 0.05)
+            )
+        for slot in self.slots:
+            if slot.process is not None and slot.process.is_alive():
+                self._terminate(slot)
+                slot.process.join(timeout=1.0)
+            if slot.process is not None and slot.process.is_alive():
+                self._terminate(slot, hard=True)
+                slot.process.join(timeout=1.0)
+            if slot.conn is not None:
+                slot.conn.close()
+                slot.conn = None
+            slot.process = None
+            slot.ready = False
+        if self._claim_sock is not None:
+            self._claim_sock.close()
+            self._claim_sock = None
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe fleet state (broadcast to workers, shown by doctor)."""
+        now = time.monotonic()
+        slots = []
+        totals = {"requests": 0, "errors": 0, "quota_rejected": 0}
+        for slot in self.slots:
+            process = slot.process
+            slots.append(
+                {
+                    "slot": slot.index,
+                    "pid": process.pid if process is not None else None,
+                    "alive": (
+                        process is not None and process.is_alive()
+                    ),
+                    "ready": slot.ready,
+                    "stale": slot.stale,
+                    "restarts": slot.restart_count,
+                    "beat_age_s": round(max(now - slot.last_beat, 0.0), 3),
+                    "counters": dict(slot.beats),
+                }
+            )
+            for key in totals:
+                totals[key] += int(slot.beats.get(key, 0))
+        return {
+            "workers": len(self.slots),
+            "port": self.port,
+            "reuse_port": self.reuse_port,
+            "stale_slots": [s.index for s in self.slots if s.stale],
+            "restart_total": sum(s.restart_count for s in self.slots),
+            "rollovers": list(self.rollovers[-8:]),
+            "totals": totals,
+            "slots": slots,
+            "events": list(self.events[-16:]),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(
+    serve_config: ServeConfig,
+    sup_config: SupervisorConfig,
+    conn,
+) -> None:
+    """Entry point of one forked worker process."""
+    import asyncio
+
+    # A fresh event loop in the child: the parent never ran one, so
+    # there is no inherited loop state to collide with.
+    try:
+        asyncio.run(_worker_async(serve_config, sup_config, conn))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+
+
+async def _worker_async(
+    serve_config: ServeConfig,
+    sup_config: SupervisorConfig,
+    conn,
+) -> None:
+    import asyncio
+
+    from repro.serve.server import SpireServer
+
+    server = SpireServer(serve_config)
+    server.on_rollover = lambda name: _safe_send(conn, ("rollover", name))
+    await server.start()
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    mode = {"drain": True}
+
+    def on_control() -> None:
+        try:
+            while conn.poll():
+                message = conn.recv()
+                kind = message[0]
+                if kind == "fleet":
+                    server.stats.set_fleet(message[1])
+                elif kind == "reload":
+                    try:
+                        server.rollover.adopt(message[1])
+                    except Exception:
+                        pass
+                elif kind == "drain":
+                    stop.set()
+                elif kind == "stop":
+                    mode["drain"] = False
+                    stop.set()
+        except (EOFError, OSError):
+            # The supervisor is gone; drain and exit.
+            stop.set()
+
+    loop.add_reader(conn.fileno(), on_control)
+    try:
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover
+        pass
+
+    _safe_send(conn, ("ready", server.port))
+
+    async def beats() -> None:
+        while not stop.is_set():
+            _safe_send(conn, ("beat", server.stats.beat_payload()))
+            try:
+                await asyncio.wait_for(
+                    stop.wait(), sup_config.heartbeat_interval
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    beat_task = asyncio.ensure_future(beats())
+    await stop.wait()
+    try:
+        loop.remove_reader(conn.fileno())
+    except (OSError, ValueError):  # pragma: no cover - conn already dead
+        pass
+    await server.stop(drain=mode["drain"])
+    beat_task.cancel()
+    try:
+        await beat_task
+    except asyncio.CancelledError:
+        pass
+    _safe_send(conn, ("stopped",))
+    conn.close()

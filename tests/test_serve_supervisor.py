@@ -1,0 +1,700 @@
+"""Supervised serving: quotas, rollover, drain, crash recovery.
+
+The robustness contracts under test:
+
+- admission quotas are deterministic token buckets — a storm on one
+  model yields clean 429s with an exact ``Retry-After`` and costs its
+  neighbours nothing;
+- ``MicroBatcher.drain`` flushes parked lanes instead of stranding them,
+  and a stopped server answers queued requests with 503, never a hung
+  keep-alive;
+- hot rollover stages, verifies and canary-checks artifacts before the
+  atomic swap; a corrupt artifact is quarantined and *never served*,
+  while the old mapping keeps answering bit-identically;
+- the registry loads each artifact once under concurrency
+  (single-flight) and counts the waiters;
+- the supervisor restarts crashed workers with deterministic backoff,
+  marks flapping slots stale instead of restarting forever, and the
+  survivors keep serving bit-identical responses throughout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core import SpireModel
+from repro.core.columns import SampleArray
+from repro.errors import ConfigError, ServeOverloadError, SpireError
+from repro.guard.dispatch import GuardConfig, reset_guards
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    QUOTA_STORM,
+    ROLLOVER_CORRUPT_ARTIFACT,
+    SERVE_KINDS,
+    WORKER_CRASH,
+    WORKER_HANG,
+    FaultPlan,
+)
+from repro.serve import (
+    AdmissionController,
+    MicroBatcher,
+    ModelRegistry,
+    QuotaPolicy,
+    ServeConfig,
+    SpireServer,
+    TokenBucket,
+    backoff_delay,
+    pack_model,
+)
+from repro.serve.chaos import _http, train_chaos_model
+from repro.serve.rollover import STAGING_DIRNAME
+from repro.serve.supervisor import ServeSupervisor, SupervisorConfig
+
+GUARD_ENV_PREFIXES = ("SPIRE_GUARD", "SPIRE_GUARDRAIL", "SPIRE_SCALAR_FALLBACK")
+
+METRICS = [f"m.{i}" for i in range(3)]
+
+
+@pytest.fixture(autouse=True)
+def fresh_guards(monkeypatch):
+    for name in list(os.environ):
+        if name.startswith(GUARD_ENV_PREFIXES):
+            monkeypatch.delenv(name, raising=False)
+    reset_guards()
+    yield
+    reset_guards()
+
+
+@pytest.fixture(scope="module")
+def model() -> SpireModel:
+    return train_chaos_model(METRICS, seed=7)
+
+
+def _array_from_rows(rows) -> SampleArray:
+    return SampleArray.from_lists(
+        [r[0] for r in rows],
+        [r[1] for r in rows],
+        [r[2] for r in rows],
+        [r[3] for r in rows],
+    )
+
+
+_ROWS = [("m.0", 1.0, 2.0, 1.0), ("m.1", 2.0, 6.0, 1.5)]
+
+
+def _estimate_body(model_name: str) -> bytes:
+    return json.dumps(
+        {
+            "model": model_name,
+            "samples": [
+                {"metric": m, "time": t, "work": w, "metric_count": c}
+                for m, t, w, c in _ROWS
+            ],
+        }
+    ).encode()
+
+
+def _want_per_metric(model: SpireModel) -> dict:
+    estimate = model.estimate(_array_from_rows(_ROWS).to_sample_set())
+    return json.loads(json.dumps(estimate.per_metric))
+
+
+# ---------------------------------------------------------------------------
+# Quotas: deterministic token buckets
+# ---------------------------------------------------------------------------
+
+
+class TestQuotas:
+    def test_policy_parse(self):
+        assert QuotaPolicy.parse("5") == QuotaPolicy(rate=5.0)
+        assert QuotaPolicy.parse("2.5:8") == QuotaPolicy(rate=2.5, burst=8.0)
+        for bad in ("", "abc", "5:x", "0", "-1"):
+            with pytest.raises(ConfigError):
+                QuotaPolicy.parse(bad)
+
+    def test_capacity_floor_is_one_request(self):
+        assert QuotaPolicy(rate=1.0, burst=0.0).capacity == 1.0
+        assert QuotaPolicy(rate=1.0, burst=6.0).capacity == 6.0
+
+    def test_bucket_is_deterministic_under_fake_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(
+            QuotaPolicy(rate=2.0, burst=3.0), clock=lambda: now[0]
+        )
+        # A fresh bucket starts full: the whole burst admits instantly.
+        assert [bucket.admit() for _ in range(3)] == [None, None, None]
+        # Empty bucket: the delay is the exact time to the next token.
+        assert bucket.admit() == pytest.approx(0.5)
+        # Waiting exactly that long admits exactly one more request.
+        now[0] += 0.5
+        assert bucket.admit() is None
+        assert bucket.admit() == pytest.approx(0.5)
+        # Refill caps at the burst capacity, not beyond it.
+        now[0] += 1e6
+        assert bucket.level() == 3.0
+
+    def test_admission_isolates_models(self):
+        now = [0.0]
+        controller = AdmissionController(
+            policies={"hot": QuotaPolicy(rate=1.0)},
+            clock=lambda: now[0],
+        )
+        controller.admit("hot")  # burst of one
+        with pytest.raises(ServeOverloadError) as excinfo:
+            controller.admit("hot")
+        assert excinfo.value.quota
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        # No policy and no default: the neighbour is never refused.
+        for _ in range(50):
+            controller.admit("cold")
+        snap = controller.snapshot()
+        assert snap["policies"]["hot"]["rate"] == 1.0
+        assert "hot" in snap["levels"]
+
+    def test_default_policy_applies_to_unlisted_models(self):
+        now = [0.0]
+        controller = AdmissionController(
+            default=QuotaPolicy(rate=1.0), clock=lambda: now[0]
+        )
+        controller.admit("anything")
+        with pytest.raises(ServeOverloadError):
+            controller.admit("anything")
+
+
+# ---------------------------------------------------------------------------
+# Supervisor arithmetic and fault-plan surface
+# ---------------------------------------------------------------------------
+
+
+class TestSupervisorConfig:
+    def test_backoff_doubles_then_caps(self):
+        config = SupervisorConfig(backoff_base=0.1, backoff_cap=2.0)
+        delays = [backoff_delay(config, attempt) for attempt in range(8)]
+        assert delays[:5] == [0.1, 0.2, 0.4, 0.8, 1.6]
+        assert all(d == 2.0 for d in delays[5:])
+
+    def test_validation(self):
+        with pytest.raises(SpireError):
+            SupervisorConfig(workers=0)
+        with pytest.raises(SpireError):
+            SupervisorConfig(heartbeat_timeout=0.0)
+
+
+class TestServeFaultPlan:
+    def test_serve_kinds_registered(self):
+        for kind in (
+            WORKER_CRASH,
+            WORKER_HANG,
+            ROLLOVER_CORRUPT_ARTIFACT,
+            QUOTA_STORM,
+        ):
+            assert kind in FAULT_KINDS
+            assert kind in SERVE_KINDS
+
+    def test_random_plan_draws_serve_faults(self):
+        plan = FaultPlan.random(
+            ["w0", "w1"],
+            seed=5,
+            worker_crashes=1,
+            worker_hangs=1,
+            rollover_corruptions=1,
+            quota_storms=1,
+            serve_slots=4,
+            serve_models=("alpha", "beta"),
+        )
+        serve = plan.serve_faults()
+        assert sorted(s.kind for s in serve) == sorted(SERVE_KINDS)
+        crash = next(s for s in serve if s.kind == WORKER_CRASH)
+        assert crash.workload in {"0", "1", "2", "3"}
+        storm = next(s for s in serve if s.kind == QUOTA_STORM)
+        assert storm.workload in {"alpha", "beta"}
+        assert storm.factor in {4.0, 8.0, 16.0}
+        # Serve faults never leak into the experiment-runner surface.
+        assert not (set(plan.injected_workloads()) & {"0", "1", "2", "3"})
+
+    def test_same_seed_without_serve_counts_is_unchanged(self):
+        # Adding the serve draws after the stream kinds keeps old seeds
+        # bit-identical: a plan without serve faults must not shift.
+        names = ["w0", "w1", "w2"]
+        kwargs = dict(seed=11, crashes=1, hangs=1, corrupt_samples=1)
+        before = FaultPlan.random(names, **kwargs)
+        again = FaultPlan.random(names, **kwargs)
+        assert [
+            (s.kind, s.workload, s.times) for s in before.specs
+        ] == [(s.kind, s.workload, s.times) for s in again.specs]
+        assert not before.serve_faults()
+
+
+# ---------------------------------------------------------------------------
+# MicroBatcher drain and the stop-flush contract (satellite: no hung
+# keep-alives on shutdown)
+# ---------------------------------------------------------------------------
+
+
+class TestBatcherDrain:
+    def test_drain_flushes_parked_lanes(self, model):
+        reset_guards(GuardConfig(check_rate=0))
+        array = _array_from_rows(_ROWS)
+        want = model.estimate(array.to_sample_set())
+
+        async def drive():
+            # A huge window: without drain these would sit parked.
+            batcher = MicroBatcher(lambda _: model, max_batch=8, window=30.0)
+            futures = [
+                asyncio.ensure_future(batcher.submit("m", array))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)
+            flushed = await batcher.drain()
+            results = await asyncio.gather(*futures)
+            return flushed, results
+
+        flushed, results = asyncio.run(drive())
+        assert flushed == 3
+        for got in results:
+            assert got.per_metric == want.per_metric
+
+    def test_submit_after_drain_sheds(self, model):
+        array = _array_from_rows(_ROWS)
+
+        async def drive():
+            batcher = MicroBatcher(lambda _: model, max_batch=8, window=30.0)
+            await batcher.drain()
+            with pytest.raises(ServeOverloadError) as excinfo:
+                await batcher.submit("m", array)
+            return excinfo.value
+
+        error = asyncio.run(drive())
+        assert error.shed
+
+    def test_close_fails_queued_as_shed(self, model):
+        array = _array_from_rows(_ROWS)
+
+        async def drive():
+            batcher = MicroBatcher(lambda _: model, max_batch=8, window=30.0)
+            future = asyncio.ensure_future(batcher.submit("m", array))
+            await asyncio.sleep(0.05)
+            await batcher.close()
+            with pytest.raises(ServeOverloadError) as excinfo:
+                await future
+            return excinfo.value
+
+        error = asyncio.run(drive())
+        assert error.shed  # maps to 503, not 429
+
+
+# ---------------------------------------------------------------------------
+# Registry: single-flight concurrent loads
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_concurrent_get_loads_once(self, model, tmp_path, monkeypatch):
+        import repro.serve.registry as registry_module
+
+        registry = ModelRegistry(tmp_path / "store", capacity=4)
+        registry.install("demo", model)
+        registry.evict("demo")
+
+        real_map = registry_module.map_model
+        entered = threading.Event()
+
+        def slow_map(path):
+            entered.set()
+            time.sleep(0.2)  # hold the load long enough for waiters to pile up
+            return real_map(path)
+
+        monkeypatch.setattr(registry_module, "map_model", slow_map)
+        results, errors = [], []
+
+        def hit():
+            try:
+                results.append(registry.get("demo"))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        registry.close()
+
+        assert not errors
+        assert len(results) == 4
+        snap = registry.snapshot()
+        assert snap["loads"] == 1  # one map_model for four callers
+        assert snap["single_flight_waits"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Server: stop-flush, graceful drain, rollover, quarantine, quotas
+# ---------------------------------------------------------------------------
+
+
+async def _async_http(port, method, path, body=b"", content_type="application/json"):
+    return await asyncio.to_thread(
+        _http, port, method, path, body, content_type
+    )
+
+
+def _server(tmp_path, model, **kwargs) -> SpireServer:
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("store_dir", str(tmp_path / "store"))
+    server = SpireServer(ServeConfig(**kwargs))
+    server.registry.install("demo", model)
+    return server
+
+
+class TestServerRobustness:
+    def test_stop_answers_queued_requests_with_503(self, model, tmp_path):
+        """Shutdown with parked lanes: queued requests get 503, not a hang."""
+        reset_guards(GuardConfig(check_rate=0))
+        server = _server(tmp_path, model, window=30.0, max_batch=8)
+        body = _estimate_body("demo")
+
+        async def drive():
+            await server.start()
+            request = asyncio.ensure_future(
+                _async_http(server.port, "POST", "/v1/estimate", body)
+            )
+            await asyncio.sleep(0.3)  # parked in the 30 s batch window
+            started = time.perf_counter()
+            await server.stop()
+            elapsed = time.perf_counter() - started
+            status, _, payload = await request
+            return elapsed, status, payload
+
+        elapsed, status, payload = asyncio.run(drive())
+        assert elapsed < 10.0  # far below the 30 s window: lanes flushed
+        assert status == 503
+        assert "error" in payload
+
+    def test_graceful_drain_completes_queued_requests(self, model, tmp_path):
+        reset_guards(GuardConfig(check_rate=0))
+        server = _server(tmp_path, model, window=30.0, max_batch=8)
+        body = _estimate_body("demo")
+        want = _want_per_metric(model)
+
+        async def drive():
+            await server.start()
+            request = asyncio.ensure_future(
+                _async_http(server.port, "POST", "/v1/estimate", body)
+            )
+            await asyncio.sleep(0.3)
+            await server.stop(drain=True)
+            status, _, payload = await request
+            return status, payload, server.stats.snapshot()
+
+        status, payload, stats = asyncio.run(drive())
+        assert status == 200
+        assert payload["per_metric"] == want
+        assert stats["drain"]["count"] == 1
+        assert stats["drain"]["flushed"] >= 1
+
+    def test_rollover_install_good_and_corrupt(self, model, tmp_path):
+        reset_guards(GuardConfig(check_rate=0))
+        server = _server(tmp_path, model, window=0.001)
+        replacement = train_chaos_model(METRICS, seed=23)
+        packed = tmp_path / "v2.spm"
+        pack_model(replacement, packed)
+        good = packed.read_bytes()
+        corrupt = good[:-16] + b"\x00" * 16
+        body = _estimate_body("demo")
+        want_old = _want_per_metric(model)
+        want_new = _want_per_metric(replacement)
+
+        async def drive():
+            await server.start()
+            try:
+                # Corrupt artifact: rejected with 422, old model untouched.
+                status, _, payload = await _async_http(
+                    server.port,
+                    "POST",
+                    "/v1/models/install?model=demo",
+                    corrupt,
+                    "application/octet-stream",
+                )
+                assert status == 422
+                assert "rejected" in payload["error"]
+                status, _, payload = await _async_http(
+                    server.port, "POST", "/v1/estimate", body
+                )
+                assert status == 200
+                assert payload["per_metric"] == want_old
+
+                # The rejected artifact is quarantined under .staging/.
+                quarantine = (
+                    tmp_path / "store" / STAGING_DIRNAME / ".quarantine"
+                )
+                assert any(quarantine.iterdir())
+
+                # Good artifact: swapped atomically, new answers served.
+                status, _, payload = await _async_http(
+                    server.port,
+                    "POST",
+                    "/v1/models/install?model=demo",
+                    good,
+                    "application/octet-stream",
+                )
+                assert status == 200
+                assert payload["installed"] == "demo"
+                status, _, payload = await _async_http(
+                    server.port, "POST", "/v1/estimate", body
+                )
+                assert status == 200
+                assert payload["per_metric"] == want_new
+                snap = server.rollover.snapshot()
+                assert snap["installs"] == 1
+                assert snap["rejected"] == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(drive())
+
+    def test_quarantine_under_traffic(self, model, tmp_path):
+        """Corrupting the artifact mid-service yields a clean 503 +
+        quarantine, and a good reinstall recovers — never a 500."""
+        reset_guards(GuardConfig(check_rate=0))
+        server = _server(tmp_path, model, window=0.001)
+        body = _estimate_body("demo")
+        want = _want_per_metric(model)
+        artifact = tmp_path / "store" / "demo.spm"
+
+        async def drive():
+            await server.start()
+            try:
+                status, _, payload = await _async_http(
+                    server.port, "POST", "/v1/estimate", body
+                )
+                assert status == 200
+                assert payload["per_metric"] == want
+
+                # Corrupt the packed artifact on disk, then force the
+                # next request to remap it from the store.
+                blob = artifact.read_bytes()
+                artifact.write_bytes(blob[: len(blob) // 2])
+                server.registry.evict("demo")
+
+                status, headers, payload = await _async_http(
+                    server.port, "POST", "/v1/estimate", body
+                )
+                assert status == 503  # model unavailable, not a 500
+                assert "retry-after" in headers
+                assert "demo" in payload["error"]
+                quarantine = tmp_path / "store" / ".quarantine"
+                assert any(quarantine.iterdir())
+                assert server.registry.snapshot()["verify_failures"] == 1
+
+                # A good reinstall recovers, bit-identically.
+                server.registry.install("demo", model)
+                status, _, payload = await _async_http(
+                    server.port, "POST", "/v1/estimate", body
+                )
+                assert status == 200
+                assert payload["per_metric"] == want
+            finally:
+                await server.stop()
+
+        asyncio.run(drive())
+
+    def test_quota_rejections_are_429_with_retry_after(self, model, tmp_path):
+        reset_guards(GuardConfig(check_rate=0))
+        server = _server(
+            tmp_path,
+            model,
+            window=0.001,
+            quotas={"demo": QuotaPolicy(rate=0.5)},
+        )
+        body = _estimate_body("demo")
+
+        async def drive():
+            await server.start()
+            try:
+                first = await _async_http(
+                    server.port, "POST", "/v1/estimate", body
+                )
+                second = await _async_http(
+                    server.port, "POST", "/v1/estimate", body
+                )
+                return first, second, server.stats.snapshot()
+            finally:
+                await server.stop()
+
+        first, second, stats = asyncio.run(drive())
+        assert first[0] == 200
+        assert second[0] == 429
+        assert float(second[1]["retry-after"]) > 0
+        assert stats["quotas"]["rejected"] == 1
+        assert stats["quotas"]["per_model"] == {"demo": 1}
+
+
+# ---------------------------------------------------------------------------
+# Supervisor end to end: crash recovery, flap -> stale, rollover adoption
+# ---------------------------------------------------------------------------
+
+
+def _fleet(tmp_path, model, workers=2, **overrides):
+    store = tmp_path / "store"
+    registry = ModelRegistry(store)
+    registry.install("demo", model)
+    registry.close()
+    serve_config = ServeConfig(
+        port=0, store_dir=str(store), window=0.001, drain_timeout=5.0
+    )
+    defaults = dict(
+        workers=workers,
+        heartbeat_interval=0.15,
+        heartbeat_timeout=2.5,
+        backoff_base=0.05,
+        backoff_cap=0.5,
+        max_restarts=3,
+        start_timeout=30.0,
+        drain_timeout=5.0,
+    )
+    defaults.update(overrides)
+    return ServeSupervisor(serve_config, SupervisorConfig(**defaults))
+
+
+def _pump(supervisor, seconds):
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        supervisor.step(timeout=0.1)
+
+
+class TestSupervisorEndToEnd:
+    def test_crash_restart_preserves_bit_identity(self, model, tmp_path):
+        supervisor = _fleet(tmp_path, model, workers=2)
+        body = _estimate_body("demo")
+        want = _want_per_metric(model)
+        try:
+            supervisor.start()
+            supervisor.wait_ready()
+            status, _, payload = _http(
+                supervisor.port, "POST", "/v1/estimate", body
+            )
+            assert status == 200
+            assert payload["per_metric"] == want
+
+            supervisor.kill_worker(0)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                supervisor.step(timeout=0.1)
+                snap = supervisor.snapshot()
+                slot = snap["slots"][0]
+                if snap["restart_total"] >= 1 and slot["ready"]:
+                    break
+            else:  # pragma: no cover - diagnostic
+                pytest.fail(f"worker never recovered: {supervisor.snapshot()}")
+
+            # The fleet answers bit-identically after the restart.
+            for _ in range(4):
+                status, _, payload = _http(
+                    supervisor.port, "POST", "/v1/estimate", body
+                )
+                assert status == 200
+                assert payload["per_metric"] == want
+            snap = supervisor.snapshot()
+            assert snap["stale_slots"] == []
+            assert any(
+                event["action"] == "restart" and event["reason"] == "crashed"
+                for event in snap["events"]
+            )
+        finally:
+            supervisor.stop()
+
+    def test_flap_detection_marks_slot_stale(self, model, tmp_path):
+        supervisor = _fleet(tmp_path, model, workers=2, max_restarts=1)
+        body = _estimate_body("demo")
+        want = _want_per_metric(model)
+        try:
+            supervisor.start()
+            supervisor.wait_ready()
+
+            # Kill slot 0 every time it comes back: the second crash
+            # within the flap window exceeds max_restarts=1.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                snap = supervisor.snapshot()
+                slot = snap["slots"][0]
+                if slot["stale"]:
+                    break
+                if slot["alive"] and slot["ready"]:
+                    supervisor.kill_worker(0)
+                supervisor.step(timeout=0.1)
+            snap = supervisor.snapshot()
+            assert snap["stale_slots"] == [0]
+
+            # The survivor keeps serving, bit-identically.
+            status, _, payload = _http(
+                supervisor.port, "POST", "/v1/estimate", body
+            )
+            assert status == 200
+            assert payload["per_metric"] == want
+
+            # Workers learn the fleet state; doctor flags the stale slot.
+            from repro.guard.doctor import server_health_problems
+
+            deadline = time.monotonic() + 10.0
+            problems = []
+            while time.monotonic() < deadline:
+                supervisor.step(timeout=0.1)
+                _, _, health = _probe_health(supervisor.port)
+                problems = server_health_problems(health)
+                if any("stale" in p for p in problems):
+                    break
+            assert any("stale" in p for p in problems)
+        finally:
+            supervisor.stop()
+
+    def test_rollover_propagates_to_all_workers(self, model, tmp_path):
+        supervisor = _fleet(tmp_path, model, workers=2)
+        replacement = train_chaos_model(METRICS, seed=23)
+        body = _estimate_body("demo")
+        want_old = _want_per_metric(model)
+        want_new = _want_per_metric(replacement)
+        packed = tmp_path / "v2.spm"
+        pack_model(replacement, packed)
+        try:
+            supervisor.start()
+            supervisor.wait_ready()
+            status, _, _ = _http(supervisor.port, "POST", "/v1/estimate", body)
+            assert status == 200
+
+            status, _, payload = _http(
+                supervisor.port,
+                "POST",
+                "/v1/models/install?model=demo",
+                packed.read_bytes(),
+                "application/octet-stream",
+            )
+            assert status == 200
+
+            # Every worker converges on the new model; no response is
+            # ever anything but old-exact or new-exact.
+            converged: set = set()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and len(converged) < 2:
+                supervisor.step(timeout=0.05)
+                status, headers, payload = _http(
+                    supervisor.port, "POST", "/v1/estimate", body
+                )
+                assert status == 200
+                assert payload["per_metric"] in (want_old, want_new)
+                if payload["per_metric"] == want_new:
+                    converged.add(headers.get("x-spire-worker"))
+            assert len(converged) == 2, f"converged workers: {converged}"
+        finally:
+            supervisor.stop()
+
+
+def _probe_health(port):
+    status, headers, payload = _http(port, "GET", "/health")
+    return status, headers, payload
